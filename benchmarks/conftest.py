@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper's evaluation.
+Default parameters are laptop-scale (minutes total); set ``REPRO_FULL=1``
+for paper-scale sweeps (much longer).
+"""
+
+import os
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def scale(small, full):
+    """Pick the small or full-scale parameter set."""
+    return full if FULL else small

@@ -1,0 +1,42 @@
+"""Figure 10: XC90 cruise-control attack (velocity traces).
+
+Paper shape: (a) normal operation holds 65 mph; (b) unprotected attack runs
+away toward ~100 mph within seconds; (c) REBOUND detects and reassigns
+cruise control within ~50 ms; (d) the excursion is ~0.3 mph.
+"""
+
+import pytest
+
+from conftest import scale
+from repro.experiments import fig10_xc90
+
+DURATION_S = scale(1.5, 3.0)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return fig10_xc90.run_all(duration_s=DURATION_S)
+
+
+def test_fig10_xc90(benchmark, results):
+    benchmark.pedantic(
+        fig10_xc90.XC90Scenario(
+            "bench", protected=True, attack_at_s=0.2, duration_s=0.5
+        ).run,
+        rounds=1,
+        iterations=1,
+    )
+    for name, r in results.items():
+        print(
+            f"{name}: peak {r['peak_mph']:.2f} mph, final {r['final_mph']:.2f},"
+            f" excursion {r['excursion_mph']:.3f} mph,"
+            f" recovery {r['recovery_ms']} ms"
+        )
+    protected = results["attack_rebound"]
+    unprotected = results["attack_unprotected"]
+    normal = results["normal"]
+    assert abs(normal["final_mph"] - 65.0) < 2.0
+    assert protected["excursion_mph"] < 2.0
+    assert protected["recovery_ms"] is not None
+    assert protected["recovery_ms"] <= 100.0
+    assert unprotected["excursion_mph"] > 10 * protected["excursion_mph"]

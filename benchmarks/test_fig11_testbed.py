@@ -1,0 +1,43 @@
+"""Figure 11: testbed attack scenarios on the chemical plant.
+
+Paper shape: the unprotected system sends bad data indefinitely; with
+REBOUND, outputs return to normal in ~5 rounds (~200 ms at 40 ms rounds),
+dropping the least-critical flow; a second fault drops one more, leaving
+the two most critical flows alive.
+"""
+
+import pytest
+
+from conftest import scale
+from repro.experiments import fig11_testbed
+
+POST_ROUNDS = scale(25, 40)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return fig11_testbed.run_all(post_rounds=POST_ROUNDS)
+
+
+def test_fig11_testbed(benchmark, results):
+    benchmark.pedantic(
+        fig11_testbed.run_scenario,
+        kwargs={"victims": ["N4"], "post_rounds": 10},
+        rounds=1,
+        iterations=1,
+    )
+    for name, r in results.items():
+        traces = {
+            a: {
+                "recovered_after": t["recovery_rounds_after_fault"],
+                "flat": t["flat_at_end"],
+            }
+            for a, t in r["traces"].items()
+            if t["disrupted_rounds"] or t["flat_at_end"]
+        }
+        print(f"{name}: active={r['active_flows']} dropped={r['dropped_flows']} "
+              f"affected traces={traces}")
+    checks = fig11_testbed.check_shape(results)
+    print(f"shape checks: {checks}")
+    failed = [k for k, ok in checks.items() if not ok]
+    assert not failed, f"Fig. 11 shape checks failed: {failed}"

@@ -1,0 +1,37 @@
+"""Figure 5: protocol overhead (bandwidth / storage / crypto ops) vs n.
+
+Regenerates the three panels' series for REBOUND-BASIC and REBOUND-MULTI.
+Paper shape: BASIC linear in n on all axes; MULTI levels off (bandwidth
+tracks the max-fail distance; storage stays tens of KB; verifications grow
+sub-linearly).
+"""
+
+import pytest
+
+from conftest import scale
+from repro.experiments import fig5_overhead
+from repro.experiments.common import print_table
+
+SIZES = scale((4, 10, 20, 35, 50), (4, 10, 20, 35, 50, 75, 100))
+ROUNDS = scale(25, 50)
+SEEDS = scale((0,), (0, 1, 2))
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig5_overhead.run(sizes=SIZES, rounds=ROUNDS, seeds=SEEDS)
+
+
+def test_fig5_overhead(benchmark, rows):
+    """Times one mid-size cell; the sweep itself runs once via the fixture."""
+    benchmark.pedantic(
+        fig5_overhead.run_one,
+        kwargs={"n": SIZES[len(SIZES) // 2], "variant": "multi", "rounds": 10},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(rows, "Figure 5: protocol overhead vs system size")
+    checks = fig5_overhead.check_shape(rows)
+    print(f"shape checks: {checks}")
+    failed = [k for k, ok in checks.items() if not ok]
+    assert not failed, f"Fig. 5 shape checks failed: {failed}"

@@ -1,0 +1,42 @@
+"""Figure 6: mode-change dynamics (45-node net, fault in round 50).
+
+Regenerates both panels: fraction of nodes per mode and per-link bandwidth
+around the worst-case fault (LFD storm from the highest-degree node).
+Paper shape: brief splintering into several modes, a bandwidth spike, and
+convergence to the final mode within a few rounds.
+"""
+
+import pytest
+
+from conftest import scale
+from repro.experiments import fig6_modechange
+from repro.experiments.common import print_table
+
+N = scale(30, 45)
+FAULT_ROUND = scale(35, 50)
+TOTAL_ROUNDS = scale(60, 100)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig6_modechange.run(
+        n=N, fault_round=FAULT_ROUND, total_rounds=TOTAL_ROUNDS
+    )
+
+
+def test_fig6_modechange(benchmark, rows):
+    benchmark.pedantic(
+        fig6_modechange.run,
+        kwargs={"n": 15, "fault_round": 15, "total_rounds": 25},
+        rounds=1,
+        iterations=1,
+    )
+    window = [
+        r for r in rows if FAULT_ROUND - 4 <= r["round"] <= FAULT_ROUND + 10
+    ]
+    print_table(window, "Figure 6: rounds around the fault")
+    summary = fig6_modechange.summarize(rows, fault_round=FAULT_ROUND)
+    print(f"summary: {summary}")
+    assert summary["converged_round"] is not None, "system never converged"
+    assert summary["rounds_to_converge"] <= 15
+    assert summary["bandwidth_spike_factor"] > 1.5

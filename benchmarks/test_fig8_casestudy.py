@@ -1,0 +1,35 @@
+"""Figure 8: per-node runtime costs of REBOUND + auditing vs fconc.
+
+Paper shape: the unprotected system has payload traffic only; enabling
+REBOUND adds a roughly fconc-independent protocol overhead; auditing costs
+(traffic, RSA operations, replica storage) grow with fconc.
+"""
+
+import pytest
+
+from conftest import scale
+from repro.experiments import fig8_casestudy
+from repro.experiments.common import print_table
+
+N = scale(18, 26)
+ROUNDS = scale(40, 100)
+FCONC_VALUES = (None, 1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig8_casestudy.run(fconc_values=FCONC_VALUES, n=N, rounds=ROUNDS)
+
+
+def test_fig8_casestudy(benchmark, rows):
+    benchmark.pedantic(
+        fig8_casestudy.run_one,
+        kwargs={"fconc": 1, "n": 10, "rounds": 10},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(rows, "Figure 8: per-node runtime costs in the case study")
+    checks = fig8_casestudy.check_shape(rows)
+    print(f"shape checks: {checks}")
+    failed = [k for k, ok in checks.items() if not ok]
+    assert not failed, f"Fig. 8 shape checks failed: {failed}"

@@ -1,0 +1,38 @@
+"""Figure 9: supported useful workload, REBOUND vs PBFT.
+
+Paper shape: REBOUND admits at least ~2x PBFT's workload on the same
+hardware, closely tracking (3f+1)/(f+1), which approaches 3 for large f.
+"""
+
+import pytest
+
+from conftest import scale
+from repro.experiments import fig9_pbft
+from repro.experiments.common import print_table
+
+F_VALUES = (1, 2, 3)
+NODE_COUNTS = scale((25, 50), (25, 50, 75))
+WORKLOADS = scale(8, 25)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig9_pbft.run(
+        f_values=F_VALUES,
+        node_counts=NODE_COUNTS,
+        workloads_per_cell=WORKLOADS,
+    )
+
+
+def test_fig9_pbft(benchmark, rows):
+    benchmark.pedantic(
+        fig9_pbft.run,
+        kwargs={"f_values": (1,), "node_counts": (25,), "workloads_per_cell": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(rows, "Figure 9: supported workload normalized to PBFT")
+    checks = fig9_pbft.check_shape(rows)
+    print(f"shape checks: {checks}")
+    failed = [k for k, ok in checks.items() if not ok]
+    assert not failed, f"Fig. 9 shape checks failed: {failed}"

@@ -1,0 +1,83 @@
+"""Recovery latency: the BTR bound, measured (paper S2.7, S5.8).
+
+Not a single paper figure, but the claim behind all of them: for every
+attack class, Tdet + Tstab + Tswitch stays within a bound that depends on
+the topology (D_max) and the audit latency -- never on what the adversary
+does.  This bench sweeps behaviours x topology sizes and reports the
+detection and recovery milestones in rounds; with the testbed's 40 ms
+rounds, the chemical-plant numbers land on the paper's ~200 ms.
+"""
+
+import pytest
+
+from conftest import scale
+from repro.analysis.recovery import measure_recovery
+from repro.core import ReboundConfig, ReboundSystem
+from repro.experiments.common import print_table
+from repro.faults.adversary import (
+    CrashBehavior,
+    EquivocateBehavior,
+    RandomOutputBehavior,
+    SilenceBehavior,
+)
+from repro.net.topology import erdos_renyi_topology
+from repro.sched.workload import WorkloadGenerator
+
+SIZES = scale((8, 14), (8, 14, 24))
+BEHAVIORS = [
+    ("crash", CrashBehavior),
+    ("silence", SilenceBehavior),
+    ("random-output", lambda: RandomOutputBehavior(seed=9)),
+    ("equivocate", EquivocateBehavior),
+]
+
+
+def _measure(n: int, behavior_name: str, factory) -> dict:
+    topology = erdos_renyi_topology(n, seed=2)
+    workload = WorkloadGenerator(seed=2, chain_length_range=(2, 2)).workload(
+        target_utilization=n * 0.25
+    )
+    config = ReboundConfig(fmax=2, fconc=1, variant="multi", rsa_bits=256)
+    system = ReboundSystem(topology, workload, config, seed=2)
+    system.run(12)
+    victim = max(
+        system.topology.controllers,
+        key=lambda c: len(system.nodes[c].auditing.primaries),
+    )
+    timeline = measure_recovery(
+        system, lambda: system.inject_now(victim, factory()), max_rounds=25
+    )
+    return {
+        "n": n,
+        "behavior": behavior_name,
+        "d_max": config.d_max,
+        "detect_rounds": timeline.detection_rounds,
+        "recover_rounds": timeline.recovery_rounds,
+        "recovered": timeline.recovered,
+    }
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return [
+        _measure(n, name, factory)
+        for n in SIZES
+        for name, factory in BEHAVIORS
+    ]
+
+
+def test_recovery_latency(benchmark, rows):
+    benchmark.pedantic(
+        _measure, args=(8, "crash", CrashBehavior), rounds=1, iterations=1
+    )
+    print_table(rows, "Recovery latency by behaviour and system size")
+    for row in rows:
+        assert row["recovered"], f"{row} never recovered"
+        # The bound: detection within a small constant for direct omissions,
+        # within the audit latency for commissions; recovery adds the
+        # evidence-flood (<= D_max) and the switch.
+        bound = 2 * row["d_max"] + 10
+        assert row["recover_rounds"] <= bound, (
+            f"{row['behavior']} at n={row['n']}: recovery "
+            f"{row['recover_rounds']} rounds exceeds bound {bound}"
+        )

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The Fig. 10 case study: sudden unintended acceleration on a Volvo XC90.
+
+The cruise controller (PI, 65 mph setpoint) runs on the ECM, one of 38
+ECUs on the car's real bus topology (HCAN/LCAN/MOST/LIN).  The adversary
+compromises the ECM and commands full throttle.  Three runs:
+
+* normal operation -- speed holds 65 mph;
+* no defense      -- the car runs away toward 100 mph;
+* with REBOUND    -- a replica replays the ECM's own signed inputs,
+  catches the lie within a few 10 ms rounds, and cruise control moves to
+  another ECU; the blip is ~0.3 mph, unnoticeable to the driver.
+
+Run:  python examples/cruise_control_attack.py
+"""
+
+from repro.experiments.fig10_xc90 import TARGET_MPH, run_all
+
+
+def sparkline(series, width: int = 64, lo: float = 60.0, hi: float = 100.0) -> str:
+    """Render (t, mph) samples as a one-line ASCII chart."""
+    blocks = " .:-=+*#%@"
+    if not series:
+        return ""
+    step = max(1, len(series) // width)
+    samples = [series[i][1] for i in range(0, len(series), step)]
+    out = []
+    for v in samples:
+        frac = (min(max(v, lo), hi) - lo) / (hi - lo)
+        out.append(blocks[min(len(blocks) - 1, int(frac * (len(blocks) - 1)))])
+    return "".join(out)
+
+
+def main() -> None:
+    print("Simulating 3 s of driving on the XC90 network "
+          "(38 ECUs + speed sensor + engine, 10 ms rounds)...\n")
+    results = run_all(duration_s=3.0)
+
+    for name, label in (
+        ("normal", "(a) normal operation"),
+        ("attack_unprotected", "(b) attack, no defense"),
+        ("attack_rebound", "(c) attack, with REBOUND"),
+    ):
+        r = results[name]
+        print(f"{label}:")
+        print(f"   speed 60..100 mph | {sparkline(r['series'])} |")
+        print(f"   peak {r['peak_mph']:.2f} mph, final {r['final_mph']:.2f} mph")
+        if r["recovery_ms"] is not None:
+            print(f"   detected + recovered {r['recovery_ms']:.0f} ms after the attack")
+        print()
+
+    protected = results["attack_rebound"]
+    print(f"(d) detail: the REBOUND excursion is "
+          f"{protected['excursion_mph']:.3f} mph above the {TARGET_MPH:.0f} mph "
+          f"setpoint -- bounded by the XC90's 4.96 m/s^2 acceleration cap "
+          f"times the ~{protected['recovery_ms']:.0f} ms recovery window.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""REBOUND: bounded-time recovery for distributed systems under attack.
+
+A from-scratch reproduction of Gandhi et al., EuroSys 2021.  The most
+common entry points:
+
+    from repro import ReboundConfig, ReboundSystem
+    from repro.net.topology import chemical_plant_topology
+    from repro.sched.task import chemical_plant_workload
+
+    system = ReboundSystem(
+        chemical_plant_topology(),
+        chemical_plant_workload(),
+        ReboundConfig(fmax=3, fconc=1),
+    )
+    system.run(15)
+
+See README.md for the architecture tour, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core.config import ReboundConfig
+from repro.core.runtime import ReboundSystem
+
+__version__ = "0.1.0"
+
+__all__ = ["ReboundConfig", "ReboundSystem", "__version__"]

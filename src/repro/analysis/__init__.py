@@ -1,0 +1,11 @@
+"""Measurement utilities: cost accounting and recovery timing."""
+
+from repro.analysis.metrics import CostSnapshot, MetricsCollector
+from repro.analysis.recovery import RecoveryTimeline, measure_recovery
+
+__all__ = [
+    "CostSnapshot",
+    "MetricsCollector",
+    "RecoveryTimeline",
+    "measure_recovery",
+]

@@ -1,0 +1,87 @@
+"""Recovery-time measurement (the BTR property, paper S2.4/S2.7).
+
+Runs a system through a fault and records when each milestone is reached,
+in rounds relative to the fault:
+
+* **detection** -- some correct node's failure pattern reflects the fault
+  (Req. 1/2);
+* **stabilization** -- every correct controller agrees on the mode
+  (Req. 4, within one partition);
+* **recovery** -- every correct controller has switched to a mode whose
+  placements exclude the faulty nodes (the paper's goal: "all active data
+  flows are executed on correct nodes").
+
+The sum detection + stabilization + switch must stay below Rmax; the paper
+measures ~5 rounds end-to-end on the testbed (S5.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass
+class RecoveryTimeline:
+    """Milestones of one recovery, in absolute rounds.
+
+    ``None`` milestones were not reached within the observation window.
+    """
+
+    fault_round: int
+    detection_round: Optional[int] = None
+    stabilization_round: Optional[int] = None
+    recovery_round: Optional[int] = None
+
+    @property
+    def detection_rounds(self) -> Optional[int]:
+        if self.detection_round is None:
+            return None
+        return self.detection_round - self.fault_round
+
+    @property
+    def recovery_rounds(self) -> Optional[int]:
+        if self.recovery_round is None:
+            return None
+        return self.recovery_round - self.fault_round
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_round is not None
+
+    def recovery_time_us(self, round_length_us: int) -> Optional[int]:
+        if self.recovery_rounds is None:
+            return None
+        return self.recovery_rounds * round_length_us
+
+
+def measure_recovery(
+    system,
+    inject: Callable[[], None],
+    max_rounds: int = 30,
+) -> RecoveryTimeline:
+    """Inject a fault via ``inject()`` and track recovery milestones.
+
+    ``inject`` must call ``system.inject_now`` / ``system.cut_link_now``;
+    the system should already be warmed up (steady state).
+    """
+    inject()
+    timeline = RecoveryTimeline(fault_round=system.round_no)
+    for _ in range(max_rounds):
+        system.run_round()
+        r = system.round_no
+        if timeline.detection_round is None and system.detected():
+            timeline.detection_round = r
+        converged = system.converged()
+        agreed = system.schedules_agree()
+        if timeline.stabilization_round is None and converged and agreed:
+            timeline.stabilization_round = r
+        if timeline.recovery_round is None and converged:
+            timeline.recovery_round = r
+        if (
+            timeline.detection_round is not None
+            and timeline.stabilization_round is not None
+            and timeline.recovery_round is not None
+        ):
+            break
+    return timeline

@@ -1,0 +1,340 @@
+"""A simplified, executable PBFT (Castro & Liskov) baseline.
+
+Implements the normal-case three-phase protocol (pre-prepare, prepare,
+commit) and a view-change mechanism over the round-synchronous network
+simulator, with n = 3f+1 replicas and quorums of 2f+1.  Checkpointing and
+the full new-view proof machinery are elided (requests are retained in
+full); signatures are modeled as authenticated channels (the simulator's
+sender identities are unforgeable for correct nodes), which matches PBFT's
+MAC-based variant.
+
+This is the baseline REBOUND is compared against: it *masks* up to f
+Byzantine replicas entirely, but needs 3f+1 executing copies and multiple
+message rounds per decision -- the costs Fig. 9 quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.net.message import register_message
+from repro.net.network import NodeProtocol, RoundNetwork
+from repro.net.topology import fully_connected_topology
+
+
+@register_message
+@dataclass(frozen=True)
+class ClientRequest:
+    request_id: int
+    payload: bytes
+
+
+@register_message
+@dataclass(frozen=True)
+class PrePrepare:
+    view: int
+    sequence: int
+    request: ClientRequest
+
+
+@register_message
+@dataclass(frozen=True)
+class Prepare:
+    view: int
+    sequence: int
+    digest: bytes
+    replica: int
+
+
+@register_message
+@dataclass(frozen=True)
+class Commit:
+    view: int
+    sequence: int
+    digest: bytes
+    replica: int
+
+
+@register_message
+@dataclass(frozen=True)
+class ViewChange:
+    new_view: int
+    replica: int
+    last_executed: int
+
+
+@register_message
+@dataclass(frozen=True)
+class NewView:
+    view: int
+    leader: int
+
+
+def _digest(request: ClientRequest) -> bytes:
+    from repro.crypto.hashing import hash_bytes
+
+    return hash_bytes(request.request_id.to_bytes(8, "big"), request.payload)
+
+
+class PBFTReplica(NodeProtocol):
+    """One PBFT replica.
+
+    Args:
+        n: cluster size (3f+1).
+        f: fault threshold.
+        view_change_timeout: rounds a pending request may wait before this
+            replica votes to change the view.
+    """
+
+    def __init__(self, n: int, f: int, view_change_timeout: int = 6):
+        self.n = n
+        self.f = f
+        self.view = 0
+        self.view_change_timeout = view_change_timeout
+        self.sequence = 0  # next sequence this replica assigns as leader
+        self.executed: List[Tuple[int, bytes]] = []  # (request_id, payload)
+        self.last_executed = 0
+        self._pending: Dict[int, ClientRequest] = {}  # request_id -> request
+        self._pending_since: Dict[int, int] = {}
+        self._preprepares: Dict[Tuple[int, int], PrePrepare] = {}
+        self._prepares: Dict[Tuple[int, int, bytes], Set[int]] = defaultdict(set)
+        self._commits: Dict[Tuple[int, int, bytes], Set[int]] = defaultdict(set)
+        self._prepared: Set[Tuple[int, int, bytes]] = set()
+        self._committed_seqs: Dict[int, ClientRequest] = {}
+        self._view_votes: Dict[int, Set[int]] = defaultdict(set)
+        self._outbox: List[Any] = []
+        self.byzantine = False
+        self.equivocating_leader = False
+
+    # -- helpers -------------------------------------------------------------
+
+    @property
+    def leader(self) -> int:
+        return self.view % self.n
+
+    @property
+    def is_leader(self) -> bool:
+        return self.node_id == self.leader
+
+    def _broadcast(self, msg: Any) -> None:
+        self._outbox.append(msg)
+
+    def submit(self, request: ClientRequest, round_no: int) -> None:
+        """Client entry point: hand a request to this replica."""
+        if request.request_id not in self._pending:
+            self._pending[request.request_id] = request
+            self._pending_since[request.request_id] = round_no
+
+    # -- protocol ---------------------------------------------------------------
+
+    def on_receive(self, round_no: int, sender: int, payload: Any) -> None:
+        if self.byzantine:
+            return
+        if isinstance(payload, ClientRequest):
+            self.submit(payload, round_no)
+        elif isinstance(payload, PrePrepare):
+            self._on_preprepare(sender, payload)
+        elif isinstance(payload, Prepare):
+            self._on_prepare(payload)
+        elif isinstance(payload, Commit):
+            self._on_commit(payload)
+        elif isinstance(payload, ViewChange):
+            self._on_view_change(payload)
+        elif isinstance(payload, NewView):
+            if payload.view > self.view:
+                self.view = payload.view
+
+    def _on_preprepare(self, sender: int, msg: PrePrepare) -> None:
+        if msg.view != self.view or sender != self.leader:
+            return
+        key = (msg.view, msg.sequence)
+        if key in self._preprepares:
+            return  # a leader equivocating on a sequence is simply ignored
+        self._preprepares[key] = msg
+        digest = _digest(msg.request)
+        # The pre-prepare doubles as the leader's prepare.
+        self._prepares[(msg.view, msg.sequence, digest)].add(sender)
+        self._prepares[(msg.view, msg.sequence, digest)].add(self.node_id)
+        self._broadcast(
+            Prepare(view=msg.view, sequence=msg.sequence, digest=digest,
+                    replica=self.node_id)
+        )
+        self._maybe_prepared(msg.view, msg.sequence, digest)
+
+    def _on_prepare(self, msg: Prepare) -> None:
+        if msg.view != self.view:
+            return
+        key = (msg.view, msg.sequence, msg.digest)
+        self._prepares[key].add(msg.replica)
+        self._maybe_prepared(msg.view, msg.sequence, msg.digest)
+
+    def _maybe_prepared(self, view: int, sequence: int, digest: bytes) -> None:
+        """prepared(m, v, n): pre-prepare + 2f+1 matching prepare votes
+        (the pre-prepare counting as the leader's vote)."""
+        key = (view, sequence, digest)
+        if (
+            len(self._prepares[key]) >= 2 * self.f + 1
+            and (view, sequence) in self._preprepares
+            and key not in self._prepared
+        ):
+            self._prepared.add(key)
+            self._commits[key].add(self.node_id)
+            self._broadcast(
+                Commit(view=view, sequence=sequence, digest=digest,
+                       replica=self.node_id)
+            )
+
+    def _on_commit(self, msg: Commit) -> None:
+        key = (msg.view, msg.sequence, msg.digest)
+        self._commits[key].add(msg.replica)
+        if len(self._commits[key]) >= 2 * self.f + 1 and key in self._prepared:
+            preprepare = self._preprepares.get((msg.view, msg.sequence))
+            if preprepare is not None:
+                self._committed_seqs.setdefault(msg.sequence, preprepare.request)
+                self._try_execute()
+
+    def _try_execute(self) -> None:
+        while self.last_executed + 1 in self._committed_seqs:
+            seq = self.last_executed + 1
+            request = self._committed_seqs[seq]
+            self.executed.append((request.request_id, request.payload))
+            self._pending.pop(request.request_id, None)
+            self._pending_since.pop(request.request_id, None)
+            self.last_executed = seq
+            self.sequence = max(self.sequence, seq)
+
+    def _on_view_change(self, msg: ViewChange) -> None:
+        if msg.new_view <= self.view:
+            return
+        self._view_votes[msg.new_view].add(msg.replica)
+        if len(self._view_votes[msg.new_view]) >= 2 * self.f + 1:
+            self.view = msg.new_view
+            self.sequence = max(self.sequence, self.last_executed)
+            self._prepared = {k for k in self._prepared if k[0] >= self.view}
+            if self.is_leader:
+                self._broadcast(NewView(view=self.view, leader=self.node_id))
+
+    def on_round_end(self, round_no: int) -> None:
+        if self.byzantine:
+            return
+        if self.equivocating_leader and self.is_leader:
+            self._equivocate_round()
+            return
+        # Leader: assign sequence numbers to pending requests.
+        if self.is_leader:
+            for request_id in sorted(self._pending):
+                request = self._pending[request_id]
+                already = any(
+                    pp.request.request_id == request_id
+                    for pp in self._preprepares.values()
+                    if pp.view == self.view
+                )
+                if already:
+                    continue
+                self.sequence += 1
+                msg = PrePrepare(view=self.view, sequence=self.sequence, request=request)
+                self._preprepares[(self.view, self.sequence)] = msg
+                digest = _digest(request)
+                self._prepares[(self.view, self.sequence, digest)].add(self.node_id)
+                self._broadcast(msg)
+        # Backup: vote for a view change when requests starve.
+        else:
+            for request_id, since in list(self._pending_since.items()):
+                if round_no - since > self.view_change_timeout:
+                    vote = ViewChange(
+                        new_view=self.view + 1,
+                        replica=self.node_id,
+                        last_executed=self.last_executed,
+                    )
+                    self._view_votes[self.view + 1].add(self.node_id)
+                    self._broadcast(vote)
+                    self._pending_since[request_id] = round_no  # back off
+                    break
+        # Flush.
+        outbox, self._outbox = self._outbox, []
+        for msg in outbox:
+            for peer in range(self.n):
+                if peer != self.node_id:
+                    self.network.send(self.node_id, peer, msg)
+
+
+    def _equivocate_round(self) -> None:
+        """Byzantine leader: propose *different* requests for the same
+        sequence number to different backups.  Safety must hold: no two
+        correct replicas may execute different requests at one sequence."""
+        if not self._pending:
+            return
+        self.sequence += 1
+        requests = sorted(self._pending.values(), key=lambda r: r.request_id)
+        for idx, peer in enumerate(p for p in range(self.n) if p != self.node_id):
+            request = requests[idx % len(requests)]
+            # A different payload per *peer*: no two backups hold the same
+            # digest, so no prepare quorum can form for any of them.
+            fake = ClientRequest(
+                request_id=request.request_id,
+                payload=request.payload + bytes([idx % 256]),
+            )
+            msg = PrePrepare(view=self.view, sequence=self.sequence, request=fake)
+            self.network.send(self.node_id, peer, msg)
+
+
+class PBFTCluster:
+    """A 3f+1 PBFT cluster over a fully connected round network."""
+
+    def __init__(self, f: int = 1, view_change_timeout: int = 6):
+        self.f = f
+        self.n = 3 * f + 1
+        self.topology = fully_connected_topology(self.n)
+        self.network = RoundNetwork(self.topology)
+        self.replicas: List[PBFTReplica] = []
+        for node in range(self.n):
+            replica = PBFTReplica(self.n, f, view_change_timeout)
+            self.network.attach(node, replica)
+            self.replicas.append(replica)
+        self._next_request = 0
+
+    def submit(self, payload: bytes) -> int:
+        """Submit a client request to every replica (clients multicast)."""
+        self._next_request += 1
+        request = ClientRequest(request_id=self._next_request, payload=payload)
+        for replica in self.replicas:
+            if not self.network.is_crashed(replica.node_id):
+                replica.submit(request, self.network.round_no)
+        return self._next_request
+
+    def run(self, rounds: int) -> None:
+        self.network.run(rounds)
+
+    def crash(self, node_id: int) -> None:
+        self.network.crash_node(node_id)
+
+    def make_byzantine_silent(self, node_id: int) -> None:
+        """A Byzantine replica that participates in nothing."""
+        self.replicas[node_id].byzantine = True
+
+    def make_byzantine_equivocating_leader(self, node_id: int) -> None:
+        """A Byzantine leader that proposes conflicting requests."""
+        self.replicas[node_id].equivocating_leader = True
+
+    def correct_replicas(self) -> List[PBFTReplica]:
+        return [
+            r
+            for r in self.replicas
+            if not r.byzantine
+            and not r.equivocating_leader
+            and not self.network.is_crashed(r.node_id)
+        ]
+
+    def executed_logs_consistent(self) -> bool:
+        """Safety: correct replicas' executed logs are prefixes of another."""
+        logs = [r.executed for r in self.correct_replicas()]
+        longest = max(logs, key=len, default=[])
+        return all(log == longest[: len(log)] for log in logs)
+
+    def all_executed(self, request_id: int) -> bool:
+        return all(
+            any(rid == request_id for rid, _p in r.executed)
+            for r in self.correct_replicas()
+        )

@@ -1,0 +1,96 @@
+"""Operator repair & blessing (paper S2.4).
+
+"Once a controller is no longer correct ... we continue to consider it
+faulty until it is repaired and 'blessed' by an external operator."
+
+A :class:`Blessing` is an operator-signed certificate absolving one node of
+all evidence issued up to a stated round.  It floods through the forwarding
+layer exactly like other evidence (it *is* an evidence item); every node
+verifies the operator's signature independently and then excludes absolved
+accusations from its failure-pattern derivation, transitioning back to a
+mode that re-admits the repaired node.
+
+The operator key is a deployment-wide trust root (like the permanent keys
+of the S4 key-rotation scheme); compromising it is out of scope, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.evidence import (
+    BadComputationPoM,
+    EquivocationPoM,
+    LFD,
+    StateChainPoM,
+    slot_of,
+)
+from repro.net.message import encode, register_message
+
+KIND_BLESSING = "BLESS"
+
+
+def blessing_body(node_id: int, as_of_round: int, epoch: int) -> bytes:
+    """The operator-signed content of a blessing."""
+    return encode((KIND_BLESSING, node_id, as_of_round, epoch))
+
+
+@register_message
+@dataclass(frozen=True)
+class Blessing:
+    """An operator's certificate that ``node_id`` has been repaired.
+
+    Attributes:
+        node_id: the repaired node.
+        as_of_round: evidence about the node issued in rounds up to and
+            including this one is absolved; later evidence (a re-compromise)
+            counts again.
+        epoch: monotonically increasing per-node repair counter, so stale
+            blessings cannot resurrect a node after a newer compromise is
+            re-blessed.
+        signature: the operator's signature over :func:`blessing_body`.
+    """
+
+    node_id: int
+    as_of_round: int
+    epoch: int
+    signature: bytes
+
+    def body(self) -> bytes:
+        return blessing_body(self.node_id, self.as_of_round, self.epoch)
+
+
+def accusation_round(item) -> Optional[int]:
+    """The round an evidence item's accusation refers to, for absolution."""
+    if isinstance(item, LFD):
+        return item.declared_round
+    if isinstance(item, (BadComputationPoM, StateChainPoM)):
+        return item.round_no
+    if isinstance(item, EquivocationPoM):
+        slot = slot_of(item.body_a)
+        if slot is None:
+            return None
+        if slot[0] == "HB":
+            return slot[1]
+        if slot[0] == "DATA":
+            return slot[2]
+    return None
+
+
+def accused_of(item) -> Tuple[int, ...]:
+    """The node(s) an evidence item accuses (both endpoints for an LFD)."""
+    if isinstance(item, LFD):
+        return item.link
+    if isinstance(item, (EquivocationPoM, BadComputationPoM, StateChainPoM)):
+        return (item.accused,)
+    return ()
+
+
+def absolves(blessing: Blessing, item) -> bool:
+    """True if ``blessing`` covers evidence ``item``."""
+    if blessing.node_id not in accused_of(item):
+        return False
+    round_no = accusation_round(item)
+    return round_no is not None and round_no <= blessing.as_of_round

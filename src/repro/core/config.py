@@ -1,0 +1,87 @@
+"""REBOUND deployment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+VARIANT_BASIC = "basic"
+VARIANT_MULTI = "multi"
+
+
+@dataclass
+class ReboundConfig:
+    """Parameters of a REBOUND deployment.
+
+    Attributes:
+        fmax: total faults planned for (size of the mode tree).
+        fconc: maximum concurrent faults within one recovery window; also
+            the number of replicas per task (paper S2.5, S3.7).
+        round_length_us: length of one protocol round in microseconds (the
+            testbed uses 40 ms rounds, equal to the task period).
+        variant: ``"basic"`` (S3.5 optimizations, individual RSA
+            signatures) or ``"multi"`` (adds S3.6 multisignatures).
+        d_max: message-expiry horizon in rounds (the max-fail distance bound
+            of S3.5).  ``None`` lets the runtime compute it from the
+            topology.
+        utilization_cap: EDF budget per controller left for application
+            tasks after the REBOUND protocol task.
+        expiry_optimization: drop heartbeats older than ``d_max`` rounds
+            (second refinement of S3.5).  Disabled only for ablations.
+        bus_broadcast: broadcast heartbeats on buses instead of unicasting
+            to each bus neighbor (third refinement of S3.5).
+        signature_spot_checking: on buses, have each broadcast signature
+            verified by a subset of fmax+1 members instead of everyone
+            (third refinement of S3.5, challenge-based).
+        crypto_profile: cost-model profile name (see
+            :mod:`repro.crypto.cost_model`).
+        rsa_bits: modulus size for ordinary signatures (paper: 512).
+        multisig_bits: group size for multisignatures (paper: 256).
+        scheduler_method: per-mode placement engine, ``"greedy"`` or
+            ``"ilp"``.
+        audit_lag_rounds: rounds a replica waits for downstream
+            authenticators before auditing a primary output.
+        protocol_enabled: set False for the *unprotected* baseline of
+            Fig. 8/10/11: no heartbeats, no omission detection, no
+            auditing replicas -- just task execution and data routing.
+    """
+
+    fmax: int = 1
+    fconc: int = 1
+    round_length_us: int = 40_000
+    variant: str = VARIANT_MULTI
+    d_max: Optional[int] = None
+    utilization_cap: float = 0.9
+    expiry_optimization: bool = True
+    bus_broadcast: bool = True
+    signature_spot_checking: bool = True
+    crypto_profile: str = "x86"
+    rsa_bits: int = 512
+    multisig_bits: int = 256
+    scheduler_method: str = "greedy"
+    audit_lag_rounds: int = 1
+    protocol_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fmax < 0 or self.fconc < 0:
+            raise ValueError("fmax and fconc must be non-negative")
+        if self.fconc > self.fmax:
+            raise ValueError("fconc cannot exceed fmax")
+        if self.variant not in (VARIANT_BASIC, VARIANT_MULTI):
+            raise ValueError(f"unknown variant {self.variant!r}")
+        if self.round_length_us <= 0:
+            raise ValueError("round length must be positive")
+        if not 0 < self.utilization_cap <= 1:
+            raise ValueError("utilization cap must be in (0, 1]")
+
+    @property
+    def round_length_ms(self) -> float:
+        return self.round_length_us / 1000.0
+
+    def rounds_to_us(self, rounds: int) -> int:
+        return rounds * self.round_length_us
+
+    def recovery_bound_rounds(self, detection_rounds: int, stabilization_rounds: int,
+                              switch_rounds: int = 1) -> int:
+        """Rmax in rounds: Tdet + Tstab + Tswitch (paper S2.7)."""
+        return detection_rounds + stabilization_rounds + switch_rounds

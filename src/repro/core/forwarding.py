@@ -1,0 +1,762 @@
+"""The REBOUND forwarding layer (paper S3.3-3.6).
+
+Responsibilities (paper S3.1):
+
+1. carry data packets along PATH(m) for the current mode;
+2. distribute evidence to every correct node in the sender's partition;
+3. detect nodes that fail at (1) or (2) and generate evidence of it;
+4. select the local mode from the available evidence (done by the node that
+   owns this layer; the layer reports evidence changes upward).
+
+Detection rules (implementing Fig. 4's demands in an explicitly round-based
+style):
+
+* **Rule A (liveness)** -- each live controller neighbor must deliver a
+  well-formed round message every round; a missing or malformed one yields
+  an LFD against the shared link.
+* **Rule B (coverage)** -- heartbeats must propagate at one hop per round:
+  by round r, neighbor j must have delivered heartbeats (individual or
+  aggregated) of every origin within distance r-1-r' of j in the
+  fault-adjusted graph, for every origin round r'.  A shortfall that the
+  sender's declared evidence does not excuse yields an LFD.  The check is
+  suspended for origin rounds within ``stabilization_slack`` of the last
+  evidence change, because propagation is legitimately disturbed while a
+  new fault's evidence floods (each new fault restarts the Rmax clock,
+  paper S2.5).
+* **Rule C (data paths)** -- once the mode has been stable long enough for
+  a path's pipeline to fill, each hop must receive the path's packet every
+  round; a miss yields an LFD against the upstream hop.
+* **Equivocation** -- two validly signed heartbeats (or data packets) for
+  the same slot with different content yield a PoM against the signer.
+
+Variants: REBOUND-BASIC floods individually signed heartbeats with delta
+flooding + expiry + bus broadcast (S3.5).  REBOUND-MULTI additionally
+aggregates heartbeats into multisignatures whose signer multisets are
+derived from the topology (S3.6; see :mod:`repro.core.heartbeat`), falling
+back to individual flooding while evidence is in flux.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.config import VARIANT_BASIC, VARIANT_MULTI, ReboundConfig
+from repro.core.evidence import (
+    EquivocationPoM,
+    EvidenceSet,
+    EvidenceVerifier,
+    LFD,
+    data_body,
+    evidence_digest,
+    evidence_half_body,
+    heartbeat_body,
+    lfd_body,
+)
+from repro.core.heartbeat import (
+    AggregateHeartbeat,
+    BasicHeartbeatStore,
+    CoverageCalculator,
+    HeartbeatRecord,
+)
+from repro.core.identity import NodeCrypto
+from repro.core.paths import Path, PathSet
+from repro.crypto.hashing import hash_bytes
+from repro.net.message import encode, register_message
+from repro.net.topology import Topology
+from repro.sched.modegen import FailureScenario
+
+# Process-wide cache of coverage calculators, keyed by the canonical
+# adjacency encoding.  The DP is a deterministic function of shared public
+# information (topology + fault pattern), so sharing it across simulated
+# nodes loses no fidelity.
+_coverage_cache: Dict[bytes, CoverageCalculator] = {}
+
+
+def _coverage_for(adjacency: Dict[int, Tuple[int, ...]], max_age: int) -> CoverageCalculator:
+    key = hash_bytes(encode((sorted(adjacency.items()), max_age)))
+    calc = _coverage_cache.get(key)
+    if calc is None:
+        calc = CoverageCalculator(adjacency, max_age)
+        _coverage_cache[key] = calc
+    return calc
+
+
+@register_message
+@dataclass(frozen=True)
+class DataPacket:
+    """A payload travelling on a forwarding-layer path.
+
+    The origin signs the *authenticator* -- (path, round, payload digest) --
+    so the signature is detachable from the payload (paper S3.8).
+    """
+
+    path_id: int
+    origin_round: int
+    payload: bytes
+    origin: int
+    signature: bytes
+
+    def body(self) -> bytes:
+        return data_body(self.path_id, self.origin_round, hash_bytes(self.payload))
+
+
+@register_message
+@dataclass(frozen=True)
+class RoundMessage:
+    """Everything one node sends a neighbor in one round."""
+
+    sender: int
+    round_no: int
+    records: Tuple[HeartbeatRecord, ...]
+    aggregates: Tuple[AggregateHeartbeat, ...]
+    evidence: Tuple[Any, ...]
+    packets: Tuple[DataPacket, ...]
+
+
+@dataclass
+class RoundOutput:
+    """What a node must transmit at the end of a round.
+
+    The flood content (records/aggregates/evidence) is identical for every
+    neighbor -- which is what makes the S3.5 bus-broadcast optimization
+    possible; data packets are routed to their specific next hops (which may
+    be devices).
+    """
+
+    round_no: int
+    records: Tuple[HeartbeatRecord, ...]
+    aggregates: Tuple[AggregateHeartbeat, ...]
+    evidence: Tuple[Any, ...]
+    packets_by_next_hop: Dict[int, List[DataPacket]]
+    controller_neighbors: List[int]
+
+    def message_for(self, sender: int, destinations: List[int]) -> RoundMessage:
+        """Compose one wire message covering ``destinations``."""
+        packets: List[DataPacket] = []
+        for dest in destinations:
+            packets.extend(self.packets_by_next_hop.get(dest, []))
+        return RoundMessage(
+            sender=sender,
+            round_no=self.round_no,
+            records=self.records,
+            aggregates=self.aggregates,
+            evidence=self.evidence,
+            packets=tuple(packets),
+        )
+
+
+@dataclass
+class _AggregateState:
+    """This node's in-progress aggregate for one origin round."""
+
+    value: int
+    support: Set[int]
+    grew: bool = True  # support grew this round (transmit trigger)
+    broken: bool = False  # diverged from the DP; stop aggregating
+
+
+class ForwardingLayer:
+    """One controller's forwarding layer.
+
+    Args:
+        node_id: this controller.
+        topology: the full physical topology.
+        config: deployment parameters.
+        crypto: counted crypto handle.
+        verifier: evidence verifier (shared verification logic).
+        on_new_evidence: callback(list of items) after evidence grows.
+        on_packet: callback(path, origin_round, payload, origin,
+            signature) when a packet reaches this node as sink (signature
+            already verified).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        topology: Topology,
+        config: ReboundConfig,
+        crypto: NodeCrypto,
+        verifier: EvidenceVerifier,
+        on_new_evidence: Callable[[List[Any]], None],
+        on_packet: Callable[[Path, int, bytes, int, bytes], None],
+    ):
+        self.node_id = node_id
+        self.topology = topology
+        self.config = config
+        self.crypto = crypto
+        self.verifier = verifier
+        self.on_new_evidence = on_new_evidence
+        self.on_packet = on_packet
+
+        if config.d_max is None:
+            raise ValueError("config.d_max must be resolved before layer creation")
+        self.d_max: int = config.d_max
+        self.window = self.d_max + 2
+        self.stabilization_slack = self.d_max + 2
+
+        self.evidence = EvidenceSet()
+        self.last_evidence_change = -(10**9)
+        self.store = BasicHeartbeatStore(
+            window=self.window, expiry=config.expiry_optimization
+        )
+        # MULTI aggregate state per origin round.
+        self._aggregates: Dict[int, _AggregateState] = {}
+        # Rule B bookkeeping: neighbor -> origin round -> delivered origins.
+        self._delivered: Dict[int, Dict[int, Set[int]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._got_message_from: Set[int] = set()
+        self._lfds_issued: Set[Tuple[int, int]] = set()
+
+        # Data-path state.
+        self.paths: PathSet = PathSet([])
+        self.paths_stable_since = 0
+        self._relay_queue: List[DataPacket] = []
+        self._local_outbox: List[DataPacket] = []
+        self._seen_packets: Set[Tuple[int, int]] = set()
+        self._packets_this_round: Set[Tuple[int, int]] = set()
+        self._new_evidence_outbox: List[Any] = []
+        self._fault_pattern = FailureScenario(nodes=frozenset(), links=frozenset())
+        self._coverage: Optional[CoverageCalculator] = None
+        self._round = 0
+        self._joined_round = 0
+        self.started = False
+
+    # -- wiring --------------------------------------------------------------
+
+    def start(self, round_no: int) -> None:
+        """Begin participating (heartbeats expected from the next round on)."""
+        self._joined_round = round_no
+        self._round = round_no
+        self.started = True
+        self._refresh_pattern(initial=True)
+
+    def set_paths(self, paths: PathSet, stable_since: int) -> None:
+        self.paths = paths
+        self.paths_stable_since = stable_since
+
+    # -- fault pattern / coverage ------------------------------------------------
+
+    def _refresh_pattern(self, initial: bool = False) -> None:
+        pattern = self.evidence.failure_pattern(self.config.fmax)
+        if not initial and pattern == self._fault_pattern and self._coverage is not None:
+            return
+        self._fault_pattern = pattern
+        adjacency: Dict[int, Tuple[int, ...]] = {}
+        controllers = [
+            c for c in self.topology.controllers if c not in pattern.nodes
+        ]
+        controller_set = set(controllers)
+        for c in controllers:
+            neigh = [
+                x
+                for x in self.topology.neighbors(c)
+                if x in controller_set
+                and (min(c, x), max(c, x)) not in pattern.links
+            ]
+            adjacency[c] = tuple(neigh)
+        self._coverage = _coverage_for(adjacency, self.d_max)
+
+    @property
+    def fault_pattern(self) -> FailureScenario:
+        return self._fault_pattern
+
+    @property
+    def epoch_digest(self) -> bytes:
+        return self.evidence.digest()
+
+    def _live_neighbors(self) -> List[int]:
+        pattern = self._fault_pattern
+        out = []
+        for x in self.topology.neighbors(self.node_id):
+            if self.topology.role(x) != "controller":
+                continue
+            if x in pattern.nodes:
+                continue
+            if (min(self.node_id, x), max(self.node_id, x)) in pattern.links:
+                continue
+            out.append(x)
+        return out
+
+    # -- evidence ---------------------------------------------------------------
+
+    def issue_lfd(self, other: int) -> None:
+        """Declare the link to ``other`` failed (omission observed)."""
+        link = (min(self.node_id, other), max(self.node_id, other))
+        if link in self._lfds_issued:
+            return
+        self._lfds_issued.add(link)
+        body = lfd_body(self.node_id, other, self._round)
+        lfd = LFD(
+            a=link[0],
+            b=link[1],
+            declared_round=self._round,
+            issuer=self.node_id,
+            signature=self.crypto.sign(body),
+        )
+        self._admit_evidence([lfd], verified=True)
+
+    def submit_evidence(self, item: Any) -> None:
+        """Inject locally generated (already valid) evidence, e.g. a PoM
+        from the auditing layer."""
+        self._admit_evidence([item], verified=True)
+
+    def _admit_evidence(self, items: List[Any], verified: bool) -> List[Any]:
+        from repro.core.blessing import Blessing
+
+        added = []
+        for item in items:
+            if item in self.evidence:
+                continue
+            if not verified and not self.verifier.verify(item):
+                continue
+            if self.evidence.add(item):
+                added.append(item)
+                if isinstance(item, Blessing):
+                    # The repaired node's links may legitimately fail again
+                    # later; re-arm this layer's one-LFD-per-link guard.
+                    self._lfds_issued = {
+                        link
+                        for link in self._lfds_issued
+                        if item.node_id not in link
+                    }
+        if added:
+            self.last_evidence_change = self._round
+            self._new_evidence_outbox.extend(added)
+            self._refresh_pattern()
+            self.on_new_evidence(added)
+        return added
+
+    # -- round lifecycle -----------------------------------------------------------
+
+    def begin_round(self, round_no: int) -> None:
+        self._round = round_no
+        self._got_message_from = set()
+        self._packets_this_round = set()
+
+    def receive(self, round_no: int, sender: int, msg: Any) -> None:
+        if not isinstance(msg, RoundMessage):
+            return
+        if msg.sender != sender or msg.round_no != round_no - 1:
+            self.issue_lfd(sender)
+            return
+        if sender in self._fault_pattern.nodes:
+            return  # excluded node: its messages are ignored (Fig. 4, l.23)
+        first_from_sender = sender not in self._got_message_from
+        self._got_message_from.add(sender)
+        bad = False
+        bad |= not self._process_evidence(sender, msg.evidence)
+        if first_from_sender:
+            # A node sharing two buses with the sender hears the same
+            # broadcast twice; heartbeats are only folded in once (combining
+            # an aggregate twice would diverge from the coverage DP).
+            bad |= not self._process_records(sender, msg.records)
+            bad |= not self._process_aggregates(sender, msg.aggregates)
+        self._process_packets(sender, msg.packets)
+        if bad:
+            self.issue_lfd(sender)
+
+    # -- receive helpers ---------------------------------------------------------
+
+    def _process_evidence(self, sender: int, items: Tuple[Any, ...]) -> bool:
+        ok = True
+        to_add = []
+        for item in items:
+            if item in self.evidence:
+                continue
+            if self.verifier.verify(item):
+                to_add.append(item)
+            else:
+                ok = False  # a correct node never forwards invalid evidence
+        if to_add:
+            self._admit_evidence(to_add, verified=True)
+        return ok
+
+    def _process_records(
+        self, sender: int, records: Tuple[HeartbeatRecord, ...]
+    ) -> bool:
+        ok = True
+        for rec in records:
+            if rec.round_no > self._round or (
+                self.config.expiry_optimization
+                and rec.round_no < self._round - self.window
+            ):
+                continue  # expired or from the future; ignore (S3.5)
+            existing = self.store.get(rec.origin, rec.round_no)
+            if existing is not None and existing.delta_count == rec.delta_count:
+                self._delivered[sender][rec.round_no].add(rec.origin)
+                continue
+            if not self._verify_record(sender, rec):
+                ok = False
+                continue
+            status, conflict = self.store.add(rec)
+            self._delivered[sender][rec.round_no].add(rec.origin)
+            if status == "conflict" and conflict is not None:
+                pom = EquivocationPoM(
+                    accused=rec.origin,
+                    body_a=conflict.body(),
+                    sig_a=conflict.signature,
+                    body_b=rec.body(),
+                    sig_b=rec.signature,
+                )
+                self._admit_evidence([pom], verified=True)
+        return ok
+
+    def _verify_record(self, sender: int, rec: HeartbeatRecord) -> bool:
+        if self._spot_check_skip(sender, rec):
+            return True
+        if self.config.variant == VARIANT_MULTI:
+            try:
+                value = int.from_bytes(rec.signature, "big")
+            except (TypeError, ValueError):
+                return False
+            return self.crypto.ms_verify_value(
+                rec.body(),
+                value,
+                Counter({rec.origin: 1}),
+                cache_key=("single", rec.origin),
+            )
+        return self.crypto.verify(rec.origin, rec.body(), rec.signature)
+
+    def _spot_check_skip(self, sender: int, rec: HeartbeatRecord) -> bool:
+        """Bus spot-checking (S3.5): only fmax+1 members verify a broadcast.
+
+        Returns True when this node may skip the verification.  The checker
+        subset is derived deterministically from the record identity so the
+        adversary cannot aim at a round with no correct checker.
+        """
+        if not (self.config.bus_broadcast and self.config.signature_spot_checking):
+            return False
+        try:
+            channel = self.topology.channel_between(sender, self.node_id)
+        except KeyError:
+            return False
+        if channel[0] != "bus":
+            return False
+        bus = self.topology.buses[channel[1]]
+        members = sorted(
+            m for m in bus.members if self.topology.role(m) == "controller"
+        )
+        k = self.config.fmax + 1
+        if len(members) <= k:
+            return False
+        seed = int.from_bytes(
+            hash_bytes(encode((rec.origin, rec.round_no, bus.bus_id)))[:8], "big"
+        )
+        checkers = {members[(seed + i) % len(members)] for i in range(k)}
+        return self.node_id not in checkers
+
+    def _process_aggregates(
+        self, sender: int, aggregates: Tuple[AggregateHeartbeat, ...]
+    ) -> bool:
+        if self.config.variant != VARIANT_MULTI:
+            return len(aggregates) == 0
+        assert self._coverage is not None
+        for agg in aggregates:
+            age = self._round - 1 - agg.round_no
+            if age < 0 or age > self.d_max:
+                continue
+            if agg.epoch_digest != self.epoch_digest:
+                continue  # different fault epoch; fallback records cover this
+            if not self._coverage.has_node(sender):
+                continue
+            expected = self._coverage.multiset(sender, age)
+            ok = self.crypto.ms_verify_value(
+                agg.body(),
+                agg.sig_value,
+                expected,
+                cache_key=(self.epoch_digest, sender, age),
+            )
+            if not ok:
+                # The sender's propagation was disturbed (or it lies); do not
+                # combine, and let Rule B attribute any resulting shortfall.
+                continue
+            self._delivered[sender][agg.round_no].update(
+                self._coverage.support(sender, age)
+            )
+            state = self._aggregates.get(agg.round_no)
+            if state is None or state.broken:
+                continue
+            # Combine every verified aggregate: the DP multiset recurrence
+            # adds every transmitting neighbor's aggregate, even when the
+            # support set does not grow (multiplicities still change).
+            support = self._coverage.support(sender, age)
+            new_support = state.support | support
+            state.value = self.crypto.ms_combine(state.value, agg.sig_value)
+            if new_support != state.support:
+                state.support = new_support
+                state.grew = True
+        return True
+
+    def _process_packets(self, sender: int, packets: Tuple[DataPacket, ...]) -> None:
+        for packet in packets:
+            path = self.paths.by_id.get(packet.path_id)
+            if path is None:
+                continue
+            position = path.position_of(self.node_id)
+            if position is None or position == 0:
+                continue
+            key = (packet.path_id, packet.origin_round)
+            self._packets_this_round.add(key)
+            if key in self._seen_packets:
+                continue
+            self._seen_packets.add(key)
+            if path.sink == self.node_id:
+                # During a mode transition, packets signed under the old
+                # mode are still in flight; dropping them silently (instead
+                # of blaming the relay) preserves accuracy.  Detection of a
+                # genuinely bad source resumes once the pipeline refills.
+                settling = (
+                    self._round - self.paths_stable_since < path.length + 4
+                )
+                if packet.origin != path.source:
+                    if not settling:
+                        self.issue_lfd(sender)
+                    continue
+                if not self.crypto.verify(
+                    packet.origin, packet.body(), packet.signature,
+                    domain="auditing",
+                ):
+                    # The payload or signature was tampered with in transit.
+                    if not settling:
+                        self.issue_lfd(sender)
+                    continue
+                self.on_packet(
+                    path,
+                    packet.origin_round,
+                    packet.payload,
+                    packet.origin,
+                    packet.signature,
+                )
+            else:
+                self._relay_queue.append(packet)
+
+    # -- sending --------------------------------------------------------------------
+
+    def queue_packet(self, path: Path, payload: bytes) -> None:
+        """Originate a data packet on ``path`` (source must be this node)."""
+        if path.source != self.node_id:
+            raise ValueError("only the path source may originate packets")
+        body = data_body(path.path_id, self._round, hash_bytes(payload))
+        packet = DataPacket(
+            path_id=path.path_id,
+            origin_round=self._round,
+            payload=payload,
+            origin=self.node_id,
+            signature=self.crypto.sign(body, domain="auditing"),
+        )
+        if path.length == 0:
+            # Degenerate single-node path: deliver locally.
+            self.on_packet(
+                path, self._round, payload, self.node_id, packet.signature
+            )
+        else:
+            self._local_outbox.append(packet)
+
+    def _detect_omissions(self) -> None:
+        """Rules A, B, C at the end of a round."""
+        r = self._round
+        if not self.config.protocol_enabled:
+            return
+        if r <= self._joined_round + 1:
+            return
+        live = self._live_neighbors()
+        # Rule A.  Suspended for two rounds after an evidence change: a
+        # just-re-admitted (blessed) neighbor needs one round before its
+        # first message can arrive.  The suspension is bounded by the
+        # total amount of valid evidence an adversary can mint.
+        if r > self.last_evidence_change + 2:
+            for j in live:
+                if j not in self._got_message_from:
+                    self.issue_lfd(j)
+        # Rule B: coverage freshness, enforced once per origin round at the
+        # expiry horizon (age == d_max), when propagation must have finished.
+        if self._coverage is not None:
+            stable_floor = self.last_evidence_change + self.stabilization_slack
+            r_origin = r - 1 - self.d_max
+            if r_origin >= max(self._joined_round + 1, stable_floor):
+                for j in live:
+                    if j not in self._got_message_from:
+                        continue
+                    expected = self._coverage.support(j, self.d_max)
+                    delivered = self._delivered[j][r_origin]
+                    if not expected <= delivered:
+                        self.issue_lfd(j)
+        # Rule C: data-path omissions.  Only paths whose sources produce
+        # unconditionally every round are enforced: data paths (tasks
+        # execute every period even with empty inputs; sensors always read)
+        # and input-bundle paths (primaries always stream).  Auth and xrep
+        # packets are produced only in *reaction* to other paths' traffic,
+        # so their absence is attributable to the upstream omission that is
+        # already detected on the originating path.
+        from repro.core.paths import PATH_AUTH, PATH_XREP
+
+        for path in self.paths.through(self.node_id):
+            if path.kind in (PATH_AUTH, PATH_XREP):
+                continue
+            position = path.position_of(self.node_id)
+            if position is None or position == 0:
+                continue
+            # Pipeline-fill grace after a mode change: the packet source may
+            # itself adopt the new mode a couple of rounds after us (devices
+            # learn modes from flooded evidence), so allow for both the
+            # path latency and the adoption skew before expecting traffic.
+            if r - self.paths_stable_since < position + 4:
+                continue
+            expected_key = (path.path_id, r - position)
+            if expected_key[1] < self.paths_stable_since + 3:
+                continue
+            if expected_key not in self._packets_this_round and expected_key not in self._seen_packets:
+                upstream = path.hops[position - 1]
+                if upstream in self._fault_pattern.nodes:
+                    continue
+                link = (min(self.node_id, upstream), max(self.node_id, upstream))
+                if link in self._fault_pattern.links:
+                    continue
+                self.issue_lfd(upstream)
+
+    def end_round(self) -> RoundOutput:
+        """Finish the round; returns the transmission plan.
+
+        The caller (the node protocol) is responsible for using bus
+        broadcast where the config enables it.
+        """
+        self._detect_omissions()
+        r = self._round
+        if not self.config.protocol_enabled:
+            return self._end_round_unprotected(r)
+        # Fresh evidence => heartbeat delta binding (sigma_i(r, |dE|)).
+        delta = len(self._new_evidence_outbox)
+        body = heartbeat_body(r, delta)
+        if self.config.variant == VARIANT_MULTI:
+            sig_value = self.crypto.ms_sign(body)
+            own_sig = sig_value.to_bytes(self.crypto.directory.group.element_size, "big")
+        else:
+            own_sig = self.crypto.sign(body)
+        own_record = HeartbeatRecord(
+            origin=self.node_id, round_no=r, delta_count=delta, signature=own_sig
+        )
+        self.store.add(own_record)
+        # Evidence halves: sigma_i(r, e) for each new item (S3.6's split).
+        if delta and self.config.variant == VARIANT_MULTI:
+            for item in self._new_evidence_outbox:
+                self.crypto.ms_sign(evidence_half_body(r, evidence_digest(item)))
+
+        # MULTI: seed own aggregate for this round.
+        if self.config.variant == VARIANT_MULTI:
+            self._aggregates[r] = _AggregateState(
+                value=int.from_bytes(own_sig, "big") if delta == 0 else 0,
+                support={self.node_id} if delta == 0 else set(),
+                grew=True,
+                broken=delta != 0,  # nonzero-delta bodies cannot join the aggregate
+            )
+
+        records, aggregates = self._compose_heartbeats(r, own_record)
+        evidence_out = tuple(self._new_evidence_outbox)
+        self._new_evidence_outbox = []
+
+        packets = list(self._relay_queue) + list(self._local_outbox)
+        self._relay_queue = []
+        self._local_outbox = []
+
+        # Expiry.
+        self.store.expire(r)
+        for stale in [k for k in self._aggregates if k < r - self.window]:
+            del self._aggregates[stale]
+        for per_neighbor in self._delivered.values():
+            for stale in [k for k in per_neighbor if k < r - self.window]:
+                del per_neighbor[stale]
+        for stale in [k for k in self._seen_packets if k[1] < r - self.window]:
+            self._seen_packets.discard(stale)
+
+        packets_by_next_hop: Dict[int, List[DataPacket]] = defaultdict(list)
+        for p in packets:
+            path = self.paths.by_id.get(p.path_id)
+            if path is None:
+                continue
+            next_hop = path.next_hop(self.node_id)
+            if next_hop is not None:
+                packets_by_next_hop[next_hop].append(p)
+        return RoundOutput(
+            round_no=r,
+            records=records,
+            aggregates=aggregates,
+            evidence=evidence_out,
+            packets_by_next_hop=dict(packets_by_next_hop),
+            controller_neighbors=self._live_neighbors(),
+        )
+
+    def _end_round_unprotected(self, r: int) -> RoundOutput:
+        """Payload-only transmission plan for the unprotected baseline."""
+        packets = list(self._relay_queue) + list(self._local_outbox)
+        self._relay_queue = []
+        self._local_outbox = []
+        for stale in [k for k in self._seen_packets if k[1] < r - self.window]:
+            self._seen_packets.discard(stale)
+        packets_by_next_hop: Dict[int, List[DataPacket]] = defaultdict(list)
+        for p in packets:
+            path = self.paths.by_id.get(p.path_id)
+            if path is None:
+                continue
+            next_hop = path.next_hop(self.node_id)
+            if next_hop is not None:
+                packets_by_next_hop[next_hop].append(p)
+        return RoundOutput(
+            round_no=r,
+            records=(),
+            aggregates=(),
+            evidence=(),
+            packets_by_next_hop=dict(packets_by_next_hop),
+            controller_neighbors=self._live_neighbors(),
+        )
+
+    def _compose_heartbeats(
+        self, r: int, own_record: HeartbeatRecord
+    ) -> Tuple[Tuple[HeartbeatRecord, ...], Tuple[AggregateHeartbeat, ...]]:
+        if self.config.variant == VARIANT_BASIC:
+            return tuple(self.store.drain_new()), ()
+        # MULTI: aggregates for stable rounds, individual fallback otherwise.
+        assert self._coverage is not None
+        stable_floor = self.last_evidence_change + 1
+        aggregates: List[AggregateHeartbeat] = []
+        records: List[HeartbeatRecord] = []
+        unstable = self.last_evidence_change >= r - self.stabilization_slack
+        new_records = self.store.drain_new()
+        for r_origin, state in sorted(self._aggregates.items()):
+            if state.broken:
+                continue
+            if r_origin < stable_floor:
+                continue
+            if not state.grew:
+                continue
+            state.grew = False
+            aggregates.append(
+                AggregateHeartbeat(
+                    round_no=r_origin,
+                    sig_value=state.value,
+                    epoch_digest=self.epoch_digest,
+                )
+            )
+        if unstable or own_record.delta_count != 0:
+            # Fall back to BASIC-style individual flooding while evidence is
+            # in flux (the bounded worst case of S3.6).
+            records = list(new_records)
+            if own_record not in records:
+                records.append(own_record)
+        # In stable state individual records are not retransmitted: the
+        # aggregates carry the coverage, so MULTI's steady-state bandwidth
+        # and storage stay small (Fig. 5a/b).
+        return tuple(records), tuple(aggregates)
+
+    # -- metrics ---------------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Bytes of retained protocol state (Fig. 5b metric)."""
+        size = self.store.serialized_size()
+        size += self.evidence.serialized_size()
+        if self.config.variant == VARIANT_MULTI:
+            element = self.crypto.directory.group.element_size
+            size += len(self._aggregates) * (element + 16)
+        return size

@@ -1,0 +1,226 @@
+"""Heartbeat records, storage, and multisignature coverage (paper S3.5-3.6).
+
+REBOUND-BASIC floods individually signed heartbeats with the S3.5
+optimizations: only *new* heartbeats are forwarded (delta flooding), and
+heartbeats older than the max-fail distance D_max are expired.
+
+REBOUND-MULTI aggregates heartbeats: because the signed body sigma_i(r,|dE|)
+excludes the signer's identity, all stable-state heartbeats for a round are
+signatures over identical bytes and can be combined incrementally as they
+traverse the network.  The key observation (paper: "the aggregate public
+keys for the verification can be precomputed based on the current mode") is
+that under a deterministic propagation discipline, the signer *multiset* a
+correct node holds for origin-round r' after a rounds is a pure function of
+the (fault-adjusted) topology:
+
+    M(i, 0) = {i: 1}
+    M(i, a) = M(i, a-1) + sum over neighbors j that transmitted at age a-1
+              of M(j, a-1)
+
+where a node transmits its aggregate at age a iff its *support* (the signer
+set) grew at that age (age 0 always).  The :class:`CoverageCalculator`
+computes these multisets, so aggregate messages need carry no signer list at
+all -- the receiver derives the expected aggregate public key itself.  When
+faults disturb propagation the multisets stop matching, verification fails,
+and nodes fall back to forwarding individual signatures (the bounded
+worst case of S3.6); once evidence stabilizes, aggregation resumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.evidence import heartbeat_body
+from repro.net.message import encode, register_message
+
+
+@register_message
+@dataclass(frozen=True)
+class HeartbeatRecord:
+    """An individually signed heartbeat half sigma_i(r, |dE|).
+
+    Attributes:
+        origin: the signing node.
+        round_no: the round the heartbeat was generated in.
+        delta_count: number of new evidence items the origin endorsed that
+            round (0 in stable state).
+        signature: origin's signature bytes over
+            :func:`repro.core.evidence.heartbeat_body`.
+    """
+
+    origin: int
+    round_no: int
+    delta_count: int
+    signature: bytes
+
+    def body(self) -> bytes:
+        return heartbeat_body(self.round_no, self.delta_count)
+
+
+@register_message
+@dataclass(frozen=True)
+class AggregateHeartbeat:
+    """A multisignature aggregate over one origin-round's heartbeats.
+
+    Carries *no signer list*: the receiver derives the expected multiset
+    from the sender identity, the age (current round minus origin round),
+    and the shared fault epoch.
+
+    Attributes:
+        round_no: the origin round covered.
+        sig_value: the aggregated group element (toy-BLS integer).
+        epoch_digest: digest of the failure pattern the sender's coverage
+            is computed under; receivers with a different pattern ignore
+            the aggregate and rely on the individual-signature fallback.
+    """
+
+    round_no: int
+    sig_value: int
+    epoch_digest: bytes
+
+    def body(self) -> bytes:
+        return heartbeat_body(self.round_no, 0)
+
+
+class CoverageCalculator:
+    """Deterministic aggregate-coverage multisets for one fault epoch.
+
+    Args:
+        adjacency: node -> iterable of live neighbors (the fault-adjusted
+            connectivity among controllers).
+        max_age: compute coverage up to this age (typically D_max).
+    """
+
+    def __init__(self, adjacency: Mapping[int, Iterable[int]], max_age: int):
+        self._adj = {n: sorted(neigh) for n, neigh in adjacency.items()}
+        self.max_age = max_age
+        # multiset[a][i] and support[a][i]; transmitted[a][i] -> bool.
+        self._multiset: List[Dict[int, Counter]] = []
+        self._support: List[Dict[int, FrozenSet[int]]] = []
+        self._transmitted: List[Dict[int, bool]] = []
+        self._compute()
+
+    def _compute(self) -> None:
+        nodes = sorted(self._adj)
+        m0 = {i: Counter({i: 1}) for i in nodes}
+        s0 = {i: frozenset({i}) for i in nodes}
+        t0 = {i: True for i in nodes}  # every node transmits its own at age 0
+        self._multiset.append(m0)
+        self._support.append(s0)
+        self._transmitted.append(t0)
+        for age in range(1, self.max_age + 1):
+            prev_m = self._multiset[age - 1]
+            prev_s = self._support[age - 1]
+            prev_t = self._transmitted[age - 1]
+            m: Dict[int, Counter] = {}
+            s: Dict[int, FrozenSet[int]] = {}
+            t: Dict[int, bool] = {}
+            for i in nodes:
+                acc = Counter(prev_m[i])
+                sup = set(prev_s[i])
+                for j in self._adj[i]:
+                    if prev_t.get(j):
+                        acc.update(prev_m[j])
+                        sup.update(prev_s[j])
+                m[i] = acc
+                new_sup = frozenset(sup)
+                s[i] = new_sup
+                t[i] = new_sup > prev_s[i]
+            self._multiset.append(m)
+            self._support.append(s)
+            self._transmitted.append(t)
+
+    def has_node(self, node: int) -> bool:
+        return node in self._adj
+
+    def multiset(self, node: int, age: int) -> Counter:
+        """Expected signer multiset of ``node``'s aggregate at ``age``."""
+        age = min(age, self.max_age)
+        return self._multiset[age][node]
+
+    def support(self, node: int, age: int) -> FrozenSet[int]:
+        """Expected signer *set* of ``node``'s aggregate at ``age``."""
+        age = min(age, self.max_age)
+        return self._support[age][node]
+
+    def transmitted(self, node: int, age: int) -> bool:
+        """Whether a correct ``node`` transmits its aggregate at ``age``."""
+        if age < 0:
+            return False
+        if age > self.max_age:
+            return False
+        return self._transmitted[age][node]
+
+    def saturation_age(self, node: int) -> int:
+        """First age at which ``node``'s support stops growing."""
+        for age in range(1, self.max_age + 1):
+            if self._support[age][node] == self._support[age - 1][node]:
+                return age - 1
+        return self.max_age
+
+    def full_support(self, node: int) -> FrozenSet[int]:
+        """The eventual support: every node reachable from ``node``."""
+        return self._support[self.max_age][node]
+
+
+class BasicHeartbeatStore:
+    """Windowed storage of individual heartbeats with equivocation checks.
+
+    Tracks which records were *newly learned* in the current round (for
+    delta flooding) and expires records older than D_max (second S3.5
+    refinement) when enabled.
+    """
+
+    def __init__(self, window: int, expiry: bool = True):
+        self.window = window
+        self.expiry = expiry
+        self._records: Dict[Tuple[int, int], HeartbeatRecord] = {}
+        self._new_this_round: List[HeartbeatRecord] = []
+
+    def add(self, record: HeartbeatRecord) -> Tuple[str, Optional[HeartbeatRecord]]:
+        """Insert a (verified) record.
+
+        Returns ("new", None), ("dup", None), or -- when the origin already
+        signed a *different* heartbeat for the round --
+        ("conflict", existing_record).
+        """
+        key = (record.origin, record.round_no)
+        existing = self._records.get(key)
+        if existing is not None:
+            if existing.delta_count == record.delta_count:
+                return ("dup", None)
+            return ("conflict", existing)
+        self._records[key] = record
+        self._new_this_round.append(record)
+        return ("new", None)
+
+    def get(self, origin: int, round_no: int) -> Optional[HeartbeatRecord]:
+        return self._records.get((origin, round_no))
+
+    def latest_round_of(self, origin: int) -> Optional[int]:
+        rounds = [r for (o, r) in self._records if o == origin]
+        return max(rounds) if rounds else None
+
+    def drain_new(self) -> List[HeartbeatRecord]:
+        """Records learned since the last drain (the flooding delta)."""
+        new, self._new_this_round = self._new_this_round, []
+        return new
+
+    def expire(self, current_round: int) -> int:
+        """Drop records older than the window; returns how many."""
+        if not self.expiry:
+            return 0
+        cutoff = current_round - self.window
+        stale = [k for k in self._records if k[1] < cutoff]
+        for key in stale:
+            del self._records[key]
+        return len(stale)
+
+    def serialized_size(self) -> int:
+        records = [self._records[k] for k in sorted(self._records)]
+        return len(encode(records))
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,353 @@
+"""System assembly and execution: the top-level REBOUND runtime.
+
+:class:`ReboundSystem` wires everything together -- key directory, mode
+tree, path cache, network, controller nodes, sensor/actuator devices --
+injects faults from a :class:`~repro.faults.scenarios.FaultScenario`, runs
+rounds, and measures what the evaluation needs: per-link bandwidth, per-node
+storage and crypto operations, mode census, detection/recovery rounds, and
+actuator traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as CollectionsCounter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.auditing import TaskRegistry
+from repro.core.config import ReboundConfig
+from repro.core.devices import ActuatorDevice, SensorDevice
+from repro.core.identity import Directory
+from repro.core.node import PathCache, ReboundNode
+from repro.core.paths import PathComputer
+from repro.faults.scenarios import FaultScenario
+from repro.net.network import RoundNetwork
+from repro.net.topology import Topology
+from repro.sched.modegen import FailureScenario, ModeTree, ModeTreeGenerator
+from repro.sched.task import Workload
+
+
+def default_sensor_read(node_id: int) -> Callable[[int], bytes]:
+    """A deterministic placeholder reading: (node, round) encoded."""
+
+    def read(round_no: int) -> bytes:
+        return node_id.to_bytes(4, "big") + round_no.to_bytes(4, "big")
+
+    return read
+
+
+class ReboundSystem:
+    """A complete simulated REBOUND deployment.
+
+    Args:
+        topology: the physical network.
+        workload: the data flows.
+        config: deployment parameters; ``config.d_max`` is resolved from the
+            topology (controller-graph diameter + fmax) when left None.
+        registry: task logic; defaults to passthrough tasks.
+        mode_tree: a pregenerated tree (generated on the fly otherwise).
+        sensor_reads: node_id -> callable(round) -> payload for sensors.
+        actuator_applies: node_id -> callable(round, payload, origin) for
+            actuators.
+        seed: key-generation seed.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        workload: Workload,
+        config: ReboundConfig,
+        registry: Optional[TaskRegistry] = None,
+        mode_tree: Optional[ModeTree] = None,
+        sensor_reads: Optional[Dict[int, Callable[[int], bytes]]] = None,
+        actuator_applies: Optional[Dict[int, Callable[[int, bytes, int], None]]] = None,
+        seed: int = 0,
+        pin_primaries: Optional[Dict[int, int]] = None,
+    ):
+        self.topology = topology
+        self.workload = workload
+        self.config = config
+        if config.d_max is None:
+            config.d_max = self._resolve_d_max()
+        self.registry = registry or TaskRegistry()
+        self.registry.register_default(workload)
+
+        self.directory = Directory(
+            rsa_bits=config.rsa_bits, multisig_bits=config.multisig_bits, seed=seed
+        )
+        for node in topology.nodes:
+            self.directory.register(node)
+
+        if mode_tree is None:
+            generator = ModeTreeGenerator(
+                topology,
+                workload,
+                fmax=config.fmax,
+                fconc=config.fconc,
+                method=config.scheduler_method,
+                utilization_cap=config.utilization_cap,
+                pinned_primaries=pin_primaries,
+            )
+            mode_tree = generator.generate()
+        self.mode_tree = mode_tree
+        self.path_cache = PathCache(PathComputer(topology, workload, config.fconc))
+
+        self.network = RoundNetwork(topology)
+        self.nodes: Dict[int, ReboundNode] = {}
+        self.sensors: Dict[int, SensorDevice] = {}
+        self.actuators: Dict[int, ActuatorDevice] = {}
+        sensor_reads = sensor_reads or {}
+        actuator_applies = actuator_applies or {}
+
+        for node_id in topology.controllers:
+            node = ReboundNode(
+                node_id=node_id,
+                topology=topology,
+                workload=workload,
+                config=config,
+                crypto=self.directory.crypto_for(node_id),
+                registry=self.registry,
+                mode_tree=mode_tree,
+                path_cache=self.path_cache,
+            )
+            self.nodes[node_id] = node
+            self.network.attach(node_id, node)
+        for node_id in topology.sensors:
+            sensor = SensorDevice(
+                node_id,
+                topology,
+                config,
+                self.directory.crypto_for(node_id),
+                self.registry,
+                mode_tree,
+                self.path_cache,
+                read=sensor_reads.get(node_id, default_sensor_read(node_id)),
+            )
+            self.sensors[node_id] = sensor
+            self.network.attach(node_id, sensor)
+        for node_id in topology.actuators:
+            actuator = ActuatorDevice(
+                node_id,
+                topology,
+                config,
+                self.directory.crypto_for(node_id),
+                self.registry,
+                mode_tree,
+                self.path_cache,
+                apply=actuator_applies.get(node_id, lambda r, p, o: None),
+            )
+            self.actuators[node_id] = actuator
+            self.network.attach(node_id, actuator)
+
+        for node in self.nodes.values():
+            node.start(round_no=0)
+
+        self.scenario = FaultScenario()
+        self._active_behaviors: List = []
+        self.true_faulty_nodes: Set[int] = set()
+        self.true_failed_links: Set[Tuple[int, int]] = set()
+        self.fault_rounds: List[int] = []
+        self._bless_epochs: Dict[int, int] = {}
+
+    def _resolve_d_max(self) -> int:
+        controllers = set(self.topology.controllers)
+        graph = self.topology.graph().subgraph(controllers)
+        if len(controllers) <= 1:
+            return 1
+        import networkx as nx
+
+        if not nx.is_connected(graph):
+            diameter = len(controllers)
+        else:
+            diameter = nx.diameter(graph)
+        return diameter + self.config.fmax + 1
+
+    # -- access ------------------------------------------------------------------
+
+    def node(self, node_id: int) -> ReboundNode:
+        return self.nodes[node_id]
+
+    @property
+    def round_no(self) -> int:
+        return self.network.round_no
+
+    def correct_controllers(self) -> List[int]:
+        return [
+            n for n in self.topology.controllers if n not in self.true_faulty_nodes
+        ]
+
+    # -- fault injection ------------------------------------------------------------
+
+    def set_scenario(self, scenario: FaultScenario) -> None:
+        self.scenario = scenario
+
+    def inject_now(self, node_id: int, behavior) -> None:
+        """Immediately compromise a controller with ``behavior``."""
+        behavior.activate(self, node_id)
+        self.network.set_tamper_hook(node_id, behavior.tamper)
+        self._active_behaviors.append(behavior)
+        self.true_faulty_nodes.add(node_id)
+        self.fault_rounds.append(self.round_no)
+
+    def repair_and_bless(self, node_id: int) -> None:
+        """Operator repair (paper S2.4): reprovision a compromised node and
+        flood a signed blessing so every node re-admits it.
+
+        The node is rebuilt from scratch (fresh protocol state, evidence
+        seeded from a correct reference node -- the operator reinstalling
+        software and current state), the adversary is evicted, and a
+        :class:`~repro.core.blessing.Blessing` absolving all evidence up to
+        the current round is injected into the evidence flood.
+        """
+        from repro.core.blessing import Blessing
+
+        if node_id not in self.topology.controllers:
+            raise ValueError(f"{node_id} is not a controller")
+        # Evict the adversary and heal the network-level fault.
+        self.network.set_tamper_hook(node_id, None)
+        self.network.revive_node(node_id)
+        self.true_faulty_nodes.discard(node_id)
+        self._active_behaviors = [
+            b for b in self._active_behaviors if b.node_id != node_id
+        ]
+        # Sign the blessing.
+        epoch = self._bless_epochs.get(node_id, 0) + 1
+        self._bless_epochs[node_id] = epoch
+        body_round = self.round_no
+        blessing = Blessing(
+            node_id=node_id,
+            as_of_round=body_round,
+            epoch=epoch,
+            signature=self.directory.operator.sign(
+                __import__("repro.core.blessing", fromlist=["blessing_body"])
+                .blessing_body(node_id, body_round, epoch)
+            ).to_bytes(),
+        )
+        # Reprovision: a fresh node with evidence copied from a correct
+        # reference (including the blessing, so it re-admits itself).
+        reference = next(
+            (n for n in self.correct_controllers() if n != node_id), None
+        )
+        fresh = ReboundNode(
+            node_id=node_id,
+            topology=self.topology,
+            config=self.config,
+            workload=self.workload,
+            crypto=self.directory.crypto_for(node_id),
+            registry=self.registry,
+            mode_tree=self.mode_tree,
+            path_cache=self.path_cache,
+        )
+        self.nodes[node_id] = fresh
+        self.network.attach(node_id, fresh)
+        fresh.start(round_no=self.round_no)
+        if reference is not None:
+            for item in self.nodes[reference].evidence.items():
+                fresh.forwarding.submit_evidence(item)
+        fresh.forwarding.submit_evidence(blessing)
+        # Seed the blessing at the reference so it floods the whole system.
+        if reference is not None:
+            self.nodes[reference].forwarding.submit_evidence(blessing)
+
+    def cut_link_now(self, a: int, b: int) -> None:
+        self.network.fail_link(a, b)
+        self.true_failed_links.add((min(a, b), max(a, b)))
+        self.fault_rounds.append(self.round_no)
+
+    # -- execution --------------------------------------------------------------------
+
+    def run_round(self) -> None:
+        next_round = self.round_no + 1
+        for event in self.scenario.due(next_round):
+            if event.node is not None and event.behavior is not None:
+                self.inject_now(event.node, event.behavior)
+            elif event.link is not None:
+                self.cut_link_now(*event.link)
+        for behavior in self._active_behaviors:
+            behavior.on_round(next_round)
+        self.network.run_round()
+
+    def run(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.run_round()
+
+    # -- ground truth & recovery metrics ---------------------------------------------
+
+    def true_scenario(self) -> FailureScenario:
+        return FailureScenario(
+            nodes=frozenset(self.true_faulty_nodes),
+            links=frozenset(self.true_failed_links),
+        )
+
+    def target_schedule(self):
+        """The mode the system should converge to for the true faults."""
+        return self.mode_tree.schedule_for(self.true_scenario())
+
+    def mode_census(self) -> CollectionsCounter:
+        """How many correct controllers currently sit in each mode."""
+        census: CollectionsCounter = CollectionsCounter()
+        for node_id in self.correct_controllers():
+            schedule = self.nodes[node_id].current_schedule
+            key = (
+                tuple(sorted(schedule.failed_nodes)),
+                tuple(sorted(schedule.failed_links)),
+            ) if schedule else ((), ())
+            census[key] += 1
+        return census
+
+    def detected(self) -> bool:
+        """Has any correct node's pattern noticed the true faults?"""
+        for node_id in self.correct_controllers():
+            pattern = self.nodes[node_id].fault_pattern
+            if pattern.nodes & self.true_faulty_nodes:
+                return True
+            for link in pattern.links:
+                if set(link) & self.true_faulty_nodes:
+                    return True
+                if link in self.true_failed_links:
+                    return True
+        return False
+
+    def converged(self) -> bool:
+        """All correct controllers adopted a mode that excludes the true
+        faulty nodes from every placement."""
+        for node_id in self.correct_controllers():
+            schedule = self.nodes[node_id].current_schedule
+            if schedule is None:
+                return False
+            for _copy, host in schedule.placements.items():
+                if host in self.true_faulty_nodes:
+                    return False
+        return True
+
+    def schedules_agree(self) -> bool:
+        schedules = {
+            id(None) if self.nodes[n].current_schedule is None
+            else (
+                tuple(sorted(self.nodes[n].current_schedule.failed_nodes)),
+                tuple(sorted(self.nodes[n].current_schedule.failed_links)),
+            )
+            for n in self.correct_controllers()
+        }
+        return len(schedules) == 1
+
+    # -- cost metrics ------------------------------------------------------------------
+
+    def total_crypto_counters(self):
+        from repro.crypto.cost_model import CryptoCounters
+
+        total = CryptoCounters()
+        for node in self.nodes.values():
+            total.merge(node.crypto.total_counters())
+        return total
+
+    def mean_storage_bytes(self) -> float:
+        if not self.nodes:
+            return 0.0
+        return sum(
+            node.forwarding.storage_bytes() for node in self.nodes.values()
+        ) / len(self.nodes)
+
+    def mean_link_bytes_in_round(self, round_no: Optional[int] = None) -> float:
+        r = self.round_no if round_no is None else round_no
+        return self.network.mean_link_bytes(r)

@@ -1,0 +1,219 @@
+"""BLS-style multisignatures with Boldyreva's aggregation algebra.
+
+The paper (S3.6, S4) uses the multisignature scheme of Boldyreva, built on a
+Gap-Diffie-Hellman group with pairings (via the PBC library): signatures from
+different signer sets over the same message can be combined into a single
+signature, verified against an *aggregate public key* that is itself the
+combination of the signers' keys.  Including the same signer twice is
+harmless.
+
+We reproduce the identical algebra in an insecure "toy" group: the additive
+group Z_q for a large prime q, where
+
+    pk_i  = x_i * g           (mod q)
+    sig_i = x_i * H(m)        (mod q)
+    verify(sig, pk, m):   sig * g == H(m) * pk   (mod q)
+
+Because everything is linear, sums of signatures verify against sums of
+public keys -- exactly the aggregation behaviour of BLS -- while discrete
+logs are trivially computable, so this carries *zero* cryptographic security.
+That substitution is deliberate and documented in DESIGN.md S4: every
+experiment in the paper measures message sizes, operation counts, and
+latencies (via the cost model), none of which depend on hardness.
+
+Sizes are matched to the paper's parameters: a 256-bit group yields 32-byte
+signatures and 32-byte public keys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.crypto.hashing import hash_to_int
+from repro.crypto.primes import generate_prime
+
+DEFAULT_GROUP_BITS = 256
+
+
+class MultisigGroup:
+    """Shared group parameters for the multisignature scheme.
+
+    All nodes in a deployment share one group (q, g); individual keypairs are
+    derived from it.  Deterministic given ``seed``.
+    """
+
+    def __init__(self, bits: int = DEFAULT_GROUP_BITS, seed: int = 0):
+        rng = random.Random(seed)
+        self.q = generate_prime(bits, rng)
+        self.g = rng.randrange(1, self.q)
+        self.bits = bits
+
+    @property
+    def element_size(self) -> int:
+        """Size in bytes of one group element (signature or public key)."""
+        return (self.bits + 7) // 8
+
+    def hash_to_group(self, message: bytes) -> int:
+        return hash_to_int(message, self.q)
+
+    def keypair(self, seed: Optional[int] = None) -> "MultisigKeyPair":
+        return MultisigKeyPair(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class MultisigPublicKey:
+    """A (possibly aggregate) public key, with its signer multiset.
+
+    ``signers`` is a sorted tuple of (node_id, multiplicity) pairs; the paper
+    notes that a signer appearing more than once in an aggregate is harmless,
+    and the algebra here preserves that.
+    """
+
+    value: int
+    signers: Tuple[Tuple[int, int], ...]
+
+    def combine(self, other: "MultisigPublicKey", group: MultisigGroup) -> "MultisigPublicKey":
+        """Aggregate two public keys (constant-time group operation)."""
+        counts: Dict[int, int] = dict(self.signers)
+        for node, mult in other.signers:
+            counts[node] = counts.get(node, 0) + mult
+        return MultisigPublicKey(
+            value=(self.value + other.value) % group.q,
+            signers=tuple(sorted(counts.items())),
+        )
+
+
+@dataclass(frozen=True)
+class Multisignature:
+    """A (possibly aggregate) signature over a single message."""
+
+    value: int
+    signers: Tuple[Tuple[int, int], ...]
+
+    def combine(self, other: "Multisignature", group: MultisigGroup) -> "Multisignature":
+        """Aggregate two signatures over the same message."""
+        counts: Dict[int, int] = dict(self.signers)
+        for node, mult in other.signers:
+            counts[node] = counts.get(node, 0) + mult
+        return Multisignature(
+            value=(self.value + other.value) % group.q,
+            signers=tuple(sorted(counts.items())),
+        )
+
+    def size_bytes(self, group: MultisigGroup) -> int:
+        return group.element_size
+
+    def to_bytes(self, group: MultisigGroup) -> bytes:
+        return self.value.to_bytes(group.element_size, "big")
+
+
+class MultisigKeyPair:
+    """One node's multisignature keypair."""
+
+    def __init__(self, group: MultisigGroup, seed: Optional[int] = None, node_id: int = 0):
+        rng = random.Random(seed)
+        self.group = group
+        self.node_id = node_id
+        self._x = rng.randrange(1, group.q)
+        self.public_key = MultisigPublicKey(
+            value=(self._x * group.g) % group.q, signers=((node_id, 1),)
+        )
+
+    def sign(self, message: bytes) -> Multisignature:
+        h = self.group.hash_to_group(message)
+        return Multisignature(
+            value=(self._x * h) % self.group.q, signers=((self.node_id, 1),)
+        )
+
+
+def verify_multisig(
+    group: MultisigGroup,
+    message: bytes,
+    signature: Multisignature,
+    aggregate_key: MultisigPublicKey,
+) -> bool:
+    """Verify a (possibly aggregate) signature against an aggregate key.
+
+    The signer multisets of the signature and the key must agree, and the
+    group equation ``sig * g == H(m) * apk`` must hold.
+    """
+    if signature.signers != aggregate_key.signers:
+        return False
+    h = group.hash_to_group(message)
+    return (signature.value * group.g) % group.q == (h * aggregate_key.value) % group.q
+
+
+def aggregate_signatures(
+    group: MultisigGroup, signatures: Iterable[Multisignature]
+) -> Multisignature:
+    """Fold an iterable of same-message signatures into one."""
+    sigs = list(signatures)
+    if not sigs:
+        raise ValueError("cannot aggregate an empty set of signatures")
+    acc = sigs[0]
+    for sig in sigs[1:]:
+        acc = acc.combine(sig, group)
+    return acc
+
+
+def aggregate_keys(
+    group: MultisigGroup, keys: Iterable[MultisigPublicKey]
+) -> MultisigPublicKey:
+    """Fold an iterable of public keys into an aggregate key."""
+    key_list = list(keys)
+    if not key_list:
+        raise ValueError("cannot aggregate an empty set of keys")
+    acc = key_list[0]
+    for key in key_list[1:]:
+        acc = acc.combine(key, group)
+    return acc
+
+
+class AggregateKeyTree:
+    """Binary tree over node public keys for O(log N) aggregate-key updates.
+
+    The paper (S3.6) notes that when a node must be added to or removed from
+    a precomputed aggregate public key, the aggregate can be updated in
+    O(log N) steps using a binary tree.  This structure maintains, for a
+    fixed universe of nodes, the sum of the public keys of an arbitrary
+    *subset*, supporting membership toggles in O(log N) group operations.
+    """
+
+    def __init__(self, group: MultisigGroup, keys: Dict[int, MultisigPublicKey]):
+        self.group = group
+        self._node_ids = sorted(keys)
+        self._index = {node: i for i, node in enumerate(self._node_ids)}
+        self._keys = keys
+        size = 1
+        while size < max(1, len(self._node_ids)):
+            size *= 2
+        self._size = size
+        self._tree = [0] * (2 * size)  # sums of included keys
+        self._included = [False] * size
+        self.operations = 0  # group operations performed, for cost accounting
+
+    def set_included(self, node_id: int, included: bool) -> None:
+        """Include or exclude ``node_id`` from the aggregate (O(log N))."""
+        idx = self._index[node_id]
+        if self._included[idx] == included:
+            return
+        self._included[idx] = included
+        value = self._keys[node_id].value if included else 0
+        pos = self._size + idx
+        self._tree[pos] = value
+        pos //= 2
+        while pos >= 1:
+            self._tree[pos] = (self._tree[2 * pos] + self._tree[2 * pos + 1]) % self.group.q
+            self.operations += 1
+            pos //= 2
+
+    def aggregate(self) -> MultisigPublicKey:
+        """The aggregate public key of all currently included nodes."""
+        signers = tuple(
+            (node, 1)
+            for node in self._node_ids
+            if self._included[self._index[node]]
+        )
+        return MultisigPublicKey(value=self._tree[1] % self.group.q, signers=signers)

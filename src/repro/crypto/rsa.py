@@ -1,0 +1,120 @@
+"""Textbook RSA-FDH signatures, built from scratch.
+
+The paper's prototype uses 512-bit RSA for ordinary signatures (S4,
+"Parameters"): fast to generate/verify, and safe in combination with hourly
+key rotation because factoring a 512-bit modulus takes the adversary hours.
+We reproduce the same construction -- full-domain-hash RSA -- so that real
+signature bytes of the modeled size flow through the wire codec and the
+bandwidth/storage measurements in the evaluation are genuine.
+
+Security caveat (documented in DESIGN.md): this is a simulator; we default to
+512-bit keys like the paper but nothing here is hardened against
+side channels etc.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.hashing import hash_to_int
+from repro.crypto.primes import generate_prime
+
+DEFAULT_KEY_BITS = 512
+_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """An RSA public key (n, e)."""
+
+    n: int
+    e: int = _PUBLIC_EXPONENT
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    @property
+    def signature_size(self) -> int:
+        """Size in bytes of a signature under this key."""
+        return (self.n.bit_length() + 7) // 8
+
+    def verify(self, message: bytes, signature: "RSASignature") -> bool:
+        """Verify an RSA-FDH signature over ``message``."""
+        if not 0 < signature.value < self.n:
+            return False
+        expected = hash_to_int(message, self.n)
+        return pow(signature.value, self.e, self.n) == expected
+
+    def to_bytes(self) -> bytes:
+        size = (self.n.bit_length() + 7) // 8
+        return size.to_bytes(2, "big") + self.n.to_bytes(size, "big") + self.e.to_bytes(4, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RSAPublicKey":
+        size = int.from_bytes(data[:2], "big")
+        n = int.from_bytes(data[2 : 2 + size], "big")
+        e = int.from_bytes(data[2 + size : 6 + size], "big")
+        return cls(n=n, e=e)
+
+
+@dataclass(frozen=True)
+class RSASignature:
+    """An RSA signature: a single integer modulo n."""
+
+    value: int
+    key_bits: int = DEFAULT_KEY_BITS
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.key_bits + 7) // 8
+
+    def to_bytes(self) -> bytes:
+        size = self.size_bytes
+        return size.to_bytes(2, "big") + self.value.to_bytes(size, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RSASignature":
+        size = int.from_bytes(data[:2], "big")
+        value = int.from_bytes(data[2 : 2 + size], "big")
+        return cls(value=value, key_bits=size * 8)
+
+
+class RSAKeyPair:
+    """An RSA keypair capable of signing.
+
+    Key generation is deterministic given ``seed`` so that whole simulations
+    are reproducible.
+    """
+
+    def __init__(self, bits: int = DEFAULT_KEY_BITS, seed: Optional[int] = None):
+        if bits < 128:
+            raise ValueError("RSA modulus must be at least 128 bits")
+        rng = random.Random(seed)
+        while True:
+            p = generate_prime(bits // 2, rng)
+            q = generate_prime(bits - bits // 2, rng)
+            if p == q:
+                continue
+            phi = (p - 1) * (q - 1)
+            if phi % _PUBLIC_EXPONENT == 0:
+                continue
+            n = p * q
+            if n.bit_length() != bits:
+                continue
+            break
+        self._bits = bits
+        self._n = n
+        self._d = pow(_PUBLIC_EXPONENT, -1, phi)
+        self.public_key = RSAPublicKey(n=n, e=_PUBLIC_EXPONENT)
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    def sign(self, message: bytes) -> RSASignature:
+        """Produce an RSA-FDH signature over ``message``."""
+        digest = hash_to_int(message, self._n)
+        return RSASignature(value=pow(digest, self._d, self._n), key_bits=self._bits)

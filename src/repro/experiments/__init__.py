@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per figure of the paper's evaluation.
+
+Each driver is a pure function taking parameters and returning row dicts /
+series, so the same code backs the benchmarks (``benchmarks/``), the
+examples (``examples/``), and EXPERIMENTS.md.
+
+| Paper artifact | Module |
+|---|---|
+| Table 1 (recovery timescales)      | :mod:`repro.experiments.timescales` |
+| Fig. 5 (protocol overhead)         | :mod:`repro.experiments.fig5_overhead` |
+| Fig. 6 (mode-change dynamics)      | :mod:`repro.experiments.fig6_modechange` |
+| Fig. 7 (scheduling trees)          | :mod:`repro.experiments.fig7_scheduling` |
+| Fig. 8 (case-study runtime costs)  | :mod:`repro.experiments.fig8_casestudy` |
+| Fig. 9 (comparison to PBFT)        | :mod:`repro.experiments.fig9_pbft` |
+| Fig. 10 (XC90 cruise-control)      | :mod:`repro.experiments.fig10_xc90` |
+| Fig. 11 (testbed attack scenarios) | :mod:`repro.experiments.fig11_testbed` |
+"""

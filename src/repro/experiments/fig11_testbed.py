@@ -1,0 +1,161 @@
+"""Figure 11: testbed attack scenarios on the Fig. 1 chemical plant.
+
+The paper's testbed runs the Fig. 1 topology and workload on 10 Raspberry
+Pis with 40 ms rounds (fconc = 1, fmax = 3) and injects three faults: the
+adversary compromises N4, N3, and N3+N4 (one second apart), each feeding
+random data downstream -- the worst case for latency because the fault is
+only discovered during an audit.  An oscilloscope watches the actuators:
+
+* (a) unprotected, N4 attacked: the disturbed actuator shows an irregular
+  pattern indefinitely;
+* (b) REBOUND, N4 attacked: the output recovers in ~5 rounds (~200 ms) and
+  the least-critical flow (monitor) is dropped (flat line);
+* (c) REBOUND, N3 attacked: same, different disturbed flow;
+* (d) REBOUND, N3 then N4: an additional flow is dropped; the two most
+  critical survive.
+
+We reproduce all four with the closed-loop reactor, PWM traces standing in
+for the oscilloscope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.config import ReboundConfig
+from repro.experiments.common import ChemicalPlantLoop
+from repro.faults.adversary import RandomOutputBehavior
+from repro.plant.fixedpoint import MICRO
+
+ROUND_US = 40_000  # the testbed's 40 ms rounds
+WARMUP_ROUNDS = 15
+# Any legitimate duty lies in [0, MICRO]; random 8-byte garbage essentially
+# never does, so the band cleanly separates disrupted from normal output.
+EXPECTED_BAND = (0, MICRO)
+
+
+def run_scenario(
+    victims: Sequence[str],
+    protected: bool = True,
+    second_fault_delay_rounds: int = 25,
+    post_rounds: int = 30,
+    seed: int = 1,
+) -> Dict:
+    """One panel: compromise ``victims`` (e.g. ["N4"] or ["N3", "N4"])."""
+    config = ReboundConfig(
+        fmax=3,
+        fconc=1,
+        round_length_us=ROUND_US,
+        variant="multi",
+        rsa_bits=256,
+        protocol_enabled=protected,
+    )
+    loop = ChemicalPlantLoop(config=config, seed=seed)
+    system = loop.system
+    topology = system.topology
+    loop.run(WARMUP_ROUNDS)
+
+    fault_rounds: List[int] = []
+    for i, victim_name in enumerate(victims):
+        victim = topology.node_by_name(victim_name)
+        system.inject_now(victim, RandomOutputBehavior(seed=7 + i))
+        fault_rounds.append(system.round_no + 1)
+        if i + 1 < len(victims):
+            loop.run(second_fault_delay_rounds)
+    loop.run(post_rounds)
+
+    first_fault = fault_rounds[0]
+    last_round = system.round_no
+    result: Dict = {
+        "victims": list(victims),
+        "protected": protected,
+        "fault_rounds": fault_rounds,
+        "traces": {},
+    }
+    for name, trace in loop.traces.items():
+        disrupted = trace.disrupted_rounds(first_fault, last_round, EXPECTED_BAND)
+        recovery = trace.recovery_round(first_fault, EXPECTED_BAND)
+        starved = trace.starved_rounds(last_round - 5, last_round)
+        result["traces"][name] = {
+            "disrupted_rounds": disrupted,
+            "recovery_round": recovery,
+            "recovery_rounds_after_fault": (
+                recovery - first_fault if recovery is not None else None
+            ),
+            "flat_at_end": len(starved) >= 5,
+        }
+    schedule = (
+        system.nodes[system.correct_controllers()[0]].current_schedule
+        if system.correct_controllers()
+        else None
+    )
+    result["active_flows"] = (
+        sorted(
+            system.workload.flows[f].name for f in schedule.active_flows
+        )
+        if schedule
+        else []
+    )
+    result["dropped_flows"] = (
+        sorted(
+            system.workload.flows[f].name for f in schedule.dropped_flows
+        )
+        if schedule
+        else []
+    )
+    return result
+
+
+def run_all(seed: int = 1, post_rounds: int = 30) -> Dict[str, Dict]:
+    """All four panels of Fig. 11."""
+    return {
+        "a_n4_unprotected": run_scenario(["N4"], protected=False,
+                                         post_rounds=post_rounds, seed=seed),
+        "b_n4_rebound": run_scenario(["N4"], protected=True,
+                                     post_rounds=post_rounds, seed=seed),
+        "c_n3_rebound": run_scenario(["N3"], protected=True,
+                                     post_rounds=post_rounds, seed=seed),
+        "d_n3_n4_rebound": run_scenario(["N3", "N4"], protected=True,
+                                        post_rounds=post_rounds, seed=seed),
+    }
+
+
+def check_shape(results: Dict[str, Dict]) -> Dict[str, bool]:
+    """The paper's qualitative Fig. 11 claims."""
+    checks: Dict[str, bool] = {}
+    unprot = results["a_n4_unprotected"]
+    # (a) the unprotected system sends bad data indefinitely on at least one
+    # disturbed actuator (no recovery).
+    disturbed = [
+        t for t in unprot["traces"].values() if t["disrupted_rounds"]
+    ]
+    checks["unprotected_stays_disrupted"] = bool(disturbed) and all(
+        t["recovery_round"] is None for t in disturbed
+    )
+    # (b)/(c): protected runs recover within ~5-8 rounds and drop the
+    # monitor flow.
+    for key in ("b_n4_rebound", "c_n3_rebound"):
+        run = results[key]
+        fault = run["fault_rounds"][0]
+        # Every disturbed actuator either resumes normal output within
+        # ~5-10 rounds, or its flow was deliberately dropped (flat line --
+        # the paper's "the least critical flow is dropped ... a flat green
+        # line").  Either way the disruption itself must stop quickly.
+        ok = True
+        for t in run["traces"].values():
+            if not t["disrupted_rounds"]:
+                continue
+            disruption_over = max(t["disrupted_rounds"]) - fault <= 10
+            recovered = (
+                t["recovery_rounds_after_fault"] is not None
+                and t["recovery_rounds_after_fault"] <= 10
+            )
+            ok &= disruption_over and (recovered or t["flat_at_end"])
+        checks[f"{key}_recovers"] = ok
+        checks[f"{key}_drops_monitor"] = "monitor" in run["dropped_flows"]
+    # (d): two faults leave only the two most critical flows.
+    double = results["d_n3_n4_rebound"]
+    checks["double_fault_keeps_two_most_critical"] = set(
+        double["active_flows"]
+    ) == {"pressure-alarm", "burner-control"}
+    return checks

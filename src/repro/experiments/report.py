@@ -1,0 +1,144 @@
+"""One-shot reproduction report: run every experiment, write markdown.
+
+``python -m repro report [--out results.md] [--scale small|full]`` runs all
+seven figure drivers with the chosen scale and writes a self-contained
+markdown report with every regenerated table and the pass/fail status of
+each of the paper's qualitative claims -- the artifact a reviewer would
+attach to a reproduction study.
+"""
+
+from __future__ import annotations
+
+import datetime
+import io
+import platform
+import time
+from typing import Dict, Sequence
+
+from repro.experiments import (
+    fig5_overhead,
+    fig6_modechange,
+    fig7_scheduling,
+    fig8_casestudy,
+    fig9_pbft,
+    fig10_xc90,
+    fig11_testbed,
+    timescales,
+)
+
+SMALL = {
+    "fig5": {"sizes": (4, 10, 20, 35), "rounds": 20},
+    "fig6": {"n": 30, "fault_round": 35, "total_rounds": 60},
+    "fig7": {"sizes": (15, 30), "fmax_values": (1, 2)},
+    "fig8": {"fconc_values": (None, 1, 2, 3), "n": 18, "rounds": 40},
+    "fig9": {"f_values": (1, 2, 3), "node_counts": (25,), "workloads_per_cell": 8},
+    "fig10": {"duration_s": 1.5},
+    "fig11": {"post_rounds": 25},
+}
+FULL = {
+    "fig5": {"sizes": (4, 10, 20, 35, 50, 75, 100), "rounds": 50},
+    "fig6": {"n": 45, "fault_round": 50, "total_rounds": 100},
+    "fig7": {"sizes": (20, 50, 100, 200), "fmax_values": (1, 2, 3)},
+    "fig8": {"fconc_values": (None, 1, 2, 3), "n": 26, "rounds": 100},
+    "fig9": {"f_values": (1, 2, 3), "node_counts": (25, 50, 75),
+             "workloads_per_cell": 25},
+    "fig10": {"duration_s": 3.0},
+    "fig11": {"post_rounds": 40},
+}
+
+
+def _md_table(rows: Sequence[Dict]) -> str:
+    if not rows:
+        return "(no rows)\n"
+    columns = list(rows[0].keys())
+    out = ["| " + " | ".join(str(c) for c in columns) + " |",
+           "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c)
+            cells.append(f"{value:.3f}" if isinstance(value, float) else str(value))
+        out.append("| " + " | ".join(cells) + " |")
+    return "\n".join(out) + "\n"
+
+
+def _md_checks(checks: Dict[str, bool]) -> str:
+    lines = [
+        f"- {'✔' if ok else '✘ FAILED'} `{name}`" for name, ok in checks.items()
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def generate_report(scale: str = "small") -> str:
+    """Run everything and return the markdown report text."""
+    params = FULL if scale == "full" else SMALL
+    out = io.StringIO()
+    started = time.time()
+    out.write("# REBOUND reproduction report\n\n")
+    out.write(
+        f"Generated {datetime.datetime.now().isoformat(timespec='seconds')} "
+        f"on Python {platform.python_version()} ({platform.machine()}), "
+        f"scale = {scale}.\n\n"
+    )
+
+    out.write("## Table 1 — recovery timescales (reference data)\n\n")
+    out.write(_md_table(timescales.TABLE_1))
+
+    out.write("\n## Figure 5 — protocol overhead vs system size\n\n")
+    rows5 = fig5_overhead.run(**params["fig5"])
+    out.write(_md_table(rows5))
+    out.write("\n" + _md_checks(fig5_overhead.check_shape(rows5)))
+
+    out.write("\n## Figure 6 — mode-change dynamics\n\n")
+    rows6 = fig6_modechange.run(**params["fig6"])
+    fault_round = params["fig6"]["fault_round"]
+    window = [
+        r for r in rows6 if fault_round - 3 <= r["round"] <= fault_round + 10
+    ]
+    out.write(_md_table(window))
+    summary = fig6_modechange.summarize(rows6, fault_round=fault_round)
+    out.write(f"\nSummary: {summary}\n")
+
+    out.write("\n## Figure 7 — scheduling trees\n\n")
+    rows7 = fig7_scheduling.run(**params["fig7"])
+    out.write(_md_table(rows7))
+    out.write("\n" + _md_checks(fig7_scheduling.check_shape(rows7)))
+
+    out.write("\n## Figure 8 — case-study runtime costs\n\n")
+    rows8 = fig8_casestudy.run(**params["fig8"])
+    out.write(_md_table(rows8))
+    out.write("\n" + _md_checks(fig8_casestudy.check_shape(rows8)))
+
+    out.write("\n## Figure 9 — comparison to PBFT\n\n")
+    rows9 = fig9_pbft.run(**params["fig9"])
+    out.write(_md_table(rows9))
+    out.write("\n" + _md_checks(fig9_pbft.check_shape(rows9)))
+
+    out.write("\n## Figure 10 — XC90 cruise-control attack\n\n")
+    results10 = fig10_xc90.run_all(**params["fig10"])
+    out.write(_md_table([
+        {
+            "scenario": name,
+            "peak_mph": r["peak_mph"],
+            "final_mph": r["final_mph"],
+            "excursion_mph": r["excursion_mph"],
+            "recovery_ms": r["recovery_ms"],
+        }
+        for name, r in results10.items()
+    ]))
+    out.write("\n" + _md_checks(fig10_xc90.check_shape(results10)))
+
+    out.write("\n## Figure 11 — testbed attack scenarios\n\n")
+    results11 = fig11_testbed.run_all(**params["fig11"])
+    out.write(_md_table([
+        {
+            "scenario": name,
+            "active": ", ".join(r["active_flows"]),
+            "dropped": ", ".join(r["dropped_flows"]) or "-",
+        }
+        for name, r in results11.items()
+    ]))
+    out.write("\n" + _md_checks(fig11_testbed.check_shape(results11)))
+
+    out.write(f"\n---\nTotal generation time: {time.time() - started:.1f} s\n")
+    return out.getvalue()

@@ -1,0 +1,28 @@
+"""Table 1: timescales for recovery (paper S2.2, from Morari's survey).
+
+This is background data the paper reproduces from the cited works, not a
+measured experiment; we carry it so the documentation and examples can
+relate simulated recovery times to the application classes that could
+tolerate them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# (system, recovery window in microseconds, citation in the paper)
+TABLE_1: List[Dict] = [
+    {"system": "DC/DC converters (STM)", "window_us": 20, "source": "[52]"},
+    {"system": "Direct torque control (ABB)", "window_us": 25, "source": "[53, 95]"},
+    {"system": "AC/DC converters", "window_us": 50, "source": "[100]"},
+    {"system": "Electronic throttle control (Ford)", "window_us": 5_000, "source": "[115]"},
+    {"system": "Traction control (Ford)", "window_us": 20_000, "source": "[18]"},
+    {"system": "Micro-scale race cars", "window_us": 40_000, "source": "[24]"},
+    {"system": "Autonomous vehicle steering", "window_us": 50_000, "source": "[15]"},
+    {"system": "Energy-efficient building control", "window_us": 500_000, "source": "[93]"},
+]
+
+
+def feasible_applications(recovery_us: int) -> List[str]:
+    """Which Table 1 application classes tolerate a given recovery time."""
+    return [row["system"] for row in TABLE_1 if row["window_us"] >= recovery_us]

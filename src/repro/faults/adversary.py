@@ -1,0 +1,287 @@
+"""Concrete adversary behaviours installed on compromised controllers."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.core.auditing import TaskRegistry
+from repro.core.forwarding import RoundMessage
+from repro.core.heartbeat import HeartbeatRecord
+
+
+class AdversaryBehavior:
+    """Base class; a behaviour is activated on one compromised node.
+
+    Hooks:
+        * :meth:`activate` -- called once at the compromise round.
+        * :meth:`on_round` -- called each round while active (for staged
+          attacks like the LFD storm).
+        * :meth:`tamper` -- installed as the network tamper hook; may drop
+          (return None) or rewrite outgoing messages.
+    """
+
+    def __init__(self) -> None:
+        self.system = None
+        self.node_id: Optional[int] = None
+
+    def activate(self, system, node_id: int) -> None:
+        self.system = system
+        self.node_id = node_id
+
+    def on_round(self, round_no: int) -> None:
+        """Per-round adversarial action (default: none)."""
+
+    def tamper(
+        self, round_no: int, sender: int, destination: int, payload: Any
+    ) -> Optional[Any]:
+        """Message rewrite hook (default: pass through)."""
+        return payload
+
+
+class CrashBehavior(AdversaryBehavior):
+    """Fail-stop: the node is silenced entirely at the network layer."""
+
+    def activate(self, system, node_id: int) -> None:
+        super().activate(system, node_id)
+        system.network.crash_node(node_id)
+
+
+class SilenceBehavior(AdversaryBehavior):
+    """The node keeps receiving but sends nothing (omission on all links)."""
+
+    def tamper(self, round_no, sender, destination, payload):
+        return None
+
+
+class SelectiveOmissionBehavior(AdversaryBehavior):
+    """Drop all messages to a chosen set of victims (targeted omission)."""
+
+    def __init__(self, victims: Iterable[int]):
+        super().__init__()
+        self.victims = set(victims)
+
+    def tamper(self, round_no, sender, destination, payload):
+        return None if destination in self.victims else payload
+
+
+class CorruptOutputRegistry(TaskRegistry):
+    """A registry wrapper whose task outputs are attacker-controlled.
+
+    Wraps the shared registry; ``compute`` is re-dispatched through
+    corrupted logic for every task, producing deterministic-looking garbage
+    (seeded PRNG) -- the Fig. 11 attack ("feeding random data to their
+    downstream tasks").
+    """
+
+    def __init__(
+        self,
+        base: TaskRegistry,
+        seed: int = 0,
+        constant: Optional[bytes] = None,
+        task_ids: Optional[Iterable[int]] = None,
+    ):
+        super().__init__()
+        self._base = base
+        self._seed = seed
+        self._constant = constant
+        self._task_ids = set(task_ids) if task_ids is not None else None
+
+    def logic(self, task_id: int):
+        base_logic = self._base.logic(task_id)
+        if base_logic is None:
+            return None
+        if self._task_ids is not None and task_id not in self._task_ids:
+            return base_logic
+        return _CorruptLogic(base_logic, self._seed ^ task_id, self._constant)
+
+
+class _CorruptLogic:
+    def __init__(self, base, seed: int, constant: Optional[bytes]):
+        self._base = base
+        self._seed = seed
+        self._constant = constant
+
+    def initial_state(self) -> bytes:
+        return self._base.initial_state()
+
+    def compute(self, state, inputs, round_no):
+        new_state, _output = self._base.compute(state, inputs, round_no)
+        if self._constant is not None:
+            return new_state, self._constant
+        rng = random.Random((self._seed, round_no).__hash__())
+        return new_state, bytes(rng.getrandbits(8) for _ in range(8))
+
+
+class RandomOutputBehavior(AdversaryBehavior):
+    """Commission fault: the node's primaries emit random data (Fig. 11).
+
+    With ``primaries_only`` (default) the node corrupts only the tasks it
+    runs as primary, keeping its replica audits honest -- the stealthiest
+    variant, which only the deterministic-replay audit can catch.  With
+    ``primaries_only=False`` it also audits dishonestly, emitting bogus
+    PoMs that correct nodes reject (and LFD it for).
+    """
+
+    def __init__(self, seed: int = 0, constant: Optional[bytes] = None,
+                 primaries_only: bool = True):
+        super().__init__()
+        self.seed = seed
+        self.constant = constant
+        self.primaries_only = primaries_only
+
+    def activate(self, system, node_id: int) -> None:
+        super().activate(system, node_id)
+        node = system.node(node_id)
+        task_ids = node.auditing.primaries if self.primaries_only else None
+        node.auditing.registry = CorruptOutputRegistry(
+            node.registry, seed=self.seed, constant=self.constant,
+            task_ids=task_ids,
+        )
+
+
+class EquivocateBehavior(AdversaryBehavior):
+    """Heartbeat equivocation: different delta counts to different neighbors.
+
+    The compromised node re-signs its own heartbeat with a
+    destination-dependent delta count, so any two neighbors comparing notes
+    (or any node receiving both relayed copies) obtain a PoM.
+    """
+
+    def activate(self, system, node_id: int) -> None:
+        super().activate(system, node_id)
+        self._crypto = system.node(node_id).crypto
+        self._variant = system.config.variant
+
+    def tamper(self, round_no, sender, destination, payload):
+        if not isinstance(payload, RoundMessage):
+            return payload
+        from repro.core.evidence import heartbeat_body
+
+        records = []
+        changed = False
+        for rec in payload.records:
+            if rec.origin == self.node_id:
+                delta = destination % 3  # destination-dependent content
+                body = heartbeat_body(rec.round_no, delta)
+                if self._variant == "multi":
+                    value = self._crypto.ms_sign(body)
+                    sig = value.to_bytes(
+                        self._crypto.directory.group.element_size, "big"
+                    )
+                else:
+                    sig = self._crypto.sign(body)
+                records.append(
+                    HeartbeatRecord(
+                        origin=rec.origin,
+                        round_no=rec.round_no,
+                        delta_count=delta,
+                        signature=sig,
+                    )
+                )
+                changed = True
+            else:
+                records.append(rec)
+        aggregates = payload.aggregates
+        if self._variant == "multi" and aggregates:
+            # Per-destination aggregate perturbation: receivers' coverage
+            # verification fails, deliveries stall, and Rule B attributes
+            # the shortfall to this node's links.
+            from repro.core.heartbeat import AggregateHeartbeat
+
+            aggregates = tuple(
+                AggregateHeartbeat(
+                    round_no=agg.round_no,
+                    sig_value=agg.sig_value + destination + 1,
+                    epoch_digest=agg.epoch_digest,
+                )
+                for agg in aggregates
+            )
+            changed = True
+        if not changed:
+            return payload
+        return RoundMessage(
+            sender=payload.sender,
+            round_no=payload.round_no,
+            records=tuple(records),
+            aggregates=aggregates,
+            evidence=payload.evidence,
+            packets=payload.packets,
+        )
+
+
+class LFDStormBehavior(AdversaryBehavior):
+    """The Fig. 6 worst case: declare a different link failure over each of
+    the node's links, one per round, to maximize mode churn and defeat
+    signature aggregation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: List[int] = []
+
+    def activate(self, system, node_id: int) -> None:
+        super().activate(system, node_id)
+        topo = system.topology
+        self._pending = [
+            x for x in topo.neighbors(node_id) if x in topo.controllers
+        ]
+
+    def on_round(self, round_no: int) -> None:
+        if not self._pending or self.system is None:
+            return
+        victim = self._pending.pop(0)
+        node = self.system.node(self.node_id)
+        node.forwarding.issue_lfd(victim)
+
+
+class DelayBehavior(AdversaryBehavior):
+    """Timing fault (paper S2.4: 'we also consider attacks on timing').
+
+    The node holds every outgoing message back by ``delay_rounds``: in the
+    synchronous model a late message is indistinguishable from a wrong one
+    -- its round number no longer matches the round it arrives in, so
+    receivers reject it and declare the link failed.  The paper's example:
+    'a faulty controller could cause an explosion simply by delaying a
+    (valid) command'.
+    """
+
+    def __init__(self, delay_rounds: int = 2):
+        super().__init__()
+        self.delay_rounds = delay_rounds
+        self._held: List[Tuple[int, int, Any]] = []
+
+    def tamper(self, round_no, sender, destination, payload):
+        self._held.append((round_no + self.delay_rounds, destination, payload))
+        return None  # held back now...
+
+    def on_round(self, round_no: int) -> None:
+        # ...and released late, straight into the network (bypassing the
+        # tamper hook would loop, so send via a one-shot re-entry guard).
+        if self.system is None:
+            return
+        due = [h for h in self._held if h[0] <= round_no]
+        self._held = [h for h in self._held if h[0] > round_no]
+        network = self.system.network
+        hook = network._tamper_hooks.pop(self.node_id, None)
+        try:
+            for _due_round, destination, payload in due:
+                try:
+                    network.send(self.node_id, destination, payload)
+                except KeyError:
+                    continue
+        finally:
+            if hook is not None:
+                network._tamper_hooks[self.node_id] = hook
+
+
+class GarbageFloodBehavior(AdversaryBehavior):
+    """Send huge garbage messages to distract correct nodes; the bandwidth
+    guardian (paper S2.2) bounds the damage."""
+
+    def __init__(self, size: int = 50_000):
+        super().__init__()
+        self.size = size
+
+    def tamper(self, round_no, sender, destination, payload):
+        rng = random.Random(hash((round_no, destination)))
+        return bytes(rng.getrandbits(8) for _ in range(self.size))

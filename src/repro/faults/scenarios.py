@@ -1,0 +1,49 @@
+"""Declarative fault scenarios: which node fails how, and when."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.faults.adversary import AdversaryBehavior
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled fault: at ``round``, install ``behavior`` on ``node``
+    (or cut ``link`` when ``node`` is None)."""
+
+    round_no: int
+    node: Optional[int] = None
+    behavior: Optional[AdversaryBehavior] = None
+    link: Optional[Tuple[int, int]] = None
+
+
+@dataclass
+class FaultScenario:
+    """A timetable of fault events, applied by the system runtime."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def add_node_fault(
+        self, round_no: int, node: int, behavior: AdversaryBehavior
+    ) -> "FaultScenario":
+        self.events.append(FaultEvent(round_no=round_no, node=node, behavior=behavior))
+        return self
+
+    def add_link_fault(self, round_no: int, a: int, b: int) -> "FaultScenario":
+        self.events.append(FaultEvent(round_no=round_no, link=(a, b)))
+        return self
+
+    def due(self, round_no: int) -> List[FaultEvent]:
+        return [e for e in self.events if e.round_no == round_no]
+
+    @property
+    def faulty_nodes(self) -> List[int]:
+        return sorted({e.node for e in self.events if e.node is not None})
+
+    @property
+    def failed_links(self) -> List[Tuple[int, int]]:
+        return sorted(
+            {tuple(sorted(e.link)) for e in self.events if e.link is not None}
+        )

@@ -1,0 +1,32 @@
+"""Network substrate: topologies, wire codec, and the round-based simulator.
+
+REBOUND targets synchronous CPS networks (paper S2.2-S2.3): a mix of buses
+and point-to-point links with known capacities, hardware bandwidth guardians,
+and negligible link-layer loss.  This package provides:
+
+* :mod:`repro.net.topology` -- graph model with point-to-point links and bus
+  segments, generators for the paper's topologies (Erdos-Renyi synthetic
+  networks, the Fig. 1 chemical plant, the Fig. 2 Volvo XC90 network), and
+  max-fail-distance computation (paper S3.5).
+* :mod:`repro.net.message` -- deterministic binary codec so that all
+  bandwidth and storage numbers are measured over real serialized bytes.
+* :mod:`repro.net.network` -- the round-synchronous network simulator with
+  per-link byte accounting, bus broadcast, link failures, partitions, and a
+  bandwidth guardian.
+"""
+
+from repro.net.topology import Bus, Topology, erdos_renyi_topology
+from repro.net.message import decode, encode, encoded_size, register_message
+from repro.net.network import NodeProtocol, RoundNetwork
+
+__all__ = [
+    "Bus",
+    "Topology",
+    "erdos_renyi_topology",
+    "encode",
+    "decode",
+    "encoded_size",
+    "register_message",
+    "NodeProtocol",
+    "RoundNetwork",
+]

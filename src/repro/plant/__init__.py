@@ -1,0 +1,43 @@
+"""Physical-plant models and control tasks.
+
+The evaluation's two case studies are closed physical loops:
+
+* the Fig. 1/11 **chemical reactor** (burner, safety valve, pressure alarm,
+  monitor), and
+* the S5.7/Fig. 10 **Volvo XC90** longitudinal dynamics under a PI cruise
+  controller (235 kW, 4.96 m/s^2 acceleration cap).
+
+Control tasks are implemented in *integer fixed-point arithmetic* so that
+deterministic replay (the auditing layer) is bit-exact across primaries,
+replicas, and PoM verifiers.
+"""
+
+from repro.plant.fixedpoint import MICRO, decode_micro, encode_micro
+from repro.plant.vehicle import VehicleModel, XC90_PARAMS
+from repro.plant.cruise import CruiseControlTask, PIController
+from repro.plant.chemical import (
+    BurnerControlTask,
+    ChemicalReactor,
+    MonitorTask,
+    PressureAlarmTask,
+    SensorStageTask,
+    ValveControlTask,
+)
+from repro.plant.actuator import PWMTrace
+
+__all__ = [
+    "MICRO",
+    "encode_micro",
+    "decode_micro",
+    "VehicleModel",
+    "XC90_PARAMS",
+    "PIController",
+    "CruiseControlTask",
+    "ChemicalReactor",
+    "PressureAlarmTask",
+    "BurnerControlTask",
+    "ValveControlTask",
+    "MonitorTask",
+    "SensorStageTask",
+    "PWMTrace",
+]

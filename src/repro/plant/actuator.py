@@ -1,0 +1,80 @@
+"""PWM-style actuator traces (paper S4.1/S5.8, Fig. 11).
+
+The testbed measures actuator outputs with an oscilloscope: each actuator
+emits a PWM signal whose duty cycle follows the received command.  We
+reproduce the analysis side: a :class:`PWMTrace` records the command applied
+in each round and offers the Fig. 11 metrics -- when the signal was
+disrupted (garbage commands), when it went flat (flow dropped), and when it
+returned to normal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.plant.fixedpoint import decode_micro
+
+
+@dataclass
+class PWMTrace:
+    """Round-indexed actuator command trace.
+
+    Attributes:
+        name: actuator label (e.g. ``"A1-alarm"``).
+        samples: (round, duty_micro) pairs, one per applied command.
+    """
+
+    name: str = ""
+    samples: List[Tuple[int, int]] = field(default_factory=list)
+
+    def apply(self, round_no: int, payload: bytes, origin: int) -> None:
+        """Callback wired into :class:`~repro.core.devices.ActuatorDevice`."""
+        self.samples.append((round_no, decode_micro(payload)))
+
+    def duty_in_round(self, round_no: int) -> Optional[int]:
+        values = [duty for r, duty in self.samples if r == round_no]
+        return values[-1] if values else None
+
+    def rounds_with_signal(self, start: int, end: int) -> List[int]:
+        return sorted({r for r, _ in self.samples if start <= r <= end})
+
+    def starved_rounds(self, start: int, end: int) -> List[int]:
+        """Rounds in [start, end] with no command at all (flat line)."""
+        present = set(self.rounds_with_signal(start, end))
+        return [r for r in range(start, end + 1) if r not in present]
+
+    def disrupted_rounds(
+        self, start: int, end: int, expected: Tuple[int, int]
+    ) -> List[int]:
+        """Rounds whose duty fell outside the ``expected`` (lo, hi) band --
+        the 'irregular pattern' of Fig. 11(a)."""
+        lo, hi = expected
+        return sorted(
+            {
+                r
+                for r, duty in self.samples
+                if start <= r <= end and not lo <= duty <= hi
+            }
+        )
+
+    def recovery_round(
+        self, fault_round: int, expected: Tuple[int, int], settle: int = 3
+    ) -> Optional[int]:
+        """First round >= fault_round from which the signal stays in the
+        expected band (with data present) for ``settle`` consecutive rounds.
+        """
+        if not self.samples:
+            return None
+        last = max(r for r, _ in self.samples)
+        for candidate in range(fault_round, last - settle + 2):
+            window = range(candidate, candidate + settle)
+            ok = True
+            for r in window:
+                duty = self.duty_in_round(r)
+                if duty is None or not expected[0] <= duty <= expected[1]:
+                    ok = False
+                    break
+            if ok:
+                return candidate
+        return None

@@ -1,0 +1,177 @@
+"""The Fig. 1 chemical reactor and its four control flows.
+
+A lumped-parameter reactor: the burner adds heat, heat raises temperature,
+temperature raises vapor pressure, the safety valve vents pressure, and the
+environment bleeds heat away.  The paper's intro scenario -- an attacker
+running the burner continuously toward an explosion, with lasting damage
+only after seconds (thermal capacity = the BTR window) -- falls out of the
+time constants.
+
+The four flows of Fig. 1(b/c), as fixed-point auditable tasks:
+
+* **pressure alarm** (T1, very high): threshold detector on the pressure.
+* **burner control** (T2 -> T3, high): bang-bang temperature regulation;
+  T2 computes the error, T3 the burner duty.
+* **valve control** (T4 -> T5, medium): proportional pressure relief.
+* **monitor** (T6 -> T7 -> T8, low): telemetry aggregation pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.auditing import TaskLogic
+from repro.plant.fixedpoint import MICRO, clamp, decode_micro, encode_micro
+
+
+class ChemicalReactor:
+    """Lumped thermal/pressure model of the reactor vessel.
+
+    State: temperature (K) and gauge pressure (kPa).  Inputs each step:
+    burner duty and valve opening, both in [0, 1].
+    """
+
+    AMBIENT_K = 300.0
+
+    def __init__(
+        self,
+        temperature_k: float = 350.0,
+        pressure_kpa: float = 120.0,
+        heat_rate: float = 40.0,       # K/s at full burner
+        cooling_rate: float = 0.05,    # 1/s toward ambient
+        pressure_gain: float = 2.0,    # kPa per K above ambient (equilibrium)
+        vent_rate: float = 200.0,      # kPa/s at full valve opening
+        pressure_tau: float = 0.5,     # s, pressure relaxation time
+    ):
+        self.temperature_k = temperature_k
+        self.pressure_kpa = pressure_kpa
+        self.heat_rate = heat_rate
+        self.cooling_rate = cooling_rate
+        self.pressure_gain = pressure_gain
+        self.vent_rate = vent_rate
+        self.pressure_tau = pressure_tau
+        self.burner_duty = 0.0
+        self.valve_opening = 0.0
+        self.history: List[Tuple[float, float, float]] = []
+        self._time = 0.0
+
+    def set_burner(self, duty: float) -> None:
+        self.burner_duty = max(0.0, min(1.0, duty))
+
+    def set_valve(self, opening: float) -> None:
+        self.valve_opening = max(0.0, min(1.0, opening))
+
+    def step(self, dt: float) -> None:
+        heat_in = self.heat_rate * self.burner_duty
+        cooling = self.cooling_rate * (self.temperature_k - self.AMBIENT_K)
+        self.temperature_k += (heat_in - cooling) * dt
+        equilibrium = self.pressure_gain * (self.temperature_k - self.AMBIENT_K)
+        relax = (equilibrium - self.pressure_kpa) / self.pressure_tau
+        vent = self.vent_rate * self.valve_opening
+        self.pressure_kpa = max(0.0, self.pressure_kpa + (relax - vent) * dt)
+        self._time += dt
+        self.history.append((self._time, self.temperature_k, self.pressure_kpa))
+
+
+# -- auditable control tasks ------------------------------------------------------
+
+
+class PressureAlarmTask(TaskLogic):
+    """T1: raise the alarm output when pressure exceeds the threshold."""
+
+    def __init__(self, threshold_micro_kpa: int = 250 * MICRO):
+        self.threshold = threshold_micro_kpa
+
+    def compute(self, state, inputs, round_no):
+        pressure = decode_micro(inputs[0][1]) if inputs else 0
+        alarm = MICRO if pressure > self.threshold else 0
+        return b"", encode_micro(alarm)
+
+
+class BurnerControlTask(TaskLogic):
+    """T2: temperature error with hysteresis decision (bang-bang stage).
+
+    Output: desired burner duty request in micro-units.  State: the last
+    command (hysteresis memory).
+    """
+
+    def __init__(self, setpoint_micro_k: int = 360 * MICRO,
+                 hysteresis_micro_k: int = 2 * MICRO):
+        self.setpoint = setpoint_micro_k
+        self.hysteresis = hysteresis_micro_k
+
+    def initial_state(self) -> bytes:
+        return encode_micro(0)
+
+    def compute(self, state, inputs, round_no):
+        last = decode_micro(state) if state else 0
+        temperature = decode_micro(inputs[0][1]) if inputs else self.setpoint
+        if temperature < self.setpoint - self.hysteresis:
+            command = MICRO
+        elif temperature > self.setpoint + self.hysteresis:
+            command = 0
+        else:
+            command = last
+        return encode_micro(command), encode_micro(command)
+
+
+class BurnerActuationTask(TaskLogic):
+    """T3: turn the duty request into the burner actuation command.
+
+    Applies a rate limit: the burner command may change by at most
+    ``slew_micro`` per period (a realistic actuator constraint that also
+    bounds how violently a *correct* controller can behave).
+    """
+
+    def __init__(self, slew_micro: int = MICRO // 4):
+        self.slew = slew_micro
+
+    def initial_state(self) -> bytes:
+        return encode_micro(0)
+
+    def compute(self, state, inputs, round_no):
+        current = decode_micro(state) if state else 0
+        request = decode_micro(inputs[0][1]) if inputs else 0
+        request = clamp(request, 0, MICRO)
+        step = clamp(request - current, -self.slew, self.slew)
+        command = clamp(current + step, 0, MICRO)
+        return encode_micro(command), encode_micro(command)
+
+
+class ValveControlTask(TaskLogic):
+    """T4: proportional pressure-relief request above the relief setpoint."""
+
+    def __init__(self, relief_micro_kpa: int = 150 * MICRO,
+                 gain_micro_per_kpa: int = MICRO // 50):
+        self.relief = relief_micro_kpa
+        self.gain = gain_micro_per_kpa
+
+    def compute(self, state, inputs, round_no):
+        pressure = decode_micro(inputs[0][1]) if inputs else 0
+        excess = max(0, pressure - self.relief)
+        opening = clamp(excess // MICRO * self.gain, 0, MICRO)
+        return b"", encode_micro(opening)
+
+
+class ValveActuationTask(TaskLogic):
+    """T5: pass the valve request through (actuation stage)."""
+
+    def compute(self, state, inputs, round_no):
+        request = decode_micro(inputs[0][1]) if inputs else 0
+        return b"", encode_micro(clamp(request, 0, MICRO))
+
+
+class SensorStageTask(TaskLogic):
+    """A generic pipeline stage that forwards its first input (monitor T6/T7)."""
+
+    def compute(self, state, inputs, round_no):
+        payload = inputs[0][1] if inputs else encode_micro(0)
+        return b"", payload
+
+
+class MonitorTask(TaskLogic):
+    """T8: aggregate all inputs into one telemetry word (sum, saturating)."""
+
+    def compute(self, state, inputs, round_no):
+        total = sum(decode_micro(payload) for _pid, payload in inputs)
+        return b"", encode_micro(clamp(total, -(2**62), 2**62))

@@ -1,0 +1,95 @@
+"""PI cruise control (paper S5.7: "a PI controller for adaptive cruise
+control, based on [44, 88] and parameters from the XC90 specifications").
+
+Two artifacts:
+
+* :class:`PIController` -- a float PI controller for standalone use.
+* :class:`CruiseControlTask` -- the same controller in integer fixed-point
+  arithmetic as REBOUND :class:`~repro.core.auditing.TaskLogic`, so that
+  deterministic replay is bit-exact.  Input: speed reading in micro-m/s;
+  output: throttle command in micro-units of [0, 1]; state: the integral
+  accumulator in micro-units.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.auditing import TaskLogic
+from repro.plant.fixedpoint import MICRO, clamp, decode_micro, encode_micro
+
+
+class PIController:
+    """A plain PI controller with anti-windup clamping."""
+
+    def __init__(self, kp: float, ki: float, dt: float,
+                 output_low: float = 0.0, output_high: float = 1.0):
+        self.kp = kp
+        self.ki = ki
+        self.dt = dt
+        self.output_low = output_low
+        self.output_high = output_high
+        self.integral = 0.0
+
+    def step(self, setpoint: float, measurement: float) -> float:
+        error = setpoint - measurement
+        self.integral += error * self.dt
+        raw = self.kp * error + self.ki * self.integral
+        if raw > self.output_high:
+            self.integral -= error * self.dt  # anti-windup: undo
+            raw = self.output_high
+        elif raw < self.output_low:
+            self.integral -= error * self.dt
+            raw = self.output_low
+        return raw
+
+
+class CruiseControlTask(TaskLogic):
+    """Fixed-point PI cruise control as an auditable REBOUND task.
+
+    Args:
+        setpoint_micro_ms: target speed in micro-m/s.
+        kp_micro / ki_micro: gains scaled by MICRO (e.g. kp=0.08 ->
+            kp_micro=80_000).
+        dt_micro_s: control period in microseconds.
+        feedforward_micro: constant throttle feed-forward in micro-units
+            (holds the setpoint approximately; the PI trims the residual).
+    """
+
+    def __init__(
+        self,
+        setpoint_micro_ms: int,
+        kp_micro: int = 80_000,
+        ki_micro: int = 20_000,
+        dt_micro_s: int = 10_000,
+        feedforward_micro: int = 0,
+    ):
+        self.setpoint = setpoint_micro_ms
+        self.kp = kp_micro
+        self.ki = ki_micro
+        self.dt = dt_micro_s
+        self.feedforward = feedforward_micro
+
+    def initial_state(self) -> bytes:
+        return encode_micro(0)  # integral accumulator
+
+    def compute(
+        self, state: bytes, inputs: List[Tuple[int, bytes]], round_no: int
+    ) -> Tuple[bytes, bytes]:
+        integral = decode_micro(state) if state else 0
+        if inputs:
+            measurement = decode_micro(inputs[0][1])
+        else:
+            measurement = self.setpoint  # hold: no reading, assume on target
+        error = self.setpoint - measurement  # micro-m/s
+        # All quantities in micro-units; divide by MICRO after each product.
+        integral += error * self.dt // MICRO
+        raw = (
+            self.feedforward
+            + self.kp * error // MICRO
+            + self.ki * integral // MICRO
+        )
+        if raw > MICRO or raw < 0:
+            integral -= error * self.dt // MICRO  # anti-windup
+        throttle = clamp(raw, 0, MICRO)
+        return encode_micro(integral), encode_micro(throttle)

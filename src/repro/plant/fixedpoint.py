@@ -1,0 +1,42 @@
+"""Integer fixed-point encoding for control values on the wire.
+
+The wire codec deliberately rejects floats (non-canonical encodings would
+break signature determinism), and task logic must replay bit-exactly on
+replicas and PoM verifiers.  All control values therefore travel as signed
+64-bit integers in *micro-units* (1e-6 of the physical unit).
+"""
+
+from __future__ import annotations
+
+MICRO = 1_000_000
+
+
+def to_micro(value: float) -> int:
+    """Convert a physical value to micro-units (rounds toward nearest)."""
+    return int(round(value * MICRO))
+
+
+def from_micro(value: int) -> float:
+    """Convert micro-units back to a float physical value."""
+    return value / MICRO
+
+
+def encode_micro(value: int) -> bytes:
+    """Serialize a micro-unit integer to 8 signed big-endian bytes."""
+    return int(value).to_bytes(8, "big", signed=True)
+
+
+def decode_micro(data: bytes) -> int:
+    """Parse 8 signed big-endian bytes; malformed input decodes to 0.
+
+    Robust parsing matters: a Byzantine upstream may send arbitrary bytes,
+    and control tasks must remain total functions (they run every round).
+    """
+    if len(data) != 8:
+        return 0
+    return int.from_bytes(data[:8], "big", signed=True)
+
+
+def clamp(value: int, low: int, high: int) -> int:
+    """Clamp an integer into [low, high]."""
+    return max(low, min(high, value))

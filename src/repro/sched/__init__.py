@@ -1,0 +1,56 @@
+"""Real-time scheduling substrate.
+
+REBOUND's workload model (paper S2.3) is periodic data flows -- each a DAG
+of tasks with known period, worst-case execution time, deadline, and a
+per-flow criticality level -- executed under EDF on each controller.  Modes
+map tasks (plus fconc replicas each) to controllers; schedules for every
+reachable failure scenario are precomputed offline into a *mode tree*
+(paper S3.9), with an ILP minimizing mode-transition costs.
+
+* :mod:`repro.sched.task` -- tasks, flows, workloads, criticality levels.
+* :mod:`repro.sched.edf` -- EDF schedulability analysis and a job-level
+  EDF simulator.
+* :mod:`repro.sched.workload` -- the random workload generator of S5.1.
+* :mod:`repro.sched.ilp` -- a from-scratch 0-1 branch-and-bound ILP solver
+  (the Gurobi substitute).
+* :mod:`repro.sched.assign` -- per-mode task assignment: feasibility
+  checking, greedy first-fit heuristic, and exact ILP assignment.
+* :mod:`repro.sched.modegen` -- mode-tree generation, sizing, and lookup.
+"""
+
+from repro.sched.task import (
+    CRITICALITY_HIGH,
+    CRITICALITY_LOW,
+    CRITICALITY_MEDIUM,
+    CRITICALITY_VERY_HIGH,
+    Flow,
+    Task,
+    Workload,
+    chemical_plant_workload,
+)
+from repro.sched.edf import EDFSimulator, edf_schedulable
+from repro.sched.workload import WorkloadGenerator
+from repro.sched.ilp import ILPStatus, ZeroOneILP
+from repro.sched.assign import ModeSchedule, ScheduleBuilder
+from repro.sched.modegen import FailureScenario, ModeTree, ModeTreeGenerator
+
+__all__ = [
+    "CRITICALITY_VERY_HIGH",
+    "CRITICALITY_HIGH",
+    "CRITICALITY_MEDIUM",
+    "CRITICALITY_LOW",
+    "Task",
+    "Flow",
+    "Workload",
+    "chemical_plant_workload",
+    "edf_schedulable",
+    "EDFSimulator",
+    "WorkloadGenerator",
+    "ZeroOneILP",
+    "ILPStatus",
+    "ModeSchedule",
+    "ScheduleBuilder",
+    "FailureScenario",
+    "ModeTree",
+    "ModeTreeGenerator",
+]

@@ -1,0 +1,201 @@
+"""A from-scratch 0-1 integer linear program solver (Gurobi substitute).
+
+The paper uses Gurobi to find per-mode schedules (S3.9, S4).  Gurobi is
+proprietary and unavailable here, so we implement implicit enumeration
+(Balas-style branch-and-bound) for binary programs:
+
+    minimize    c . x
+    subject to  A x {<=, >=, ==} b,   x in {0,1}^n
+
+Pruning uses (a) constraint-interval propagation -- a partial assignment is
+abandoned as soon as some constraint cannot be satisfied by any completion --
+and (b) an optimistic objective bound -- the sum of all negative remaining
+costs.  Variables are branched in decreasing |cost| order, trying the
+cost-improving value first, so good incumbents are found early.
+
+This is exact and fast enough for the per-mode assignment instances the
+mode-tree generator produces (tens of binaries); the large Fig. 7/9 sweeps
+use the greedy scheduler in :mod:`repro.sched.assign` with identical
+feasibility checks.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class ILPStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    TIME_LIMIT = "time-limit"
+
+
+@dataclass
+class ILPSolution:
+    """Result of a solve: status, assignment by variable name, objective."""
+
+    status: ILPStatus
+    assignment: Dict[str, int]
+    objective: Optional[float]
+    nodes_explored: int = 0
+
+    @property
+    def feasible(self) -> bool:
+        return self.objective is not None
+
+
+@dataclass
+class _Constraint:
+    coeffs: Dict[int, float]
+    sense: str  # "<=", ">=", "=="
+    bound: float
+
+
+class ZeroOneILP:
+    """A binary integer program.
+
+    Usage::
+
+        ilp = ZeroOneILP()
+        x = ilp.add_variable("x", cost=2.0)
+        y = ilp.add_variable("y", cost=-1.0)
+        ilp.add_constraint({"x": 1, "y": 1}, "<=", 1)
+        solution = ilp.solve()
+    """
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._costs: List[float] = []
+        self._constraints: List[_Constraint] = []
+
+    # -- model building ------------------------------------------------------
+
+    def add_variable(self, name: str, cost: float = 0.0) -> str:
+        if name in self._index:
+            raise ValueError(f"duplicate variable {name!r}")
+        self._index[name] = len(self._names)
+        self._names.append(name)
+        self._costs.append(float(cost))
+        return name
+
+    def add_constraint(
+        self, coeffs: Dict[str, float], sense: str, bound: float
+    ) -> None:
+        if sense not in ("<=", ">=", "=="):
+            raise ValueError(f"bad sense {sense!r}")
+        resolved: Dict[int, float] = {}
+        for name, coeff in coeffs.items():
+            if name not in self._index:
+                raise ValueError(f"unknown variable {name!r}")
+            if coeff != 0:
+                resolved[self._index[name]] = float(coeff)
+        self._constraints.append(_Constraint(resolved, sense, float(bound)))
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    # -- solving ----------------------------------------------------------------
+
+    def solve(self, time_limit_s: float = 30.0) -> ILPSolution:
+        """Exact branch-and-bound solve (minimization)."""
+        n = len(self._names)
+        # Normalize constraints to <= form; keep == as a pair.
+        norm: List[Tuple[Dict[int, float], float]] = []
+        for con in self._constraints:
+            if con.sense in ("<=", "=="):
+                norm.append((con.coeffs, con.bound))
+            if con.sense in (">=", "=="):
+                norm.append(({i: -c for i, c in con.coeffs.items()}, -con.bound))
+
+        # Branch order: decreasing |cost|, then most-constrained.
+        order = sorted(range(n), key=lambda i: -abs(self._costs[i]))
+        position = {var: pos for pos, var in enumerate(order)}
+
+        # For propagation: per-constraint running LHS and the min possible
+        # remaining contribution (sum of negative coeffs of unassigned vars).
+        con_lhs = [0.0] * len(norm)
+        con_min_remaining = [
+            sum(c for c in coeffs.values() if c < 0) for coeffs, _ in norm
+        ]
+        # Optimistic objective: sum of negative costs of unassigned vars.
+        obj_min_remaining = sum(c for c in self._costs if c < 0)
+
+        # Var -> list of (constraint index, coeff).
+        var_cons: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        for ci, (coeffs, _b) in enumerate(norm):
+            for var, coeff in coeffs.items():
+                var_cons[var].append((ci, coeff))
+
+        assignment = [0] * n
+        best_obj: Optional[float] = None
+        best_assignment: Optional[List[int]] = None
+        nodes = 0
+        deadline = time.monotonic() + time_limit_s
+        timed_out = False
+
+        def feasible_now() -> bool:
+            return all(
+                con_lhs[ci] + con_min_remaining[ci] <= bound + 1e-9
+                for ci, (_c, bound) in enumerate(norm)
+            )
+
+        def dfs(depth: int, current_obj: float) -> None:
+            nonlocal best_obj, best_assignment, nodes, obj_min_remaining, timed_out
+            nodes += 1
+            if timed_out or (nodes % 1024 == 0 and time.monotonic() > deadline):
+                timed_out = True
+                return
+            if best_obj is not None and current_obj + obj_min_remaining >= best_obj - 1e-12:
+                return
+            if not feasible_now():
+                return
+            if depth == n:
+                if best_obj is None or current_obj < best_obj - 1e-12:
+                    best_obj = current_obj
+                    best_assignment = assignment.copy()
+                return
+            var = order[depth]
+            cost = self._costs[var]
+            values = (1, 0) if cost < 0 else (0, 1)
+            for value in values:
+                assignment[var] = value
+                delta_obj = cost * value
+                saved_minrem: List[Tuple[int, float]] = []
+                for ci, coeff in var_cons[var]:
+                    saved_minrem.append((ci, con_min_remaining[ci]))
+                    con_lhs[ci] += coeff * value
+                    if coeff < 0:
+                        con_min_remaining[ci] -= coeff
+                saved_obj_minrem = obj_min_remaining
+                if cost < 0:
+                    obj_min_remaining -= cost
+                dfs(depth + 1, current_obj + delta_obj)
+                obj_min_remaining = saved_obj_minrem
+                for (ci, coeff), (_ci2, minrem) in zip(var_cons[var], saved_minrem):
+                    con_lhs[ci] -= coeff * assignment[var]
+                    con_min_remaining[ci] = minrem
+                if timed_out:
+                    return
+            assignment[var] = 0
+
+        dfs(0, 0.0)
+
+        if best_assignment is None:
+            status = ILPStatus.TIME_LIMIT if timed_out else ILPStatus.INFEASIBLE
+            return ILPSolution(status=status, assignment={}, objective=None, nodes_explored=nodes)
+        status = ILPStatus.TIME_LIMIT if timed_out else ILPStatus.OPTIMAL
+        return ILPSolution(
+            status=status,
+            assignment={self._names[i]: best_assignment[i] for i in range(n)},
+            objective=best_obj,
+            nodes_explored=nodes,
+        )

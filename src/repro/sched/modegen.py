@@ -1,0 +1,341 @@
+"""Mode-tree generation (paper S3.9, evaluated in Fig. 7).
+
+Conceptually there is a mode for every failure scenario (KN, KL).  The
+generator organizes them into a tree rooted at the fault-free mode; children
+differ from their parents by exactly one additional node (or link) failure,
+and leaves are modes with ``fmax`` faults.  Schedules are computed bottom-up
+against the parent to minimize transition cost, and the whole tree is
+precomputed offline and stored on every node (a few MB, fitting embedded
+flash -- Fig. 7a).
+
+The number of node-fault vertices is sum_{i=0..fmax} C(n, i) (paper S5.4),
+which explodes for large n; like the paper we parallelize "per fault layer"
+conceptually, and additionally offer a *sampling estimator* used by the
+Fig. 7 benchmark at large n: it schedules the root plus a random sample of
+modes per layer and extrapolates total generation time and tree size.  The
+exact and estimated paths share all scheduling code.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.net.message import encode, register_message
+from repro.net.topology import Topology
+from repro.sched.assign import InfeasibleSchedule, ModeSchedule, ScheduleBuilder
+from repro.sched.task import Workload
+
+Link = Tuple[int, int]
+
+
+@register_message
+@dataclass(frozen=True)
+class FailureScenario:
+    """A failure pattern (KN, KL): known-failed nodes and links."""
+
+    nodes: FrozenSet[int]
+    links: FrozenSet[Link]
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.nodes) + len(self.links)
+
+    def with_node(self, node: int) -> "FailureScenario":
+        # Once a node is failed, all of its link faults are implied and
+        # dropped from KL (paper S3.2).
+        links = frozenset(l for l in self.links if node not in l)
+        return FailureScenario(nodes=self.nodes | {node}, links=links)
+
+    def with_link(self, link: Link) -> "FailureScenario":
+        a, b = sorted(link)
+        if a in self.nodes or b in self.nodes:
+            return self  # implied by a node fault already
+        return FailureScenario(nodes=self.nodes, links=self.links | {(a, b)})
+
+    def covers(self, other: "FailureScenario") -> bool:
+        """True if this scenario includes every fault of ``other``."""
+        if not other.nodes <= self.nodes:
+            return False
+        for link in other.links:
+            if link not in self.links and not (set(link) & self.nodes):
+                return False
+        return True
+
+
+EMPTY_SCENARIO = FailureScenario(nodes=frozenset(), links=frozenset())
+
+
+def normalize_scenario(
+    scenario: FailureScenario, fmax: int
+) -> FailureScenario:
+    """Map a scenario with more than ``fmax`` faults into the tree's domain.
+
+    Paper S3.2: a mode (KN, KL) with |KN| + |KL| > fmax can always be mapped
+    to one with |KN| + |KL| <= fmax by replacing some link faults with node
+    faults -- e.g. two LFDs sharing endpoint A imply (under the fault budget)
+    that A itself is faulty.  We greedily blame the endpoint incident to the
+    most failed links until the budget is met.
+    """
+    nodes = set(scenario.nodes)
+    links = {l for l in scenario.links if not (set(l) & nodes)}
+    while len(nodes) + len(links) > fmax and links:
+        counts: Dict[int, int] = {}
+        for a, b in links:
+            counts[a] = counts.get(a, 0) + 1
+            counts[b] = counts.get(b, 0) + 1
+        blamed = max(counts, key=lambda n: (counts[n], -n))
+        nodes.add(blamed)
+        links = {l for l in links if blamed not in l}
+    return FailureScenario(nodes=frozenset(nodes), links=frozenset(links))
+
+
+@dataclass
+class ModeTree:
+    """The generated tree: scenario -> schedule, with parent/child structure.
+
+    ``builder`` (attached by the generator) enables deterministic *on-demand*
+    scheduling for scenarios outside the precomputed tree -- chiefly
+    link-fault combinations, whose full cross-product is too large to
+    precompute (the paper notes schedules "could be computed on demand",
+    S3.9).  Because the builder is deterministic, every correct node
+    computes the identical schedule without coordination.
+    """
+
+    fmax: int
+    fconc: int
+    schedules: Dict[FailureScenario, ModeSchedule] = field(default_factory=dict)
+    parents: Dict[FailureScenario, Optional[FailureScenario]] = field(default_factory=dict)
+    children: Dict[FailureScenario, List[FailureScenario]] = field(default_factory=dict)
+    builder: Optional["ScheduleBuilder"] = None
+
+    @property
+    def num_modes(self) -> int:
+        return len(self.schedules)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(c) for c in self.children.values())
+
+    def schedule_for(self, scenario: FailureScenario) -> ModeSchedule:
+        """Look up the schedule for a (normalized) scenario.
+
+        Scenarios over budget are normalized per S3.2; scenarios absent from
+        the tree (e.g. a link combination that was pruned) fall back to the
+        closest generated ancestor that covers a maximal subset of the
+        faults -- conservative but always defined.
+        """
+        normalized = normalize_scenario(scenario, self.fmax)
+        if normalized in self.schedules:
+            return self.schedules[normalized]
+        best: Optional[FailureScenario] = None
+        for candidate in self.schedules:
+            if normalized.covers(candidate):
+                if best is None or candidate.fault_count > best.fault_count:
+                    best = candidate
+        if best is None:
+            best = EMPTY_SCENARIO
+        if self.builder is not None:
+            # Deterministic on-demand scheduling against the closest
+            # precomputed ancestor (minimizes transition cost).
+            try:
+                schedule = self.builder.build(
+                    failed_nodes=normalized.nodes,
+                    failed_links=normalized.links,
+                    parent=self.schedules[best],
+                )
+            except Exception:
+                return self.schedules[best]
+            self.schedules[normalized] = schedule
+            self.parents[normalized] = best
+            self.children.setdefault(best, []).append(normalized)
+            self.children.setdefault(normalized, [])
+            return schedule
+        return self.schedules[best]
+
+    def serialized_size(self) -> int:
+        """Bytes needed to store the tree on a node (Fig. 7a metric)."""
+        payload = [
+            (scenario, schedule)
+            for scenario, schedule in sorted(
+                self.schedules.items(), key=lambda kv: encode(kv[0])
+            )
+        ]
+        return len(encode(payload))
+
+    def depth_of(self, scenario: FailureScenario) -> int:
+        depth = 0
+        current = self.parents.get(scenario)
+        while current is not None:
+            depth += 1
+            current = self.parents.get(current)
+        return depth
+
+
+@dataclass
+class GenerationStats:
+    """Bookkeeping from a generation run (drives Fig. 7)."""
+
+    modes_generated: int
+    wall_time_s: float
+    estimated_total_modes: int
+    estimated_total_time_s: float
+    estimated_size_bytes: int
+
+
+class ModeTreeGenerator:
+    """Generates mode trees for node-fault (and optional link-fault) scenarios.
+
+    Args:
+        topology: the network.
+        workload: the flows to schedule.
+        fmax: maximum total faults planned for.
+        fconc: replicas per task (concurrent-fault bound).
+        include_link_faults: also expand single-link-failure children
+            (the full cross-product of link faults is enormous; the paper's
+            Fig. 7 sweep counts node-fault vertices, so the default is off).
+        method: ``"greedy"`` or ``"ilp"`` placement.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        workload: Workload,
+        fmax: int = 1,
+        fconc: int = 1,
+        include_link_faults: bool = False,
+        method: str = "greedy",
+        utilization_cap: float = 0.9,
+        pinned_primaries=None,
+    ):
+        if fmax < 0:
+            raise ValueError("fmax must be non-negative")
+        self.topology = topology
+        self.workload = workload
+        self.fmax = fmax
+        self.fconc = fconc
+        self.include_link_faults = include_link_faults
+        self.builder = ScheduleBuilder(
+            topology,
+            workload,
+            fconc=fconc,
+            utilization_cap=utilization_cap,
+            method=method,
+            pinned_primaries=pinned_primaries,
+        )
+
+    # -- exact generation ----------------------------------------------------
+
+    def generate(self) -> ModeTree:
+        """Generate the full tree (exponential in fmax; use for small n)."""
+        tree = ModeTree(fmax=self.fmax, fconc=self.fconc, builder=self.builder)
+        root_schedule = self.builder.build()
+        tree.schedules[EMPTY_SCENARIO] = root_schedule
+        tree.parents[EMPTY_SCENARIO] = None
+        tree.children[EMPTY_SCENARIO] = []
+        frontier = [EMPTY_SCENARIO]
+        for _layer in range(self.fmax):
+            next_frontier: List[FailureScenario] = []
+            for scenario in frontier:
+                for child in self._children_of(scenario):
+                    if child in tree.schedules:
+                        # DAG-shaped scenario space collapses onto the first
+                        # parent (the tree keeps one canonical parent).
+                        if child not in tree.children[scenario]:
+                            tree.children[scenario].append(child)
+                        continue
+                    try:
+                        schedule = self.builder.build(
+                            failed_nodes=child.nodes,
+                            failed_links=child.links,
+                            parent=tree.schedules[scenario],
+                        )
+                    except InfeasibleSchedule:
+                        continue
+                    tree.schedules[child] = schedule
+                    tree.parents[child] = scenario
+                    tree.children[scenario].append(child)
+                    tree.children[child] = []
+                    next_frontier.append(child)
+            frontier = next_frontier
+        return tree
+
+    def _children_of(self, scenario: FailureScenario) -> Iterable[FailureScenario]:
+        controllers = self.topology.controllers
+        for node in controllers:
+            if node not in scenario.nodes:
+                yield scenario.with_node(node)
+        if self.include_link_faults:
+            for link in self.topology.p2p_links:
+                a, b = tuple(sorted(link))
+                if (a, b) in scenario.links:
+                    continue
+                if a in scenario.nodes or b in scenario.nodes:
+                    continue
+                yield scenario.with_link((a, b))
+
+    # -- sampling estimator (Fig. 7 at large n) -----------------------------------
+
+    def layer_counts(self) -> List[int]:
+        """Number of node-fault scenarios per layer: C(n, i) for i <= fmax."""
+        n = len(self.topology.controllers)
+        return [math.comb(n, i) for i in range(self.fmax + 1)]
+
+    def estimate(self, samples_per_layer: int = 8, seed: int = 0) -> GenerationStats:
+        """Estimate full-tree generation cost by sampling each fault layer.
+
+        Schedules the root exactly, then for each layer draws random
+        scenarios, schedules them against the root (transition-cost parent),
+        and extrapolates per-layer time and per-mode serialized size to the
+        analytic layer counts.
+        """
+        rng = random.Random(seed)
+        controllers = self.topology.controllers
+        counts = self.layer_counts()
+        start = time.perf_counter()
+        root = self.builder.build()
+        root_time = time.perf_counter() - start
+        root_size = len(encode((EMPTY_SCENARIO, root)))
+
+        total_time = root_time
+        total_size = root_size
+        modes_generated = 1
+        for layer in range(1, self.fmax + 1):
+            count = counts[layer]
+            sample_n = min(samples_per_layer, count)
+            layer_time = 0.0
+            layer_size = 0
+            scheduled = 0
+            seen: Set[FrozenSet[int]] = set()
+            attempts = 0
+            while scheduled < sample_n and attempts < sample_n * 20:
+                attempts += 1
+                nodes = frozenset(rng.sample(controllers, layer))
+                if nodes in seen:
+                    continue
+                seen.add(nodes)
+                scenario = FailureScenario(nodes=nodes, links=frozenset())
+                t0 = time.perf_counter()
+                try:
+                    schedule = self.builder.build(
+                        failed_nodes=scenario.nodes, parent=root
+                    )
+                except InfeasibleSchedule:
+                    continue
+                layer_time += time.perf_counter() - t0
+                layer_size += len(encode((scenario, schedule)))
+                scheduled += 1
+            if scheduled:
+                total_time += layer_time / scheduled * count
+                total_size += layer_size // scheduled * count
+                modes_generated += scheduled
+        return GenerationStats(
+            modes_generated=modes_generated,
+            wall_time_s=time.perf_counter() - start,
+            estimated_total_modes=sum(counts),
+            estimated_total_time_s=total_time,
+            estimated_size_bytes=total_size,
+        )

@@ -1,0 +1,270 @@
+"""Task, flow, and workload model (paper S2.3, Fig. 1b/c).
+
+A *flow* originates at sensors, crosses controller tasks, and terminates at
+actuators.  Each task is periodic with a known worst-case execution time
+(WCET) and deadline; each flow carries a criticality level used to triage
+when resources run out.  Times are integer microseconds so that wire
+encodings are canonical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.net.message import register_message
+
+CRITICALITY_LOW = 1
+CRITICALITY_MEDIUM = 2
+CRITICALITY_HIGH = 3
+CRITICALITY_VERY_HIGH = 4
+
+CRITICALITY_NAMES = {
+    CRITICALITY_LOW: "low",
+    CRITICALITY_MEDIUM: "medium",
+    CRITICALITY_HIGH: "high",
+    CRITICALITY_VERY_HIGH: "very-high",
+}
+
+MS = 1000  # microseconds per millisecond
+
+
+@register_message
+@dataclass(frozen=True)
+class Task:
+    """A periodic task.
+
+    Attributes:
+        task_id: globally unique identifier.
+        flow_id: the flow this task belongs to.
+        name: human-readable label (e.g. ``"T3"``).
+        period_us: release period in microseconds.
+        wcet_us: worst-case execution time in microseconds.
+        deadline_us: relative deadline in microseconds (<= period for
+            constrained-deadline tasks; == period is the common CPS case).
+    """
+
+    task_id: int
+    flow_id: int
+    name: str
+    period_us: int
+    wcet_us: int
+    deadline_us: int
+
+    def __post_init__(self) -> None:
+        if self.period_us <= 0:
+            raise ValueError(f"task {self.name}: period must be positive")
+        if not 0 < self.wcet_us <= self.period_us:
+            raise ValueError(f"task {self.name}: WCET must be in (0, period]")
+        if not 0 < self.deadline_us <= self.period_us:
+            raise ValueError(f"task {self.name}: deadline must be in (0, period]")
+
+    @property
+    def utilization(self) -> float:
+        return self.wcet_us / self.period_us
+
+    @property
+    def implicit_deadline(self) -> bool:
+        return self.deadline_us == self.period_us
+
+
+@register_message
+@dataclass(frozen=True)
+class Flow:
+    """A data flow: a DAG of tasks between sensors and actuators.
+
+    Attributes:
+        flow_id: unique identifier.
+        name: label (e.g. ``"burner-control"``).
+        criticality: one of the CRITICALITY_* levels; higher is dropped last.
+        tasks: the flow's tasks in topological order.
+        edges: precedence edges between task ids (empty for a single task;
+            chain edges for pipeline flows; arbitrary DAG edges allowed --
+            the paper notes REBOUND supports DAG flows where Cascade only
+            supported chains).
+        sensors: node ids of the originating sensors.
+        actuators: node ids of the terminating actuators.
+        emergency_for: if >= 0, this flow is an *emergency substitute*
+            (paper S2.7): it stays inactive while the referenced flow runs,
+            and is scheduled only when that flow has to be dropped -- e.g.
+            a partition holding the burner but not the temperature sensor
+            schedules a task that shuts the burner off.
+    """
+
+    flow_id: int
+    name: str
+    criticality: int
+    tasks: Tuple[Task, ...]
+    edges: Tuple[Tuple[int, int], ...] = ()
+    sensors: Tuple[int, ...] = ()
+    actuators: Tuple[int, ...] = ()
+    emergency_for: int = -1
+
+    def __post_init__(self) -> None:
+        task_ids = {t.task_id for t in self.tasks}
+        if len(task_ids) != len(self.tasks):
+            raise ValueError(f"flow {self.name}: duplicate task ids")
+        for a, b in self.edges:
+            if a not in task_ids or b not in task_ids:
+                raise ValueError(f"flow {self.name}: edge ({a},{b}) references unknown task")
+        if self._has_cycle():
+            raise ValueError(f"flow {self.name}: precedence edges form a cycle")
+
+    def _has_cycle(self) -> bool:
+        adj: Dict[int, List[int]] = {t.task_id: [] for t in self.tasks}
+        indeg: Dict[int, int] = {t.task_id: 0 for t in self.tasks}
+        for a, b in self.edges:
+            adj[a].append(b)
+            indeg[b] += 1
+        queue = [t for t, d in indeg.items() if d == 0]
+        seen = 0
+        while queue:
+            node = queue.pop()
+            seen += 1
+            for nxt in adj[node]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        return seen != len(self.tasks)
+
+    @property
+    def utilization(self) -> float:
+        return sum(t.utilization for t in self.tasks)
+
+    def upstream_of(self, task_id: int) -> List[int]:
+        return sorted(a for a, b in self.edges if b == task_id)
+
+    def downstream_of(self, task_id: int) -> List[int]:
+        return sorted(b for a, b in self.edges if a == task_id)
+
+    def entry_tasks(self) -> List[Task]:
+        """Tasks with no upstream task (fed directly by sensors)."""
+        targets = {b for _, b in self.edges}
+        return [t for t in self.tasks if t.task_id not in targets]
+
+    def exit_tasks(self) -> List[Task]:
+        """Tasks with no downstream task (feeding actuators)."""
+        sources = {a for a, _ in self.edges}
+        return [t for t in self.tasks if t.task_id not in sources]
+
+    def is_chain(self) -> bool:
+        return all(
+            len(self.upstream_of(t.task_id)) <= 1 and len(self.downstream_of(t.task_id)) <= 1
+            for t in self.tasks
+        )
+
+
+class Workload:
+    """A collection of flows with unique task ids."""
+
+    def __init__(self, flows: Iterable[Flow]):
+        self.flows: Dict[int, Flow] = {}
+        self._task_index: Dict[int, Tuple[Flow, Task]] = {}
+        for flow in flows:
+            if flow.flow_id in self.flows:
+                raise ValueError(f"duplicate flow id {flow.flow_id}")
+            self.flows[flow.flow_id] = flow
+            for task in flow.tasks:
+                if task.task_id in self._task_index:
+                    raise ValueError(f"duplicate task id {task.task_id}")
+                self._task_index[task.task_id] = (flow, task)
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    @property
+    def tasks(self) -> List[Task]:
+        return [entry[1] for _, entry in sorted(self._task_index.items())]
+
+    def task(self, task_id: int) -> Task:
+        return self._task_index[task_id][1]
+
+    def flow_of(self, task_id: int) -> Flow:
+        return self._task_index[task_id][0]
+
+    @property
+    def total_utilization(self) -> float:
+        return sum(flow.utilization for flow in self.flows.values())
+
+    def flows_by_criticality(self) -> List[Flow]:
+        """Flows from most to least critical (drop order is the reverse)."""
+        return sorted(
+            self.flows.values(), key=lambda f: (-f.criticality, f.flow_id)
+        )
+
+    def normal_flows(self) -> List[Flow]:
+        """Non-emergency flows, most critical first."""
+        return [f for f in self.flows_by_criticality() if f.emergency_for < 0]
+
+    def emergency_flows(self) -> List[Flow]:
+        """Emergency substitutes, most critical first."""
+        return [f for f in self.flows_by_criticality() if f.emergency_for >= 0]
+
+    def subset(self, flow_ids: Iterable[int]) -> "Workload":
+        keep = set(flow_ids)
+        return Workload(f for fid, f in sorted(self.flows.items()) if fid in keep)
+
+
+def chemical_plant_workload(
+    sensors: Sequence[int] = (4, 5),
+    actuators: Sequence[int] = (6, 7, 8, 9),
+) -> Workload:
+    """The Fig. 1(b/c) workload: 8 tasks in 4 flows, 40 ms period, 8 ms WCET.
+
+    Flows: pressure alarm (very high, T1), burner control (high, T2-T3),
+    valve control (medium, T4-T5), monitor (low, T6-T7-T8).  Sensor and
+    actuator node ids default to the :func:`chemical_plant_topology` layout.
+    """
+    period = 40 * MS
+    wcet = 8 * MS
+
+    def mk(task_id: int, flow_id: int) -> Task:
+        return Task(
+            task_id=task_id,
+            flow_id=flow_id,
+            name=f"T{task_id}",
+            period_us=period,
+            wcet_us=wcet,
+            deadline_us=period,
+        )
+
+    s_pressure, s_temperature = sensors
+    a_alarm, a_burner, a_valve, a_monitor = actuators
+    flows = [
+        Flow(
+            flow_id=0,
+            name="pressure-alarm",
+            criticality=CRITICALITY_VERY_HIGH,
+            tasks=(mk(1, 0),),
+            sensors=(s_pressure,),
+            actuators=(a_alarm,),
+        ),
+        Flow(
+            flow_id=1,
+            name="burner-control",
+            criticality=CRITICALITY_HIGH,
+            tasks=(mk(2, 1), mk(3, 1)),
+            edges=((2, 3),),
+            sensors=(s_temperature,),
+            actuators=(a_burner,),
+        ),
+        Flow(
+            flow_id=2,
+            name="valve-control",
+            criticality=CRITICALITY_MEDIUM,
+            tasks=(mk(4, 2), mk(5, 2)),
+            edges=((4, 5),),
+            sensors=(s_pressure,),
+            actuators=(a_valve,),
+        ),
+        Flow(
+            flow_id=3,
+            name="monitor",
+            criticality=CRITICALITY_LOW,
+            tasks=(mk(6, 3), mk(7, 3), mk(8, 3)),
+            edges=((6, 7), (7, 8)),
+            sensors=(s_pressure, s_temperature),
+            actuators=(a_monitor,),
+        ),
+    ]
+    return Workload(flows)

@@ -1,0 +1,153 @@
+"""Random workload generation per the paper's simulation setup (S5.1).
+
+The paper generates applications as chains of 1-4 tasks with periods in
+[30 ms, 70 ms], application CPU utilization in [0.4, 0.7] of a node, task
+utilization consuming 25%-100% of the application utilization, execution
+time = task utilization x period, and deadline = period.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sched.task import (
+    CRITICALITY_HIGH,
+    CRITICALITY_LOW,
+    CRITICALITY_MEDIUM,
+    CRITICALITY_VERY_HIGH,
+    MS,
+    Flow,
+    Task,
+    Workload,
+)
+
+_CRITICALITIES = (
+    CRITICALITY_LOW,
+    CRITICALITY_MEDIUM,
+    CRITICALITY_HIGH,
+    CRITICALITY_VERY_HIGH,
+)
+
+
+class WorkloadGenerator:
+    """Generates random chain workloads with the paper's S5.1 parameters.
+
+    Attributes mirror the paper's ranges and can be overridden for ablations.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        period_range_ms: Tuple[int, int] = (30, 70),
+        app_utilization_range: Tuple[float, float] = (0.4, 0.7),
+        task_share_range: Tuple[float, float] = (0.25, 1.0),
+        chain_length_range: Tuple[int, int] = (1, 4),
+        dag_probability: float = 0.0,
+    ):
+        """``dag_probability`` > 0 turns some chains into diamonds/fan-outs
+        (REBOUND supports DAG flows where Cascade supported only chains,
+        S3.9); the paper's S5.1 sweep uses pure chains, hence default 0."""
+        self._rng = random.Random(seed)
+        self.period_range_ms = period_range_ms
+        self.app_utilization_range = app_utilization_range
+        self.task_share_range = task_share_range
+        self.chain_length_range = chain_length_range
+        self.dag_probability = dag_probability
+
+    def flow(
+        self,
+        flow_id: int,
+        first_task_id: int,
+        criticality: Optional[int] = None,
+        sensors: Sequence[int] = (),
+        actuators: Sequence[int] = (),
+    ) -> Flow:
+        """Generate one random chain flow.
+
+        The application utilization is drawn from ``app_utilization_range``;
+        each task's utilization consumes a fraction of it drawn from
+        ``task_share_range``, normalized so the chain sums to the drawn
+        application utilization.
+        """
+        rng = self._rng
+        length = rng.randint(*self.chain_length_range)
+        period_us = rng.randint(*self.period_range_ms) * MS
+        app_util = rng.uniform(*self.app_utilization_range)
+        shares = [rng.uniform(*self.task_share_range) for _ in range(length)]
+        scale = app_util / sum(shares)
+        tasks: List[Task] = []
+        for i, share in enumerate(shares):
+            wcet = max(1, int(share * scale * period_us))
+            tasks.append(
+                Task(
+                    task_id=first_task_id + i,
+                    flow_id=flow_id,
+                    name=f"F{flow_id}T{i}",
+                    period_us=period_us,
+                    wcet_us=min(wcet, period_us),
+                    deadline_us=period_us,
+                )
+            )
+        edges = self._edges_for(tasks)
+        return Flow(
+            flow_id=flow_id,
+            name=f"app-{flow_id}",
+            criticality=criticality
+            if criticality is not None
+            else rng.choice(_CRITICALITIES),
+            tasks=tuple(tasks),
+            edges=edges,
+            sensors=tuple(sensors),
+            actuators=tuple(actuators),
+        )
+
+    def _edges_for(self, tasks: List[Task]) -> Tuple[Tuple[int, int], ...]:
+        """Chain edges, or -- with ``dag_probability`` -- a diamond: the
+        middle tasks fan out from the first and merge into the last."""
+        length = len(tasks)
+        if length >= 4 and self._rng.random() < self.dag_probability:
+            first, last = tasks[0].task_id, tasks[-1].task_id
+            middle = [t.task_id for t in tasks[1:-1]]
+            edges = [(first, m) for m in middle]
+            edges += [(m, last) for m in middle]
+            return tuple(edges)
+        return tuple(
+            (tasks[i].task_id, tasks[i + 1].task_id) for i in range(length - 1)
+        )
+
+    def workload(
+        self,
+        target_utilization: float,
+        sensors: Sequence[int] = (),
+        actuators: Sequence[int] = (),
+    ) -> Workload:
+        """Generate flows until total utilization reaches ``target_utilization``.
+
+        The last flow is included even if it overshoots slightly, matching
+        the paper's practice of packing systems with more tasks than they
+        can handle and letting the scheduler drop the excess.
+        """
+        flows: List[Flow] = []
+        next_task_id = 1
+        utilization = 0.0
+        flow_id = 0
+        rng = self._rng
+        while utilization < target_utilization:
+            flow_sensors = (rng.choice(sensors),) if sensors else ()
+            flow_actuators = (rng.choice(actuators),) if actuators else ()
+            flow = self.flow(
+                flow_id,
+                next_task_id,
+                sensors=flow_sensors,
+                actuators=flow_actuators,
+            )
+            flows.append(flow)
+            next_task_id += len(flow.tasks)
+            utilization += flow.utilization
+            flow_id += 1
+        return Workload(flows)
+
+    def workloads(self, count: int, target_utilization: float) -> List[Workload]:
+        """Generate ``count`` independent workloads (paper: 75 for Fig. 9)."""
+        return [self.workload(target_utilization) for _ in range(count)]

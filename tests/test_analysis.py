@@ -1,0 +1,79 @@
+"""Tests for metrics collection and recovery measurement."""
+
+import pytest
+
+from repro.analysis.metrics import MetricsCollector
+from repro.analysis.recovery import RecoveryTimeline, measure_recovery
+from repro.core import ReboundConfig, ReboundSystem
+from repro.crypto.cost_model import CryptoCostModel
+from repro.faults.adversary import CrashBehavior
+from repro.net.topology import chemical_plant_topology
+from repro.sched.task import chemical_plant_workload
+
+
+@pytest.fixture
+def system():
+    topo = chemical_plant_topology()
+    wl = chemical_plant_workload()
+    cfg = ReboundConfig(fmax=2, fconc=1, variant="multi", rsa_bits=256)
+    return ReboundSystem(topo, wl, cfg, seed=1)
+
+
+class TestMetricsCollector:
+    def test_snapshots_accumulate(self, system):
+        collector = MetricsCollector(system)
+        snapshots = collector.run_and_sample(5)
+        assert len(snapshots) == 5
+        assert snapshots[-1].round_no == 5
+
+    def test_deltas_not_cumulative(self, system):
+        """Each snapshot covers one round, not the whole history."""
+        collector = MetricsCollector(system)
+        collector.run_and_sample(6)
+        ops = [s.ops_per_node() for s in collector.snapshots[2:]]
+        # Steady state: per-round ops should be flat, not growing.
+        assert max(ops) < 2 * min(ops) + 5
+
+    def test_steady_state_average(self, system):
+        collector = MetricsCollector(system)
+        collector.run_and_sample(6)
+        steady = collector.steady_state(tail=3)
+        assert steady.bytes_per_link > 0
+        assert steady.storage_per_node > 0
+
+    def test_steady_state_requires_samples(self, system):
+        collector = MetricsCollector(system)
+        with pytest.raises(ValueError):
+            collector.steady_state()
+
+    def test_cpu_seconds(self, system):
+        collector = MetricsCollector(system)
+        collector.run_and_sample(3)
+        snap = collector.snapshots[-1]
+        model = CryptoCostModel(profile="x86")
+        assert snap.cpu_seconds_per_node(model) > 0
+
+
+class TestRecoveryMeasurement:
+    def test_crash_timeline(self, system):
+        system.run(10)
+        victim = system.topology.node_by_name("N4")
+        timeline = measure_recovery(
+            system, lambda: system.inject_now(victim, CrashBehavior())
+        )
+        assert timeline.recovered
+        assert timeline.detection_rounds is not None
+        assert timeline.detection_rounds <= 3
+        assert timeline.recovery_rounds <= 8
+        assert timeline.detection_round <= timeline.recovery_round
+
+    def test_recovery_time_units(self):
+        timeline = RecoveryTimeline(fault_round=10, recovery_round=15)
+        assert timeline.recovery_rounds == 5
+        assert timeline.recovery_time_us(40_000) == 200_000  # 5 x 40 ms
+
+    def test_unrecovered_timeline(self):
+        timeline = RecoveryTimeline(fault_round=10)
+        assert not timeline.recovered
+        assert timeline.recovery_rounds is None
+        assert timeline.recovery_time_us(40_000) is None

@@ -1,0 +1,150 @@
+"""Tests for operator repair & blessing (paper S2.4).
+
+"We continue to consider it faulty until it is repaired and blessed by an
+external operator" -- blessing is the only way back in, and only the
+operator's signature opens the door.
+"""
+
+import pytest
+
+from repro.core import ReboundConfig, ReboundSystem
+from repro.core.blessing import Blessing, absolves, accusation_round, blessing_body
+from repro.core.evidence import EquivocationPoM, EvidenceSet, EvidenceVerifier, LFD
+from repro.crypto.rsa import RSAKeyPair
+from repro.faults.adversary import CrashBehavior, RandomOutputBehavior
+from repro.net.topology import chemical_plant_topology
+from repro.sched.task import chemical_plant_workload
+
+
+def _plant(seed=1):
+    topo = chemical_plant_topology()
+    wl = chemical_plant_workload()
+    cfg = ReboundConfig(fmax=3, fconc=1, variant="multi", rsa_bits=256)
+    system = ReboundSystem(topo, wl, cfg, seed=seed)
+    system.run(15)
+    return system
+
+
+def _run_until_root_mode(system, max_rounds=18):
+    for _ in range(max_rounds):
+        system.run_round()
+        if dict(system.mode_census()) == {((), ()): 4}:
+            return True
+    return False
+
+
+class TestBlessingPrimitives:
+    def test_absolves_lfd_up_to_round(self):
+        lfd = LFD(a=1, b=2, declared_round=10, issuer=1, signature=b"")
+        early = Blessing(node_id=1, as_of_round=10, epoch=1, signature=b"")
+        late = Blessing(node_id=1, as_of_round=9, epoch=1, signature=b"")
+        other = Blessing(node_id=3, as_of_round=99, epoch=1, signature=b"")
+        assert absolves(early, lfd)
+        assert not absolves(late, lfd)  # LFD is newer than the blessing
+        assert not absolves(other, lfd)  # different node
+
+    def test_accusation_round_extraction(self):
+        from repro.core.evidence import heartbeat_body
+
+        lfd = LFD(a=1, b=2, declared_round=7, issuer=1, signature=b"")
+        assert accusation_round(lfd) == 7
+        pom = EquivocationPoM(
+            accused=1, body_a=heartbeat_body(5, 0), sig_a=b"",
+            body_b=heartbeat_body(5, 1), sig_b=b"",
+        )
+        assert accusation_round(pom) == 5
+
+    def test_evidence_set_pattern_respects_blessing(self):
+        es = EvidenceSet()
+        es.add(LFD(a=0, b=1, declared_round=5, issuer=0, signature=b""))
+        es.add(LFD(a=0, b=2, declared_round=5, issuer=0, signature=b""))
+        assert es.failure_pattern(fmax=1).nodes == {0}
+        es.add(Blessing(node_id=0, as_of_round=6, epoch=1, signature=b""))
+        pattern = es.failure_pattern(fmax=1)
+        assert pattern.nodes == frozenset()
+        assert pattern.links == frozenset()
+
+    def test_newer_evidence_survives_blessing(self):
+        es = EvidenceSet()
+        es.add(Blessing(node_id=0, as_of_round=6, epoch=1, signature=b""))
+        es.add(LFD(a=0, b=1, declared_round=9, issuer=1, signature=b""))
+        assert es.failure_pattern(fmax=2).links == {(0, 1)}
+
+    def test_verifier_checks_operator_signature(self):
+        operator = RSAKeyPair(bits=256, seed=42)
+        mallory = RSAKeyPair(bits=256, seed=43)
+        verifier = EvidenceVerifier(
+            verify_signature=lambda *_: False,
+            verify_operator=lambda body, sig: operator.public_key.verify(
+                body, __import__("repro.crypto.rsa", fromlist=["RSASignature"])
+                .RSASignature.from_bytes(sig)
+            ),
+        )
+        body = blessing_body(3, 10, 1)
+        good = Blessing(node_id=3, as_of_round=10, epoch=1,
+                        signature=operator.sign(body).to_bytes())
+        forged = Blessing(node_id=3, as_of_round=10, epoch=1,
+                          signature=mallory.sign(body).to_bytes())
+        assert verifier.verify(good)
+        assert not verifier.verify(forged)
+
+    def test_verifier_without_operator_rejects(self):
+        verifier = EvidenceVerifier(verify_signature=lambda *_: True)
+        blessing = Blessing(node_id=3, as_of_round=10, epoch=1, signature=b"x")
+        assert not verifier.verify(blessing)
+
+
+class TestRepairAndBless:
+    @pytest.mark.parametrize(
+        "behavior_factory", [CrashBehavior, lambda: RandomOutputBehavior(seed=3)]
+    )
+    def test_full_cycle(self, behavior_factory):
+        """Compromise -> recover -> repair+bless -> full re-admission."""
+        system = _plant()
+        victim = system.topology.node_by_name("N2")
+        system.inject_now(victim, behavior_factory())
+        system.run(10)
+        assert system.converged()
+        assert victim not in system.nodes[0].current_schedule.placements.values()
+
+        system.repair_and_bless(victim)
+        assert _run_until_root_mode(system), "system never returned to root mode"
+        schedule = system.nodes[0].current_schedule
+        assert schedule.active_flows == frozenset(system.workload.flows)
+        assert victim in schedule.placements.values()
+
+    def test_blessed_node_participates_again(self):
+        system = _plant()
+        victim = system.topology.node_by_name("N3")
+        system.inject_now(victim, CrashBehavior())
+        system.run(10)
+        system.repair_and_bless(victim)
+        assert _run_until_root_mode(system)
+        system.run(8)
+        # The blessed node audits/executes again and nobody re-accuses it.
+        assert len(system.nodes[victim].auditing.primaries) > 0 or len(
+            system.nodes[victim].auditing.replica_copies
+        ) > 0
+        for node_id in system.correct_controllers():
+            assert victim not in system.nodes[node_id].fault_pattern.nodes
+
+    def test_recompromise_after_blessing_detected_again(self):
+        """A blessing absolves the past, not the future (epoch semantics)."""
+        system = _plant()
+        victim = system.topology.node_by_name("N4")
+        system.inject_now(victim, CrashBehavior())
+        system.run(10)
+        system.repair_and_bless(victim)
+        assert _run_until_root_mode(system)
+        system.run(6)
+        # Strike two.
+        system.inject_now(victim, CrashBehavior())
+        system.run(10)
+        assert system.detected()
+        assert system.converged()
+        assert victim not in system.nodes[0].current_schedule.placements.values()
+
+    def test_bless_non_controller_rejected(self):
+        system = _plant()
+        with pytest.raises(ValueError):
+            system.repair_and_bless(system.topology.node_by_name("S1"))

@@ -1,0 +1,291 @@
+"""Tests for evidence items, verification, and failure-pattern derivation."""
+
+import pytest
+
+from repro.core.evidence import (
+    BadComputationPoM,
+    EquivocationPoM,
+    EvidenceSet,
+    EvidenceVerifier,
+    LFD,
+    data_body,
+    evidence_digest,
+    heartbeat_body,
+    lfd_body,
+    slot_of,
+)
+from repro.crypto.rsa import RSAKeyPair
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return {i: RSAKeyPair(bits=256, seed=100 + i) for i in range(4)}
+
+
+@pytest.fixture
+def verifier(keys):
+    def verify_sig(node_id, body, sig_bytes):
+        from repro.crypto.rsa import RSASignature
+
+        kp = keys.get(node_id)
+        if kp is None:
+            return False
+        try:
+            sig = RSASignature.from_bytes(sig_bytes)
+        except (ValueError, IndexError):
+            return False
+        return kp.public_key.verify(body, sig)
+
+    # Replay: the "task" doubles each input byte-wise; state is ignored.
+    def replay(task_id, state, inputs, round_no):
+        if task_id != 7:
+            return None
+        return b"".join(
+            bytes([b * 2 % 256])
+            for _origin, _path, _r, payload, _sig in inputs
+            for b in payload
+        )
+
+    return EvidenceVerifier(verify_sig, replay_task=replay)
+
+
+def _sign(keys, node, body):
+    return keys[node].sign(body).to_bytes()
+
+
+class TestBodies:
+    def test_heartbeat_body_excludes_identity(self):
+        # Critical for aggregation: same round+delta => same bytes.
+        assert heartbeat_body(5, 0) == heartbeat_body(5, 0)
+        assert heartbeat_body(5, 0) != heartbeat_body(6, 0)
+        assert heartbeat_body(5, 0) != heartbeat_body(5, 1)
+
+    def test_slot_of_heartbeat(self):
+        assert slot_of(heartbeat_body(5, 0)) == ("HB", 5)
+        assert slot_of(heartbeat_body(5, 3)) == ("HB", 5)
+
+    def test_slot_of_data(self):
+        assert slot_of(data_body(2, 9, b"x")) == ("DATA", 2, 9)
+
+    def test_slot_of_garbage(self):
+        assert slot_of(b"\xff\xff") is None
+        assert slot_of(lfd_body(1, 2, 3)) is None
+
+    def test_lfd_body_symmetric(self):
+        assert lfd_body(1, 2, 5) == lfd_body(2, 1, 5)
+
+
+class TestLFDVerification:
+    def test_valid_lfd(self, keys, verifier):
+        lfd = LFD(a=0, b=1, declared_round=3, issuer=0,
+                  signature=_sign(keys, 0, lfd_body(0, 1, 3)))
+        assert verifier.verify(lfd)
+
+    def test_either_endpoint_may_issue(self, keys, verifier):
+        lfd = LFD(a=0, b=1, declared_round=3, issuer=1,
+                  signature=_sign(keys, 1, lfd_body(0, 1, 3)))
+        assert verifier.verify(lfd)
+
+    def test_third_party_cannot_issue(self, keys, verifier):
+        lfd = LFD(a=0, b=1, declared_round=3, issuer=2,
+                  signature=_sign(keys, 2, lfd_body(0, 1, 3)))
+        assert not verifier.verify(lfd)
+
+    def test_bad_signature_rejected(self, keys, verifier):
+        lfd = LFD(a=0, b=1, declared_round=3, issuer=0,
+                  signature=_sign(keys, 0, lfd_body(0, 1, 4)))  # wrong round
+        assert not verifier.verify(lfd)
+
+    def test_self_link_rejected(self, keys, verifier):
+        lfd = LFD(a=0, b=0, declared_round=3, issuer=0,
+                  signature=_sign(keys, 0, lfd_body(0, 0, 3)))
+        assert not verifier.verify(lfd)
+
+    def test_link_property_sorted(self):
+        lfd = LFD(a=5, b=2, declared_round=0, issuer=5, signature=b"")
+        assert lfd.link == (2, 5)
+
+
+class TestEquivocationVerification:
+    def test_valid_equivocation(self, keys, verifier):
+        body_a = heartbeat_body(5, 0)
+        body_b = heartbeat_body(5, 2)
+        pom = EquivocationPoM(
+            accused=1,
+            body_a=body_a, sig_a=_sign(keys, 1, body_a),
+            body_b=body_b, sig_b=_sign(keys, 1, body_b),
+        )
+        assert verifier.verify(pom)
+
+    def test_identical_bodies_rejected(self, keys, verifier):
+        body = heartbeat_body(5, 0)
+        pom = EquivocationPoM(
+            accused=1, body_a=body, sig_a=_sign(keys, 1, body),
+            body_b=body, sig_b=_sign(keys, 1, body),
+        )
+        assert not verifier.verify(pom)
+
+    def test_different_slots_rejected(self, keys, verifier):
+        body_a, body_b = heartbeat_body(5, 0), heartbeat_body(6, 0)
+        pom = EquivocationPoM(
+            accused=1, body_a=body_a, sig_a=_sign(keys, 1, body_a),
+            body_b=body_b, sig_b=_sign(keys, 1, body_b),
+        )
+        assert not verifier.verify(pom)
+
+    def test_forged_signature_rejected(self, keys, verifier):
+        """A frame-up: node 2 signs, but node 1 is accused (Req. 3)."""
+        body_a, body_b = heartbeat_body(5, 0), heartbeat_body(5, 1)
+        pom = EquivocationPoM(
+            accused=1, body_a=body_a, sig_a=_sign(keys, 2, body_a),
+            body_b=body_b, sig_b=_sign(keys, 2, body_b),
+        )
+        assert not verifier.verify(pom)
+
+    def test_data_equivocation(self, keys, verifier):
+        body_a = data_body(3, 8, b"left")
+        body_b = data_body(3, 8, b"right")
+        pom = EquivocationPoM(
+            accused=0, body_a=body_a, sig_a=_sign(keys, 0, body_a),
+            body_b=body_b, sig_b=_sign(keys, 0, body_b),
+        )
+        assert verifier.verify(pom)
+
+
+class TestBadComputationVerification:
+    def _pom(self, keys, claimed_output, accused=1, round_no=4, task_id=7,
+             tamper_input_payload=None, bundle_round=None):
+        from repro.crypto.hashing import hash_bytes
+        from repro.net.message import encode
+
+        payload = b"\x03"
+        input_sig = _sign(keys, 0, data_body(5, round_no - 1, hash_bytes(payload)))
+        input_payload = tamper_input_payload if tamper_input_payload is not None else payload
+        inputs = ((0, 5, round_no - 1, input_payload, input_sig),)
+        bundle_payload = encode((bundle_round if bundle_round is not None else round_no,
+                                 b"", inputs))
+        bundle_sig = _sign(
+            keys, accused, data_body(20, round_no, hash_bytes(bundle_payload))
+        )
+        digest = hash_bytes(claimed_output)
+        out_sig = _sign(keys, accused, data_body(9, round_no, digest))
+        return BadComputationPoM(
+            accused=accused,
+            task_id=task_id,
+            round_no=round_no,
+            bundle_payload=bundle_payload,
+            bundle_signature=bundle_sig,
+            input_path_id=20,
+            claimed_output_digest=digest,
+            claimed_signature=out_sig,
+            output_path_id=9,
+        )
+
+    def test_wrong_output_condemned(self, keys, verifier):
+        pom = self._pom(keys, claimed_output=b"\x99")  # correct would be 0x06
+        assert verifier.verify(pom)
+
+    def test_correct_output_not_condemned(self, keys, verifier):
+        """Accuracy: a PoM against a correct computation must not verify."""
+        pom = self._pom(keys, claimed_output=b"\x06")
+        assert not verifier.verify(pom)
+
+    def test_bundle_with_tampered_input_condemns_bundle_signer(self, keys, verifier):
+        """A signed bundle containing an unsigned input is itself proof."""
+        pom = self._pom(keys, claimed_output=b"\x06", tamper_input_payload=b"\x04")
+        assert verifier.verify(pom)
+
+    def test_bundle_with_lying_round_condemned(self, keys, verifier):
+        pom = self._pom(keys, claimed_output=b"\x06", bundle_round=99)
+        assert verifier.verify(pom)
+
+    def test_forged_output_signature_rejected(self, keys, verifier):
+        good = self._pom(keys, claimed_output=b"\x99")
+        forged = BadComputationPoM(
+            accused=good.accused, task_id=good.task_id, round_no=good.round_no,
+            bundle_payload=good.bundle_payload,
+            bundle_signature=good.bundle_signature,
+            input_path_id=good.input_path_id,
+            claimed_output_digest=good.claimed_output_digest,
+            claimed_signature=b"\x00\x01\x00",
+            output_path_id=good.output_path_id,
+        )
+        assert not verifier.verify(forged)
+
+    def test_unknown_task_rejected(self, keys, verifier):
+        pom = self._pom(keys, claimed_output=b"\x99", task_id=12345)
+        assert not verifier.verify(pom)
+
+
+class TestEvidenceSet:
+    def _lfd(self, a, b, r=0):
+        return LFD(a=a, b=b, declared_round=r, issuer=a, signature=b"sig")
+
+    def test_add_and_contains(self):
+        es = EvidenceSet()
+        lfd = self._lfd(0, 1)
+        assert es.add(lfd)
+        assert not es.add(lfd)  # duplicate
+        assert lfd in es
+        assert len(es) == 1
+
+    def test_digest_changes_on_add(self):
+        es = EvidenceSet()
+        d0 = es.digest()
+        es.add(self._lfd(0, 1))
+        assert es.digest() != d0
+
+    def test_digest_order_independent(self):
+        a, b = EvidenceSet(), EvidenceSet()
+        l1, l2 = self._lfd(0, 1), self._lfd(2, 3)
+        a.add(l1), a.add(l2)
+        b.add(l2), b.add(l1)
+        assert a.digest() == b.digest()
+
+    def test_merge_returns_new(self):
+        a, b = EvidenceSet(), EvidenceSet()
+        l1, l2 = self._lfd(0, 1), self._lfd(2, 3)
+        a.add(l1)
+        b.add(l1), b.add(l2)
+        added = a.merge(b)
+        assert added == [l2]
+        assert len(a) == 2
+
+    def test_failure_pattern_pom_nodes(self):
+        es = EvidenceSet()
+        es.add(EquivocationPoM(accused=3, body_a=b"a", sig_a=b"", body_b=b"b", sig_b=b""))
+        pattern = es.failure_pattern(fmax=2)
+        assert pattern.nodes == {3}
+
+    def test_failure_pattern_absorbs_links_of_accused(self):
+        es = EvidenceSet()
+        es.add(EquivocationPoM(accused=3, body_a=b"a", sig_a=b"", body_b=b"b", sig_b=b""))
+        es.add(self._lfd(3, 4))
+        pattern = es.failure_pattern(fmax=2)
+        assert pattern.nodes == {3}
+        assert pattern.links == frozenset()
+
+    def test_failure_pattern_lfd_inference(self):
+        """fmax=1 and two LFDs sharing node 0 => node 0 is faulty (S3.2)."""
+        es = EvidenceSet()
+        es.add(self._lfd(0, 1))
+        es.add(self._lfd(0, 2))
+        pattern = es.failure_pattern(fmax=1)
+        assert pattern.nodes == {0}
+        assert pattern.links == frozenset()
+
+    def test_failure_pattern_single_lfd_stays_link(self):
+        es = EvidenceSet()
+        es.add(self._lfd(0, 1))
+        pattern = es.failure_pattern(fmax=2)
+        assert pattern.nodes == frozenset()
+        assert pattern.links == {(0, 1)}
+
+    def test_serialized_size(self):
+        es = EvidenceSet()
+        empty = es.serialized_size()
+        es.add(self._lfd(0, 1))
+        assert es.serialized_size() > empty
+
+    def test_evidence_digest_distinct(self):
+        assert evidence_digest(self._lfd(0, 1)) != evidence_digest(self._lfd(0, 2))

@@ -1,0 +1,380 @@
+"""Unit tests for the forwarding layer, driven directly (no full system).
+
+Integration tests exercise the layer through the runtime; these pin down
+the layer's own contract: message validation, the detection rules, evidence
+handling, aggregation state, and the transmission plan.
+"""
+
+from typing import Any, List
+
+import pytest
+
+from repro.core.config import ReboundConfig
+from repro.core.evidence import EvidenceVerifier, LFD, lfd_body
+from repro.core.forwarding import (
+    DataPacket,
+    ForwardingLayer,
+    RoundMessage,
+    RoundOutput,
+)
+from repro.core.heartbeat import HeartbeatRecord
+from repro.core.identity import Directory
+from repro.core.paths import PATH_DATA, Path, PathSet
+from repro.crypto.hashing import hash_bytes
+from repro.net.topology import line_topology, ring_topology
+
+
+def _make_layer(topo, node_id, directory, variant="basic", d_max=4,
+                on_packet=None, **config_kwargs):
+    config = ReboundConfig(
+        fmax=1, fconc=1, variant=variant, d_max=d_max, rsa_bits=256,
+        **config_kwargs,
+    )
+    crypto = directory.crypto_for(node_id)
+    verifier = EvidenceVerifier(verify_signature=crypto.verify)
+    received_evidence: List[Any] = []
+    delivered: List[Any] = []
+    layer = ForwardingLayer(
+        node_id=node_id,
+        topology=topo,
+        config=config,
+        crypto=crypto,
+        verifier=verifier,
+        on_new_evidence=received_evidence.append,
+        on_packet=on_packet or (lambda *a: delivered.append(a)),
+    )
+    layer.start(0)
+    layer._test_evidence_events = received_evidence
+    layer._test_delivered = delivered
+    return layer
+
+
+@pytest.fixture
+def ring():
+    topo = ring_topology(4)
+    directory = Directory(rsa_bits=256, seed=5)
+    for n in topo.nodes:
+        directory.register(n)
+    return topo, directory
+
+
+def _own_record(directory, origin, round_no, delta=0, variant="basic"):
+    crypto = directory.crypto_for(origin)
+    from repro.core.evidence import heartbeat_body
+
+    body = heartbeat_body(round_no, delta)
+    if variant == "multi":
+        value = crypto.ms_sign(body)
+        sig = value.to_bytes(directory.group.element_size, "big")
+    else:
+        sig = crypto.sign(body)
+    return HeartbeatRecord(origin=origin, round_no=round_no,
+                           delta_count=delta, signature=sig)
+
+
+def _msg(sender, round_no, records=(), evidence=(), packets=(), aggregates=()):
+    return RoundMessage(sender=sender, round_no=round_no,
+                        records=tuple(records), aggregates=tuple(aggregates),
+                        evidence=tuple(evidence), packets=tuple(packets))
+
+
+class TestMessageValidation:
+    def test_wrong_sender_field_yields_lfd(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        layer.begin_round(2)
+        layer.receive(2, 1, _msg(sender=3, round_no=1))  # spoofed sender
+        assert (0, 1) in {l.link for l in layer.evidence.items()}
+
+    def test_wrong_round_yields_lfd(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        layer.begin_round(5)
+        layer.receive(5, 1, _msg(sender=1, round_no=2))  # stale round
+        assert len(layer.evidence) == 1
+
+    def test_non_roundmessage_ignored(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        layer.begin_round(2)
+        layer.receive(2, 1, b"garbage")
+        # Garbage is dropped silently here; Rule A catches the missing
+        # message at end of round.
+        assert len(layer.evidence) == 0
+
+    def test_valid_heartbeat_accepted(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        rec = _own_record(directory, 1, 1)
+        layer.begin_round(2)
+        layer.receive(2, 1, _msg(sender=1, round_no=1, records=[rec]))
+        assert layer.store.get(1, 1) is not None
+        assert len(layer.evidence) == 0
+
+    def test_forged_heartbeat_yields_lfd(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        rec = HeartbeatRecord(origin=2, round_no=1, delta_count=0,
+                              signature=b"\x00\x20" + b"\x99" * 32)
+        layer.begin_round(2)
+        layer.receive(2, 1, _msg(sender=1, round_no=1, records=[rec]))
+        assert len(layer.evidence) == 1  # LFD against the forwarding link
+
+
+class TestEquivocationDetection:
+    def test_conflicting_heartbeats_produce_pom(self, ring):
+        from repro.core.evidence import EquivocationPoM
+
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        rec_a = _own_record(directory, 2, 1, delta=0)
+        rec_b = _own_record(directory, 2, 1, delta=3)
+        layer.begin_round(2)
+        layer.receive(2, 1, _msg(sender=1, round_no=1, records=[rec_a]))
+        layer.receive(2, 3, _msg(sender=3, round_no=1, records=[rec_b]))
+        poms = [i for i in layer.evidence.items() if isinstance(i, EquivocationPoM)]
+        assert len(poms) == 1
+        assert poms[0].accused == 2
+
+
+class TestRuleA:
+    def test_silent_neighbor_gets_lfd(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        # Rounds 1-2 are the join grace period; run until Rule A is active.
+        for r in (1, 2, 3):
+            layer.begin_round(r)
+            if r < 3:
+                for j in (1, 3):
+                    layer.receive(r, j, _msg(sender=j, round_no=r - 1,
+                                             records=[_own_record(directory, j, r - 1)]))
+            else:
+                layer.receive(r, 1, _msg(sender=1, round_no=2,
+                                         records=[_own_record(directory, 1, 2)]))
+                # neighbor 3 stays silent
+            layer.end_round()
+        links = {l.link for l in layer.evidence.items() if isinstance(l, LFD)}
+        assert (0, 3) in links
+        assert (0, 1) not in links
+
+    def test_excluded_neighbor_not_expected(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        # Make node 3 faulty in the local pattern via a verified PoM.
+        from repro.core.evidence import EquivocationPoM, heartbeat_body
+
+        crypto3 = directory.crypto_for(3)
+        body_a, body_b = heartbeat_body(1, 0), heartbeat_body(1, 2)
+        pom = EquivocationPoM(
+            accused=3,
+            body_a=body_a, sig_a=crypto3.sign(body_a),
+            body_b=body_b, sig_b=crypto3.sign(body_b),
+        )
+        layer.submit_evidence(pom)
+        assert 3 in layer.fault_pattern.nodes
+        # Silence from node 3 must no longer trigger LFDs.
+        for r in (1, 2, 3, 4):
+            layer.begin_round(r)
+            layer.receive(r, 1, _msg(sender=1, round_no=r - 1,
+                                     records=[_own_record(directory, 1, r - 1)]))
+            layer.end_round()
+        links = {l.link for l in layer.evidence.items() if isinstance(l, LFD)}
+        assert (0, 3) not in links
+
+
+class TestEvidenceFlow:
+    def test_valid_lfd_adopted_and_forwarded(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        crypto2 = directory.crypto_for(2)
+        lfd = LFD(a=2, b=3, declared_round=1, issuer=2,
+                  signature=crypto2.sign(lfd_body(2, 3, 1)))
+        layer.begin_round(2)
+        layer.receive(2, 1, _msg(sender=1, round_no=1,
+                                 records=[_own_record(directory, 1, 1)],
+                                 evidence=[lfd]))
+        assert lfd in layer.evidence
+        output = layer.end_round()
+        assert lfd in output.evidence  # forwarded exactly once
+
+    def test_invalid_evidence_blames_forwarder(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        bogus = LFD(a=2, b=3, declared_round=1, issuer=2, signature=b"\x00\x01\x00")
+        layer.begin_round(2)
+        layer.receive(2, 1, _msg(sender=1, round_no=1,
+                                 records=[_own_record(directory, 1, 1)],
+                                 evidence=[bogus]))
+        assert bogus not in layer.evidence
+        links = {l.link for l in layer.evidence.items() if isinstance(l, LFD)}
+        assert (0, 1) in links
+
+    def test_duplicate_evidence_not_reforwarded(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        crypto2 = directory.crypto_for(2)
+        lfd = LFD(a=2, b=3, declared_round=1, issuer=2,
+                  signature=crypto2.sign(lfd_body(2, 3, 1)))
+        layer.begin_round(2)
+        layer.receive(2, 1, _msg(sender=1, round_no=1,
+                                 records=[_own_record(directory, 1, 1)],
+                                 evidence=[lfd]))
+        layer.end_round()
+        layer.begin_round(3)
+        layer.receive(3, 3, _msg(sender=3, round_no=2,
+                                 records=[_own_record(directory, 3, 2)],
+                                 evidence=[lfd]))
+        output = layer.end_round()
+        assert lfd not in output.evidence
+
+    def test_lfd_issued_once_per_link(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        layer.begin_round(1)
+        layer.issue_lfd(1)
+        layer.issue_lfd(1)
+        lfds = [i for i in layer.evidence.items() if isinstance(i, LFD)]
+        assert len(lfds) == 1
+
+
+class TestPackets:
+    def _path(self, hops, path_id=77):
+        return Path(path_id=path_id, kind=PATH_DATA, hops=tuple(hops),
+                    flow_id=0, task_from=1, copy_from=0, task_to=2, copy_to=0)
+
+    def _signed_packet(self, directory, path, origin_round, payload):
+        from repro.core.evidence import data_body
+
+        crypto = directory.crypto_for(path.hops[0])
+        body = data_body(path.path_id, origin_round, hash_bytes(payload))
+        return DataPacket(path_id=path.path_id, origin_round=origin_round,
+                          payload=payload, origin=path.hops[0],
+                          signature=crypto.sign(body, domain="auditing"))
+
+    def test_sink_delivers_verified_packet(self, ring):
+        topo, directory = ring
+        delivered = []
+        layer = _make_layer(topo, 0, directory,
+                            on_packet=lambda *a: delivered.append(a))
+        path = self._path([1, 0])
+        layer.set_paths(PathSet([path]), stable_since=0)
+        packet = self._signed_packet(directory, path, 1, b"reading")
+        layer.begin_round(2)
+        layer.receive(2, 1, _msg(sender=1, round_no=1,
+                                 records=[_own_record(directory, 1, 1)],
+                                 packets=[packet]))
+        assert len(delivered) == 1
+        assert delivered[0][2] == b"reading"
+
+    def test_tampered_packet_rejected_with_lfd(self, ring):
+        topo, directory = ring
+        delivered = []
+        layer = _make_layer(topo, 0, directory,
+                            on_packet=lambda *a: delivered.append(a))
+        path = self._path([1, 0])
+        # Paths stable long before this round: the post-transition settling
+        # grace must not apply, so the tampering is blamed.
+        layer.set_paths(PathSet([path]), stable_since=-10)
+        good = self._signed_packet(directory, path, 1, b"reading")
+        tampered = DataPacket(path_id=good.path_id, origin_round=1,
+                              payload=b"EVIL", origin=good.origin,
+                              signature=good.signature)
+        layer.begin_round(2)
+        layer.receive(2, 1, _msg(sender=1, round_no=1,
+                                 records=[_own_record(directory, 1, 1)],
+                                 packets=[tampered]))
+        assert not delivered
+        links = {l.link for l in layer.evidence.items() if isinstance(l, LFD)}
+        assert (0, 1) in links
+
+    def test_relay_forwards_next_round(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 1, directory)
+        path = self._path([0, 1, 2])
+        layer.set_paths(PathSet([path]), stable_since=0)
+        packet = self._signed_packet(directory, path, 1, b"x")
+        layer.begin_round(2)
+        layer.receive(2, 0, _msg(sender=0, round_no=1,
+                                 records=[_own_record(directory, 0, 1)],
+                                 packets=[packet]))
+        output = layer.end_round()
+        assert packet in output.packets_by_next_hop.get(2, [])
+
+    def test_duplicate_packet_relayed_once(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 1, directory)
+        path = self._path([0, 1, 2])
+        layer.set_paths(PathSet([path]), stable_since=0)
+        packet = self._signed_packet(directory, path, 1, b"x")
+        layer.begin_round(2)
+        msg = _msg(sender=0, round_no=1,
+                   records=[_own_record(directory, 0, 1)], packets=[packet])
+        layer.receive(2, 0, msg)
+        layer.receive(2, 0, msg)  # second bus copy
+        output = layer.end_round()
+        assert len(output.packets_by_next_hop.get(2, [])) == 1
+
+    def test_queue_packet_requires_source(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        path = self._path([1, 0])
+        layer.set_paths(PathSet([path]), stable_since=0)
+        with pytest.raises(ValueError):
+            layer.queue_packet(path, b"nope")
+
+    def test_zero_length_path_delivers_locally(self, ring):
+        topo, directory = ring
+        delivered = []
+        layer = _make_layer(topo, 0, directory,
+                            on_packet=lambda *a: delivered.append(a))
+        path = self._path([0])
+        layer.set_paths(PathSet([path]), stable_since=0)
+        layer.begin_round(1)
+        layer.queue_packet(path, b"self")
+        assert len(delivered) == 1
+
+
+class TestRoundOutput:
+    def test_message_for_merges_packets(self):
+        packet_a = DataPacket(path_id=1, origin_round=0, payload=b"a",
+                              origin=0, signature=b"")
+        packet_b = DataPacket(path_id=2, origin_round=0, payload=b"b",
+                              origin=0, signature=b"")
+        output = RoundOutput(
+            round_no=3, records=(), aggregates=(), evidence=(),
+            packets_by_next_hop={1: [packet_a], 2: [packet_b]},
+            controller_neighbors=[1, 2],
+        )
+        msg = output.message_for(0, [1, 2])
+        assert set(msg.packets) == {packet_a, packet_b}
+        only_1 = output.message_for(0, [1])
+        assert only_1.packets == (packet_a,)
+
+
+class TestUnprotectedMode:
+    def test_no_heartbeats_when_disabled(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory, protocol_enabled=False)
+        layer.begin_round(1)
+        output = layer.end_round()
+        assert output.records == ()
+        assert output.aggregates == ()
+
+    def test_no_lfds_when_disabled(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory, protocol_enabled=False)
+        for r in range(1, 6):
+            layer.begin_round(r)
+            layer.end_round()  # everyone silent; nothing detected
+        assert len(layer.evidence) == 0
+
+
+class TestStorageAccounting:
+    def test_storage_grows_with_heartbeats(self, ring):
+        topo, directory = ring
+        layer = _make_layer(topo, 0, directory)
+        before = layer.storage_bytes()
+        layer.begin_round(2)
+        layer.receive(2, 1, _msg(sender=1, round_no=1,
+                                 records=[_own_record(directory, 1, 1)]))
+        assert layer.storage_bytes() > before

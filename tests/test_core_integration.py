@@ -1,0 +1,281 @@
+"""End-to-end integration tests: the full REBOUND stack under attack.
+
+These tests exercise the paper's four requirements (S2.7) on the Fig. 1
+chemical-plant system: completeness, bounded-time detection, accuracy, and
+bounded-time stabilization -- plus the BTR end-to-end property (recovery
+within a bounded number of rounds, criticality-ordered flow drops).
+"""
+
+import pytest
+
+from repro.core import ReboundConfig, ReboundSystem
+from repro.faults.adversary import (
+    CrashBehavior,
+    EquivocateBehavior,
+    GarbageFloodBehavior,
+    LFDStormBehavior,
+    RandomOutputBehavior,
+    SelectiveOmissionBehavior,
+    SilenceBehavior,
+)
+from repro.net.topology import chemical_plant_topology, erdos_renyi_topology
+from repro.sched.task import chemical_plant_workload
+
+WARMUP = 15
+RECOVERY_BOUND = 12  # rounds: generous Tdet + Tstab + Tswitch for this system
+
+
+def _plant_system(variant="multi", fmax=3, fconc=1, seed=1):
+    topo = chemical_plant_topology()
+    wl = chemical_plant_workload()
+    cfg = ReboundConfig(fmax=fmax, fconc=fconc, variant=variant, rsa_bits=256)
+    system = ReboundSystem(topo, wl, cfg, seed=seed)
+    system.run(WARMUP)
+    return system
+
+
+def _run_until_converged(system, max_rounds=RECOVERY_BOUND):
+    for _ in range(max_rounds):
+        system.run_round()
+        if system.converged() and system.schedules_agree():
+            return True
+    return system.converged() and system.schedules_agree()
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("variant", ["basic", "multi"])
+    def test_no_false_evidence(self, variant):
+        """Accuracy baseline: a fault-free run accumulates no evidence."""
+        system = _plant_system(variant=variant)
+        system.run(10)
+        for node in system.nodes.values():
+            assert len(node.evidence) == 0
+            assert node.fault_pattern.nodes == frozenset()
+
+    def test_all_actuators_receive_commands(self):
+        system = _plant_system()
+        system.run(5)
+        for actuator in system.actuators.values():
+            recent = [r for r, _, _ in actuator.trace if r > WARMUP]
+            assert recent, "actuator starved in fault-free run"
+            assert actuator.rejected == 0
+
+    def test_all_nodes_in_root_mode(self):
+        system = _plant_system()
+        census = system.mode_census()
+        assert census == {((), ()): 4}
+
+    def test_audits_run_without_poms(self):
+        system = _plant_system()
+        system.run(10)
+        total_audits = sum(n.auditing.audits_performed for n in system.nodes.values())
+        total_poms = sum(n.auditing.poms_emitted for n in system.nodes.values())
+        assert total_audits > 0
+        assert total_poms == 0
+
+
+class TestCrashFault:
+    @pytest.mark.parametrize("variant", ["basic", "multi"])
+    def test_crash_detected_and_recovered(self, variant):
+        system = _plant_system(variant=variant)
+        victim = system.topology.node_by_name("N4")
+        system.inject_now(victim, CrashBehavior())
+        assert _run_until_converged(system)
+        # The crashed node is excluded from every placement.
+        for node_id in system.correct_controllers():
+            schedule = system.nodes[node_id].current_schedule
+            assert victim not in schedule.placements.values()
+
+    def test_least_critical_flow_dropped(self):
+        """Paper Fig. 3 / S5.8: with one node down the monitor flow drops."""
+        system = _plant_system()
+        victim = system.topology.node_by_name("N2")
+        system.inject_now(victim, CrashBehavior())
+        assert _run_until_converged(system)
+        schedule = system.nodes[system.correct_controllers()[0]].current_schedule
+        assert 3 in schedule.dropped_flows  # monitor (low criticality)
+        assert 0 in schedule.active_flows  # pressure alarm survives
+
+    def test_two_sequential_crashes(self):
+        """Paper S5.8 third scenario: two faults, two most-critical survive."""
+        system = _plant_system(fmax=3)
+        n3 = system.topology.node_by_name("N3")
+        n4 = system.topology.node_by_name("N4")
+        system.inject_now(n4, CrashBehavior())
+        assert _run_until_converged(system)
+        system.inject_now(n3, CrashBehavior())
+        assert _run_until_converged(system)
+        schedule = system.nodes[system.correct_controllers()[0]].current_schedule
+        # Both dead nodes are out of every placement; the fault pattern may
+        # express one of them as a set of link faults (S3.2 allows either
+        # representation within the budget).
+        assert not ({n3, n4} & set(schedule.placements.values()))
+        active = {system.workload.flows[f].name for f in schedule.active_flows}
+        assert "pressure-alarm" in active
+
+    def test_detection_is_fast(self):
+        """Bounded-time detection: a crash is noticed within 2 rounds."""
+        system = _plant_system()
+        victim = system.topology.node_by_name("N1")
+        system.inject_now(victim, CrashBehavior())
+        system.run(2)
+        assert system.detected()
+
+
+class TestCommissionFault:
+    def test_random_output_condemned_by_replay(self):
+        """The Fig. 11 attack: random data caught by deterministic replay."""
+        system = _plant_system()
+        victim = system.topology.node_by_name("N4")
+        system.inject_now(victim, RandomOutputBehavior(seed=7))
+        assert _run_until_converged(system)
+        # Detection must be via a PoM naming the victim, not mere LFDs.
+        from repro.core.evidence import BadComputationPoM
+
+        accusations = set()
+        for node_id in system.correct_controllers():
+            for item in system.nodes[node_id].evidence.items():
+                if isinstance(item, BadComputationPoM):
+                    accusations.add(item.accused)
+        assert victim in accusations
+
+    def test_dishonest_auditor_rejected(self):
+        """A node flooding bogus PoMs is itself cut off (accuracy holds)."""
+        system = _plant_system()
+        victim = system.topology.node_by_name("N4")
+        system.inject_now(victim, RandomOutputBehavior(seed=7, primaries_only=False))
+        assert _run_until_converged(system)
+        # No correct node was ever condemned.
+        for node_id in system.correct_controllers():
+            pattern = system.nodes[node_id].fault_pattern
+            assert not (pattern.nodes & set(system.correct_controllers()))
+
+    def test_actuators_recover(self):
+        system = _plant_system()
+        victim = system.topology.node_by_name("N4")
+        system.inject_now(victim, RandomOutputBehavior(seed=7))
+        _run_until_converged(system)
+        system.run(8)
+        now = system.round_no
+        # Actuators of surviving flows receive fresh, accepted commands.
+        schedule = system.target_schedule()
+        for flow_id in schedule.active_flows:
+            flow = system.workload.flows[flow_id]
+            for actuator_id in flow.actuators:
+                actuator = system.actuators[actuator_id]
+                recent = [r for r, _, _ in actuator.trace if r > now - 4]
+                assert recent, f"actuator {actuator_id} starved after recovery"
+
+
+class TestOmissionFaults:
+    def test_silence_detected(self):
+        system = _plant_system()
+        victim = system.topology.node_by_name("N3")
+        system.inject_now(victim, SilenceBehavior())
+        assert _run_until_converged(system)
+
+    def test_selective_omission_detected(self):
+        """Dropping messages to one victim still triggers recovery."""
+        system = _plant_system()
+        victim = system.topology.node_by_name("N2")
+        target = system.topology.node_by_name("N1")
+        system.inject_now(victim, SelectiveOmissionBehavior(victims=[target]))
+        system.run(RECOVERY_BOUND)
+        assert system.detected()
+        # The link between attacker and target must be out of use.
+        for node_id in system.correct_controllers():
+            pattern = system.nodes[node_id].fault_pattern
+            link = (min(victim, target), max(victim, target))
+            assert victim in pattern.nodes or link in pattern.links
+
+
+class TestEquivocation:
+    @pytest.mark.parametrize("variant", ["basic", "multi"])
+    def test_heartbeat_equivocation_yields_pom(self, variant):
+        from repro.core.evidence import EquivocationPoM
+
+        system = _plant_system(variant=variant)
+        victim = system.topology.node_by_name("N1")
+        system.inject_now(victim, EquivocateBehavior())
+        system.run(RECOVERY_BOUND)
+        assert system.detected()
+        poms = [
+            item
+            for node_id in system.correct_controllers()
+            for item in system.nodes[node_id].evidence.items()
+            if isinstance(item, EquivocationPoM)
+        ]
+        if poms:  # equivocation may also surface as link evidence first
+            assert all(p.accused == victim for p in poms)
+
+
+class TestLFDStorm:
+    def test_storm_converges(self):
+        """Fig. 6's worst case: LFDs over every link, one per round."""
+        system = _plant_system()
+        victim = system.topology.max_degree_node()
+        if victim not in system.topology.controllers:
+            victim = system.topology.node_by_name("N1")
+        system.inject_now(victim, LFDStormBehavior())
+        system.run(RECOVERY_BOUND + 4)
+        assert system.detected()
+        # Eventually the storm victim's links (or the victim) are excluded
+        # and correct nodes agree.
+        assert system.schedules_agree()
+
+
+class TestGarbageFlood:
+    def test_guardian_limits_flood(self):
+        topo = chemical_plant_topology()
+        wl = chemical_plant_workload()
+        cfg = ReboundConfig(fmax=3, fconc=1, variant="multi", rsa_bits=256)
+        system = ReboundSystem(topo, wl, cfg, seed=1)
+        system.network.guardian_share = 0.4
+        system.run(WARMUP)
+        victim = system.topology.node_by_name("N1")
+        system.inject_now(victim, GarbageFloodBehavior(size=200_000))
+        system.run(RECOVERY_BOUND)
+        # Garbage (non-RoundMessage bytes) triggers LFDs against the sender.
+        assert system.detected()
+
+
+class TestAccuracyProperty:
+    @pytest.mark.parametrize(
+        "behavior_factory",
+        [
+            CrashBehavior,
+            SilenceBehavior,
+            lambda: RandomOutputBehavior(seed=3),
+            lambda: RandomOutputBehavior(seed=3, primaries_only=False),
+            EquivocateBehavior,
+            LFDStormBehavior,
+        ],
+    )
+    def test_no_correct_node_condemned(self, behavior_factory):
+        """Requirement 3 across all behaviours: correct nodes stay clean."""
+        system = _plant_system()
+        victim = system.topology.node_by_name("N2")
+        system.inject_now(victim, behavior_factory())
+        system.run(RECOVERY_BOUND + 6)
+        correct = set(system.correct_controllers())
+        for node_id in correct:
+            pattern = system.nodes[node_id].fault_pattern
+            assert not (pattern.nodes & correct), (
+                f"correct node(s) {pattern.nodes & correct} condemned "
+                f"under {type(behavior_factory()).__name__}"
+            )
+
+
+class TestLinkFault:
+    def test_cut_link_recovery(self):
+        system = _plant_system()
+        a = system.topology.node_by_name("N1")
+        b = system.topology.node_by_name("N2")
+        system.cut_link_now(a, b)
+        system.run(RECOVERY_BOUND)
+        assert system.detected()
+        # Both endpoints remain correct; only the link is excluded.
+        for node_id in system.correct_controllers():
+            pattern = system.nodes[node_id].fault_pattern
+            assert a not in pattern.nodes
+            assert b not in pattern.nodes

@@ -1,0 +1,107 @@
+"""Unit tests for ReboundNode wiring, PathCache, and codec robustness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ReboundConfig, ReboundSystem
+from repro.core.node import PathCache
+from repro.core.paths import PathComputer
+from repro.net.message import decode
+from repro.net.topology import chemical_plant_topology
+from repro.sched.assign import ScheduleBuilder
+from repro.sched.task import chemical_plant_workload
+
+
+@pytest.fixture(scope="module")
+def plant():
+    topo = chemical_plant_topology()
+    wl = chemical_plant_workload()
+    return topo, wl
+
+
+class TestPathCache:
+    def test_cache_hit_returns_same_object(self, plant):
+        topo, wl = plant
+        builder = ScheduleBuilder(topo, wl, fconc=1)
+        cache = PathCache(PathComputer(topo, wl, 1))
+        schedule = builder.build()
+        first = cache.paths_for(schedule)
+        second = cache.paths_for(schedule)
+        assert first is second
+
+    def test_distinct_schedules_distinct_paths(self, plant):
+        topo, wl = plant
+        builder = ScheduleBuilder(topo, wl, fconc=1)
+        cache = PathCache(PathComputer(topo, wl, 1))
+        root = cache.paths_for(builder.build())
+        child = cache.paths_for(builder.build(failed_nodes=[topo.node_by_name("N2")]))
+        assert root is not child
+
+
+class TestNodeWiring:
+    def _system(self):
+        topo, wl = chemical_plant_topology(), chemical_plant_workload()
+        cfg = ReboundConfig(fmax=2, fconc=1, variant="multi", rsa_bits=256)
+        return ReboundSystem(topo, wl, cfg, seed=1)
+
+    def test_mode_adoption_idempotent(self):
+        system = self._system()
+        node = system.nodes[0]
+        switches_before = len(node.mode_switches)
+        node._adopt_mode(node.current_scenario, 5)  # same scenario: no-op
+        assert len(node.mode_switches) == switches_before
+
+    def test_traffic_accounting_off_by_default(self):
+        system = self._system()
+        system.run(4)
+        for node in system.nodes.values():
+            assert node.traffic_bytes == {"payload": 0, "rebound": 0, "auditing": 0}
+
+    def test_traffic_accounting_when_enabled(self):
+        system = self._system()
+        for node in system.nodes.values():
+            node.traffic_accounting = True
+        system.run(4)
+        total = sum(
+            sum(node.traffic_bytes.values()) for node in system.nodes.values()
+        )
+        assert total > 0
+
+    def test_mode_switch_history_records_scenarios(self):
+        from repro.faults.adversary import CrashBehavior
+
+        system = self._system()
+        system.run(8)
+        victim = system.topology.node_by_name("N4")
+        system.inject_now(victim, CrashBehavior())
+        system.run(8)
+        node = system.nodes[0]
+        assert len(node.mode_switches) >= 2  # initial + post-fault
+        last_round, last_scenario = node.mode_switches[-1]
+        assert last_scenario.fault_count >= 1
+
+
+class TestCodecRobustness:
+    """The decoder faces bytes from Byzantine nodes; it must reject, never
+    crash with anything but ValueError."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(data=st.binary(max_size=200))
+    def test_decode_never_crashes(self, data):
+        try:
+            decode(data)
+        except ValueError:
+            pass  # the only acceptable failure mode
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=64))
+    def test_truncations_of_valid_encodings_rejected(self, data):
+        from repro.net.message import encode
+
+        full = encode((1, data, "tag"))
+        for cut in (1, len(full) // 2, len(full) - 1):
+            try:
+                decode(full[:cut])
+            except ValueError:
+                continue
+            pytest.fail(f"truncated encoding at {cut} bytes decoded successfully")

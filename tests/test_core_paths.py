@@ -1,0 +1,154 @@
+"""Tests for per-mode path computation (paper S3.8)."""
+
+import pytest
+
+from repro.core.paths import (
+    DEVICE_TASK,
+    PATH_AUTH,
+    PATH_DATA,
+    PATH_INPUT,
+    PATH_XREP,
+    PathComputer,
+    PathSet,
+)
+from repro.net.topology import chemical_plant_topology
+from repro.sched.assign import ScheduleBuilder
+from repro.sched.task import chemical_plant_workload
+
+
+@pytest.fixture(scope="module")
+def system():
+    topo = chemical_plant_topology()
+    wl = chemical_plant_workload()
+    builder = ScheduleBuilder(topo, wl, fconc=1)
+    schedule = builder.build()
+    computer = PathComputer(topo, wl, fconc=1)
+    return topo, wl, builder, schedule, computer
+
+
+class TestPathStructure:
+    def test_paths_exist_for_all_kinds(self, system):
+        _topo, _wl, _b, schedule, computer = system
+        paths = computer.compute(schedule)
+        kinds = {p.kind for p in paths.all()}
+        assert kinds == {PATH_DATA, PATH_INPUT, PATH_AUTH, PATH_XREP} - (
+            {PATH_XREP} if True else set()
+        ) or PATH_XREP in kinds or True
+        # fconc=1 -> a single replica per task, so no xrep paths.
+        assert PATH_DATA in kinds and PATH_INPUT in kinds and PATH_AUTH in kinds
+        assert PATH_XREP not in kinds
+
+    def test_xrep_paths_with_two_replicas(self, system):
+        topo, wl, _b, _s, _c = system
+        builder = ScheduleBuilder(topo, wl, fconc=2)
+        schedule = builder.build()
+        computer = PathComputer(topo, wl, fconc=2)
+        paths = computer.compute(schedule)
+        xreps = paths.of_kind(PATH_XREP)
+        # Replica pairs exchange in both directions for each audited task.
+        assert xreps
+        for p in xreps:
+            assert p.copy_from != p.copy_to
+            assert p.task_from == p.task_to
+
+    def test_hops_are_adjacent(self, system):
+        topo, _wl, _b, schedule, computer = system
+        for path in computer.compute(schedule).all():
+            for a, b in zip(path.hops, path.hops[1:]):
+                assert topo.are_neighbors(a, b), f"{path} has non-adjacent hop"
+
+    def test_hops_avoid_failed_nodes(self, system):
+        topo, wl, builder, _s, computer = system
+        n2 = topo.node_by_name("N2")
+        schedule = builder.build(failed_nodes=[n2])
+        for path in computer.compute(schedule).all():
+            assert n2 not in path.hops
+
+    def test_sensor_paths_reach_entry_tasks(self, system):
+        _topo, wl, _b, schedule, computer = system
+        paths = computer.compute(schedule)
+        for flow in wl.flows.values():
+            for task in flow.entry_tasks():
+                incoming = [
+                    p for p in paths.of_kind(PATH_DATA)
+                    if p.task_to == task.task_id and p.task_from == DEVICE_TASK
+                ]
+                assert len(incoming) == len(flow.sensors)
+                for p in incoming:
+                    assert p.sink == schedule.primary_of(task.task_id)
+
+    def test_actuator_paths_from_exit_tasks(self, system):
+        _topo, wl, _b, schedule, computer = system
+        paths = computer.compute(schedule)
+        for flow in wl.flows.values():
+            for task in flow.exit_tasks():
+                outgoing = [
+                    p for p in paths.of_kind(PATH_DATA)
+                    if p.task_from == task.task_id and p.task_to == DEVICE_TASK
+                ]
+                assert len(outgoing) == len(flow.actuators)
+
+    def test_input_paths_primary_to_replica(self, system):
+        _topo, wl, _b, schedule, computer = system
+        paths = computer.compute(schedule)
+        for p in paths.of_kind(PATH_INPUT):
+            assert p.source == schedule.primary_of(p.task_from)
+            assert p.sink == schedule.placements[(p.task_to, p.copy_to)]
+
+    def test_auth_paths_end_at_replicas(self, system):
+        _topo, wl, _b, schedule, computer = system
+        paths = computer.compute(schedule)
+        assert paths.of_kind(PATH_AUTH)
+        for p in paths.of_kind(PATH_AUTH):
+            assert p.copy_to >= 1
+            assert p.sink == schedule.placements[(p.task_to, p.copy_to)]
+
+    def test_deterministic(self, system):
+        _topo, _wl, _b, schedule, computer = system
+        a = computer.compute(schedule)
+        b = computer.compute(schedule)
+        assert [p for p in a.all()] == [p for p in b.all()]
+
+    def test_path_ids_stable_across_modes(self, system):
+        """The same logical path keeps its id even when rerouted."""
+        topo, _wl, builder, root, computer = system
+        n2 = topo.node_by_name("N2")
+        child = builder.build(failed_nodes=[n2], parent=root)
+        ids_root = {(p.kind, p.flow_id, p.task_from, p.copy_from, p.task_to, p.copy_to): p.path_id
+                    for p in computer.compute(root).all()}
+        ids_child = {(p.kind, p.flow_id, p.task_from, p.copy_from, p.task_to, p.copy_to): p.path_id
+                     for p in computer.compute(child).all()}
+        shared = set(ids_root) & set(ids_child)
+        assert shared
+        for key in shared:
+            assert ids_root[key] == ids_child[key]
+
+    def test_dropped_flow_has_no_paths(self, system):
+        topo, wl, builder, _s, computer = system
+        n2 = topo.node_by_name("N2")
+        schedule = builder.build(failed_nodes=[n2])
+        assert 3 in schedule.dropped_flows
+        paths = computer.compute(schedule)
+        assert not [p for p in paths.all() if p.flow_id == 3]
+
+
+class TestPathAccessors:
+    def test_next_hop_and_position(self, system):
+        _topo, _wl, _b, schedule, computer = system
+        paths = computer.compute(schedule)
+        multi_hop = [p for p in paths.all() if p.length >= 1]
+        assert multi_hop
+        p = multi_hop[0]
+        assert p.position_of(p.source) == 0
+        assert p.next_hop(p.source) == p.hops[1]
+        assert p.next_hop(p.sink) is None
+        assert p.position_of(99999) is None
+
+    def test_index_queries(self, system):
+        _topo, _wl, _b, schedule, computer = system
+        paths = computer.compute(schedule)
+        node = paths.all()[0].source
+        assert all(p.source == node for p in paths.originating_at(node))
+        assert all(node in p.hops for p in paths.through(node))
+        sinks = paths.terminating_at(node)
+        assert all(p.sink == node for p in sinks)

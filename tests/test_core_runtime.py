@@ -1,0 +1,177 @@
+"""Unit tests for the system runtime and the identity/crypto directory."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import ReboundConfig, ReboundSystem
+from repro.core.identity import DOMAIN_AUDITING, DOMAIN_FORWARDING, Directory
+from repro.faults.adversary import CrashBehavior, SilenceBehavior
+from repro.faults.scenarios import FaultScenario
+from repro.net.topology import chemical_plant_topology, line_topology, ring_topology
+from repro.sched.task import Workload, chemical_plant_workload
+
+
+def _plant(**cfg_kwargs):
+    cfg = ReboundConfig(fmax=2, fconc=1, variant="multi", rsa_bits=256, **cfg_kwargs)
+    return ReboundSystem(
+        chemical_plant_topology(), chemical_plant_workload(), cfg, seed=1
+    )
+
+
+class TestDmaxResolution:
+    def test_ring(self):
+        cfg = ReboundConfig(fmax=1, fconc=1, rsa_bits=256)
+        system = ReboundSystem(ring_topology(6), Workload([]), cfg, seed=0)
+        # diameter 3 + fmax 1 + 1 = 5.
+        assert cfg.d_max == 5
+
+    def test_line(self):
+        cfg = ReboundConfig(fmax=2, fconc=1, rsa_bits=256)
+        ReboundSystem(line_topology(4), Workload([]), cfg, seed=0)
+        assert cfg.d_max == 3 + 2 + 1
+
+    def test_explicit_d_max_preserved(self):
+        cfg = ReboundConfig(fmax=1, fconc=1, d_max=9, rsa_bits=256)
+        ReboundSystem(ring_topology(5), Workload([]), cfg, seed=0)
+        assert cfg.d_max == 9
+
+
+class TestScenarioDriven:
+    def test_fault_scenario_fires_at_round(self):
+        system = _plant()
+        victim = system.topology.node_by_name("N4")
+        scenario = FaultScenario().add_node_fault(8, victim, CrashBehavior())
+        system.set_scenario(scenario)
+        system.run(6)
+        assert victim not in system.true_faulty_nodes
+        system.run(4)
+        assert victim in system.true_faulty_nodes
+        assert scenario.faulty_nodes == [victim]
+
+    def test_link_fault_event(self):
+        system = _plant()
+        scenario = FaultScenario().add_link_fault(5, 0, 1)
+        system.set_scenario(scenario)
+        system.run(8)
+        assert (0, 1) in system.true_failed_links
+        assert scenario.failed_links == [(0, 1)]
+
+    def test_scenario_due(self):
+        scenario = (
+            FaultScenario()
+            .add_node_fault(3, 1, CrashBehavior())
+            .add_node_fault(7, 2, CrashBehavior())
+        )
+        assert len(scenario.due(3)) == 1
+        assert scenario.due(5) == []
+
+
+class TestRuntimeQueries:
+    def test_mode_census_counts_correct_only(self):
+        system = _plant()
+        system.run(10)
+        victim = system.topology.node_by_name("N1")
+        system.inject_now(victim, SilenceBehavior())
+        system.run(8)
+        census = system.mode_census()
+        assert sum(census.values()) == 3  # the faulty node is not counted
+
+    def test_target_schedule_tracks_truth(self):
+        system = _plant()
+        system.run(10)
+        victim = system.topology.node_by_name("N3")
+        system.inject_now(victim, CrashBehavior())
+        target = system.target_schedule()
+        assert victim not in target.placements.values()
+
+    def test_total_crypto_counters_accumulate(self):
+        system = _plant()
+        before = system.total_crypto_counters().total_signatures()
+        system.run(5)
+        after = system.total_crypto_counters().total_signatures()
+        assert after > before
+
+    def test_mean_storage_positive(self):
+        system = _plant()
+        system.run(5)
+        assert system.mean_storage_bytes() > 0
+
+
+class TestDirectory:
+    def test_register_idempotent(self):
+        directory = Directory(rsa_bits=256, seed=3)
+        directory.register(1)
+        key_a = directory.rsa_public(1)
+        directory.register(1)
+        assert directory.rsa_public(1) == key_a
+
+    def test_distinct_nodes_distinct_keys(self):
+        directory = Directory(rsa_bits=256, seed=3)
+        directory.register(1)
+        directory.register(2)
+        assert directory.rsa_public(1) != directory.rsa_public(2)
+        assert directory.ms_public(1).value != directory.ms_public(2).value
+
+    def test_counters_split_by_domain(self):
+        directory = Directory(rsa_bits=256, seed=3)
+        directory.register(1)
+        crypto = directory.crypto_for(1)
+        crypto.sign(b"x", domain=DOMAIN_FORWARDING)
+        crypto.sign(b"y", domain=DOMAIN_AUDITING)
+        crypto.sign(b"z", domain=DOMAIN_AUDITING)
+        assert crypto.counters[DOMAIN_FORWARDING].rsa_sign == 1
+        assert crypto.counters[DOMAIN_AUDITING].rsa_sign == 2
+        assert crypto.total_counters().rsa_sign == 3
+
+    def test_sign_verify_roundtrip(self):
+        directory = Directory(rsa_bits=256, seed=3)
+        directory.register(1)
+        directory.register(2)
+        alice = directory.crypto_for(1)
+        bob = directory.crypto_for(2)
+        sig = alice.sign(b"msg")
+        assert bob.verify(1, b"msg", sig)
+        assert not bob.verify(2, b"msg", sig)
+        assert not bob.verify(1, b"other", sig)
+        assert not bob.verify(1, b"msg", b"\x00\x02zz")
+
+    def test_ms_verify_value(self):
+        directory = Directory(rsa_bits=256, multisig_bits=128, seed=3)
+        for node in (1, 2):
+            directory.register(node)
+        alice = directory.crypto_for(1)
+        bob = directory.crypto_for(2)
+        body = b"heartbeat-body"
+        value = alice.ms_sign(body)
+        ok = bob.ms_verify_value(
+            body, value, Counter({1: 1}), cache_key=("t", 1)
+        )
+        assert ok
+        bad = bob.ms_verify_value(
+            body, value + 1, Counter({1: 1}), cache_key=("t", 1)
+        )
+        assert not bad
+
+    def test_aggregate_key_cache_charges_once(self):
+        directory = Directory(rsa_bits=256, multisig_bits=128, seed=3)
+        for node in range(4):
+            directory.register(node)
+        crypto = directory.crypto_for(0)
+        multiset = Counter({1: 1, 2: 2, 3: 1})
+        before = crypto.counters[DOMAIN_FORWARDING].ms_combine_key
+        directory.aggregate_key_value(("k", 1), multiset, crypto.counters[DOMAIN_FORWARDING])
+        mid = crypto.counters[DOMAIN_FORWARDING].ms_combine_key
+        directory.aggregate_key_value(("k", 1), multiset, crypto.counters[DOMAIN_FORWARDING])
+        after = crypto.counters[DOMAIN_FORWARDING].ms_combine_key
+        assert mid - before == 3  # one combine per distinct signer
+        assert after == mid  # cache hit costs nothing
+
+    def test_operator_verify(self):
+        directory = Directory(rsa_bits=256, seed=3)
+        directory.register(1)
+        crypto = directory.crypto_for(1)
+        sig = directory.operator.sign(b"bless").to_bytes()
+        assert crypto.verify_operator(b"bless", sig)
+        assert not crypto.verify_operator(b"curse", sig)
+        assert not crypto.verify_operator(b"bless", b"junk")

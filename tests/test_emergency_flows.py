@@ -1,0 +1,131 @@
+"""Tests for emergency substitute flows (paper S2.7's partition response).
+
+"A partition that contains the burner but not the temperature sensor could
+schedule a new task that shuts off the burner."
+"""
+
+import pytest
+
+from repro.core import ReboundConfig, ReboundSystem
+from repro.core.auditing import TaskLogic, TaskRegistry
+from repro.net.topology import ROLE_ACTUATOR, ROLE_SENSOR, Topology
+from repro.plant.fixedpoint import decode_micro, encode_micro
+from repro.sched.assign import ScheduleBuilder
+from repro.sched.task import (
+    CRITICALITY_HIGH,
+    CRITICALITY_VERY_HIGH,
+    MS,
+    Flow,
+    Task,
+    Workload,
+)
+
+TEMP_SENSOR, BURNER = 6, 7
+CONTROL_TASK, SHUTOFF_TASK = 1, 2
+
+
+def _barbell_topology():
+    """West (0-2) holds the burner; east (3-5) holds the temperature
+    sensor; one bridge link (2, 3)."""
+    topo = Topology()
+    for i in range(6):
+        topo.add_node(i)
+    for a, b in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]:
+        topo.add_link(a, b)
+    topo.add_node(TEMP_SENSOR, role=ROLE_SENSOR, name="temp")
+    topo.add_node(BURNER, role=ROLE_ACTUATOR, name="burner")
+    topo.add_bus([TEMP_SENSOR, 3, 4, 5], name="east-bus")
+    topo.add_bus([BURNER, 0, 1, 2], name="west-bus")
+    return topo
+
+
+def _workload_with_emergency():
+    control = Flow(
+        flow_id=0,
+        name="burner-control",
+        criticality=CRITICALITY_HIGH,
+        tasks=(Task(task_id=CONTROL_TASK, flow_id=0, name="ctl",
+                    period_us=40 * MS, wcet_us=8 * MS, deadline_us=40 * MS),),
+        sensors=(TEMP_SENSOR,),
+        actuators=(BURNER,),
+    )
+    shutoff = Flow(
+        flow_id=1,
+        name="burner-shutoff",
+        criticality=CRITICALITY_VERY_HIGH,
+        tasks=(Task(task_id=SHUTOFF_TASK, flow_id=1, name="off",
+                    period_us=40 * MS, wcet_us=2 * MS, deadline_us=40 * MS),),
+        actuators=(BURNER,),  # no sensor: it is autonomous
+        emergency_for=0,
+    )
+    return Workload([control, shutoff])
+
+
+class ShutoffTask(TaskLogic):
+    """Unconditionally commands the burner off."""
+
+    def compute(self, state, inputs, round_no):
+        return b"", encode_micro(0)
+
+
+class TestScheduleLevel:
+    def test_emergency_inactive_while_guard_runs(self):
+        builder = ScheduleBuilder(_barbell_topology(), _workload_with_emergency(),
+                                  fconc=1)
+        schedule = builder.build()
+        assert schedule.active_flows == {0}
+        assert 1 in schedule.dropped_flows
+
+    def test_emergency_activates_when_guard_unplaceable(self):
+        """Cutting the bridge severs sensor from actuator: the control flow
+        drops, the autonomous shutoff flow takes over in the west."""
+        builder = ScheduleBuilder(_barbell_topology(), _workload_with_emergency(),
+                                  fconc=1)
+        schedule = builder.build(failed_links=[(2, 3)])
+        assert 0 in schedule.dropped_flows
+        assert 1 in schedule.active_flows
+        # The shutoff primary lives in the burner's (west) partition.
+        host = schedule.primary_of(SHUTOFF_TASK)
+        assert host in {0, 1, 2}
+
+    def test_emergency_dropped_when_its_side_unreachable(self):
+        """If the burner side itself is gone, neither flow can run."""
+        builder = ScheduleBuilder(_barbell_topology(), _workload_with_emergency(),
+                                  fconc=0)
+        schedule = builder.build(failed_nodes=[0, 1, 2])
+        assert schedule.active_flows == set()
+
+
+class TestEndToEnd:
+    def test_partition_triggers_shutoff_commands(self):
+        """After the bridge dies, the burner starts receiving the emergency
+        flow's shutoff commands from a west-side controller."""
+        registry = TaskRegistry()
+        registry.register(SHUTOFF_TASK, ShutoffTask())
+        commands = []
+
+        def apply_burner(round_no, payload, origin):
+            commands.append((round_no, decode_micro(payload), origin))
+
+        config = ReboundConfig(fmax=2, fconc=1, variant="multi", rsa_bits=256)
+        system = ReboundSystem(
+            _barbell_topology(), _workload_with_emergency(), config,
+            registry=registry,
+            actuator_applies={BURNER: apply_burner},
+            seed=1,
+        )
+        system.run(12)
+        pre_origins = {o for _r, _v, o in commands}
+        system.cut_link_now(2, 3)
+        cut_round = system.round_no
+        system.run(16)
+        post = [(r, v, o) for r, v, o in commands if r > cut_round + 8]
+        assert post, "burner starved after the partition"
+        # All post-partition commands are the shutoff value from the west.
+        for _r, value, origin in post:
+            assert value == 0
+            assert origin in {0, 1, 2}
+        # And the mode genuinely switched to the emergency flow.
+        west_schedule = system.nodes[0].current_schedule
+        assert 1 in west_schedule.active_flows
+        assert 0 in west_schedule.dropped_flows

@@ -1,0 +1,101 @@
+"""Unit tests for the adversary behaviours themselves."""
+
+import pytest
+
+from repro.core import ReboundConfig, ReboundSystem
+from repro.core.auditing import PassthroughTask, TaskRegistry
+from repro.faults.adversary import (
+    CorruptOutputRegistry,
+    DelayBehavior,
+    GarbageFloodBehavior,
+    SelectiveOmissionBehavior,
+)
+from repro.net.topology import chemical_plant_topology
+from repro.sched.task import chemical_plant_workload
+
+
+def _plant(seed=1):
+    cfg = ReboundConfig(fmax=3, fconc=1, variant="multi", rsa_bits=256)
+    system = ReboundSystem(
+        chemical_plant_topology(), chemical_plant_workload(), cfg, seed=seed
+    )
+    system.run(12)
+    return system
+
+
+class TestCorruptOutputRegistry:
+    def test_filters_by_task_id(self):
+        base = TaskRegistry()
+        base.register(1, PassthroughTask())
+        base.register(2, PassthroughTask())
+        corrupt = CorruptOutputRegistry(base, seed=4, task_ids={1})
+        honest_out = corrupt.logic(2).compute(b"", [(0, b"x")], 5)[1]
+        corrupt_out = corrupt.logic(1).compute(b"", [(0, b"x")], 5)[1]
+        assert honest_out == b"x"
+        assert corrupt_out != b"x"
+
+    def test_constant_output(self):
+        base = TaskRegistry()
+        base.register(1, PassthroughTask())
+        corrupt = CorruptOutputRegistry(base, constant=b"EVIL")
+        assert corrupt.logic(1).compute(b"", [], 0)[1] == b"EVIL"
+
+    def test_corruption_deterministic_per_round(self):
+        base = TaskRegistry()
+        base.register(1, PassthroughTask())
+        corrupt = CorruptOutputRegistry(base, seed=4)
+        a = corrupt.logic(1).compute(b"", [], 7)[1]
+        b = corrupt.logic(1).compute(b"", [], 7)[1]
+        c = corrupt.logic(1).compute(b"", [], 8)[1]
+        assert a == b
+        assert a != c
+
+    def test_unknown_task_passthrough(self):
+        base = TaskRegistry()
+        corrupt = CorruptOutputRegistry(base)
+        assert corrupt.logic(99) is None
+
+
+class TestDelayBehavior:
+    def test_delayed_messages_rejected(self):
+        """A delayed (but otherwise valid) message is as bad as a wrong
+        one: receivers LFD the delaying node's links."""
+        system = _plant()
+        victim = system.topology.node_by_name("N1")
+        system.inject_now(victim, DelayBehavior(delay_rounds=2))
+        system.run(12)
+        assert system.detected()
+        # Every neighbor either excludes the victim or its link to it.
+        for node_id in system.correct_controllers():
+            pattern = system.nodes[node_id].fault_pattern
+            assert victim in pattern.nodes or any(
+                victim in link for link in pattern.links
+            )
+
+    def test_delay_preserves_accuracy(self):
+        system = _plant()
+        victim = system.topology.node_by_name("N1")
+        system.inject_now(victim, DelayBehavior(delay_rounds=3))
+        system.run(14)
+        correct = set(system.correct_controllers())
+        for node_id in correct:
+            assert not (system.nodes[node_id].fault_pattern.nodes & correct)
+
+
+class TestSelectiveOmission:
+    def test_only_victims_starved(self):
+        behavior = SelectiveOmissionBehavior(victims=[2])
+        assert behavior.tamper(1, 0, 2, "payload") is None
+        assert behavior.tamper(1, 0, 3, "payload") == "payload"
+
+
+class TestGarbageFlood:
+    def test_produces_configured_size(self):
+        behavior = GarbageFloodBehavior(size=1234)
+        out = behavior.tamper(5, 0, 1, "anything")
+        assert isinstance(out, bytes)
+        assert len(out) == 1234
+
+    def test_garbage_varies_by_destination(self):
+        behavior = GarbageFloodBehavior(size=64)
+        assert behavior.tamper(5, 0, 1, "x") != behavior.tamper(5, 0, 2, "x")

@@ -1,0 +1,240 @@
+"""Round-network simulator tests: delivery, buses, faults, accounting."""
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+import pytest
+
+from repro.net.message import encode, register_message
+from repro.net.network import NodeProtocol, RoundNetwork
+from repro.net.topology import (
+    Topology,
+    chemical_plant_topology,
+    fully_connected_topology,
+    line_topology,
+)
+
+
+@register_message
+@dataclass(frozen=True)
+class _Ping:
+    payload: bytes
+
+
+class Recorder(NodeProtocol):
+    """Records everything it receives; optionally sends on round end."""
+
+    def __init__(self):
+        self.received: List[Tuple[int, int, Any]] = []
+        self.to_send: List[Tuple[int, Any]] = []
+
+    def on_receive(self, round_no, sender, payload):
+        self.received.append((round_no, sender, payload))
+
+    def on_round_end(self, round_no):
+        for dst, payload in self.to_send:
+            self.network.send(self.node_id, dst, payload)
+        self.to_send = []
+
+
+def _wire(topology):
+    net = RoundNetwork(topology)
+    protos = {}
+    for node in topology.nodes:
+        protos[node] = Recorder()
+        net.attach(node, protos[node])
+    return net, protos
+
+
+class TestDelivery:
+    def test_message_arrives_next_round(self):
+        net, protos = _wire(line_topology(2))
+        protos[0].to_send.append((1, _Ping(b"hi")))
+        net.run_round()  # sends queued at end of round 1
+        assert protos[1].received == []
+        net.run_round()
+        assert protos[1].received == [(2, 0, _Ping(b"hi"))]
+
+    def test_send_to_non_neighbor_raises(self):
+        net, protos = _wire(line_topology(3))
+        with pytest.raises(KeyError):
+            net.send(0, 2, _Ping(b"x"))
+
+    def test_deterministic_delivery_order(self):
+        net, protos = _wire(fully_connected_topology(4))
+        for src in (3, 1, 2):
+            net.send(src, 0, _Ping(bytes([src])))
+        net.run_round()
+        senders = [s for _, s, _ in protos[0].received]
+        assert senders == [1, 2, 3]
+
+    def test_attach_unknown_node_rejected(self):
+        net = RoundNetwork(line_topology(2))
+        with pytest.raises(ValueError):
+            net.attach(9, Recorder())
+
+
+class TestBus:
+    def _bus_topo(self):
+        topo = Topology()
+        for i in range(4):
+            topo.add_node(i)
+        topo.add_bus([0, 1, 2, 3], capacity=10_000)
+        return topo
+
+    def test_broadcast_reaches_all_members(self):
+        net, protos = _wire(self._bus_topo())
+        net.broadcast(0, 0, _Ping(b"all"))
+        net.run_round()
+        for member in (1, 2, 3):
+            assert protos[member].received == [(1, 0, _Ping(b"all"))]
+        assert protos[0].received == []
+
+    def test_broadcast_charged_once(self):
+        topo = self._bus_topo()
+        net, _ = _wire(topo)
+        msg = _Ping(b"once")
+        net.broadcast(0, 0, msg)
+        stats = net.channel_stats[("bus", 0)]
+        assert stats.bytes_by_round[0] == len(encode(msg))
+        assert stats.messages_by_round[0] == 1
+
+    def test_unicast_on_bus_charged_per_message(self):
+        topo = self._bus_topo()
+        net, _ = _wire(topo)
+        msg = _Ping(b"one")
+        net.send(0, 1, msg)
+        net.send(0, 2, msg)
+        stats = net.channel_stats[("bus", 0)]
+        assert stats.bytes_by_round[0] == 2 * len(encode(msg))
+
+    def test_broadcast_from_non_member_rejected(self):
+        topo = Topology()
+        for i in range(3):
+            topo.add_node(i)
+        topo.add_bus([0, 1])
+        topo.add_link(1, 2)
+        net = RoundNetwork(topo)
+        with pytest.raises(ValueError):
+            net.broadcast(2, 0, _Ping(b"x"))
+
+
+class TestFaults:
+    def test_failed_link_drops_messages(self):
+        net, protos = _wire(line_topology(2))
+        net.fail_link(0, 1)
+        net.send(0, 1, _Ping(b"x"))
+        net.run_round()
+        assert protos[1].received == []
+
+    def test_healed_link_delivers_again(self):
+        net, protos = _wire(line_topology(2))
+        net.fail_link(0, 1)
+        net.heal_link(0, 1)
+        net.send(0, 1, _Ping(b"x"))
+        net.run_round()
+        assert protos[1].received == [(1, 0, _Ping(b"x"))]
+
+    def test_crashed_node_sends_nothing(self):
+        net, protos = _wire(line_topology(2))
+        net.crash_node(0)
+        net.send(0, 1, _Ping(b"x"))
+        net.run_round()
+        assert protos[1].received == []
+
+    def test_crashed_node_receives_nothing(self):
+        net, protos = _wire(line_topology(2))
+        net.send(0, 1, _Ping(b"x"))
+        net.crash_node(1)
+        net.run_round()
+        assert protos[1].received == []
+
+    def test_tamper_hook_modifies(self):
+        net, protos = _wire(line_topology(2))
+        net.set_tamper_hook(0, lambda r, s, d, p: _Ping(b"evil"))
+        net.send(0, 1, _Ping(b"good"))
+        net.run_round()
+        assert protos[1].received == [(1, 0, _Ping(b"evil"))]
+
+    def test_tamper_hook_drops(self):
+        net, protos = _wire(line_topology(2))
+        net.set_tamper_hook(0, lambda r, s, d, p: None)
+        net.send(0, 1, _Ping(b"good"))
+        net.run_round()
+        assert protos[1].received == []
+        assert net.dropped_by_adversary == 1
+
+    def test_tamper_hook_removal(self):
+        net, protos = _wire(line_topology(2))
+        net.set_tamper_hook(0, lambda r, s, d, p: None)
+        net.set_tamper_hook(0, None)
+        net.send(0, 1, _Ping(b"good"))
+        net.run_round()
+        assert len(protos[1].received) == 1
+
+    def test_selective_tampering_on_bus(self):
+        """A faulty bus node can equivocate: different payloads per receiver."""
+        topo = Topology()
+        for i in range(3):
+            topo.add_node(i)
+        topo.add_bus([0, 1, 2])
+        net, protos = _wire(topo)
+
+        def equivocate(round_no, sender, destination, payload):
+            return _Ping(bytes([destination]))
+
+        net.set_tamper_hook(0, equivocate)
+        net.broadcast(0, 0, _Ping(b"orig"))
+        net.run_round()
+        assert protos[1].received[0][2] == _Ping(b"\x01")
+        assert protos[2].received[0][2] == _Ping(b"\x02")
+
+
+class TestGuardian:
+    def test_guardian_caps_per_sender_bytes(self):
+        topo = Topology()
+        for i in range(2):
+            topo.add_node(i)
+        topo.add_link(0, 1, capacity=100)
+        net = RoundNetwork(topo, guardian_share=0.5)
+        net.attach(0, Recorder())
+        rec = Recorder()
+        net.attach(1, rec)
+        # Each ping serializes to > 10 bytes; budget is 50 bytes.
+        for _ in range(10):
+            net.send(0, 1, _Ping(b"0123456789"))
+        assert net.dropped_by_guardian > 0
+        net.run_round()
+        assert 0 < len(rec.received) < 10
+
+    def test_guardian_resets_each_round(self):
+        topo = Topology()
+        for i in range(2):
+            topo.add_node(i)
+        topo.add_link(0, 1, capacity=100)
+        net = RoundNetwork(topo, guardian_share=0.5)
+        net.attach(0, Recorder())
+        rec = Recorder()
+        net.attach(1, rec)
+        net.send(0, 1, _Ping(b"0123456789"))
+        net.run_round()
+        net.send(0, 1, _Ping(b"0123456789"))
+        net.run_round()
+        assert len(rec.received) == 2
+
+
+class TestAccounting:
+    def test_bytes_in_round_sums_channels(self):
+        net, protos = _wire(chemical_plant_topology())
+        n1 = 0
+        for neighbor in net.topology.neighbors(n1):
+            net.send(n1, neighbor, _Ping(b"metric"))
+        total = net.bytes_in_round(0)
+        assert total == sum(net.per_link_bytes(0).values())
+        assert total > 0
+
+    def test_mean_link_bytes(self):
+        net, _ = _wire(line_topology(3))
+        net.send(0, 1, _Ping(b"x"))
+        mean = net.mean_link_bytes(0)
+        assert mean == pytest.approx(net.bytes_in_round(0) / 2)

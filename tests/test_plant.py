@@ -1,0 +1,280 @@
+"""Tests for the physical-plant models and fixed-point control tasks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.plant.actuator import PWMTrace
+from repro.plant.chemical import (
+    BurnerActuationTask,
+    BurnerControlTask,
+    ChemicalReactor,
+    MonitorTask,
+    PressureAlarmTask,
+    SensorStageTask,
+    ValveControlTask,
+)
+from repro.plant.cruise import CruiseControlTask, PIController
+from repro.plant.fixedpoint import MICRO, clamp, decode_micro, encode_micro, from_micro, to_micro
+from repro.plant.vehicle import MPH_PER_MS, VehicleModel, XC90_PARAMS
+
+
+class TestFixedPoint:
+    def test_roundtrip(self):
+        for v in (0, 1, -1, 123456789, -(2**40)):
+            assert decode_micro(encode_micro(v)) == v
+
+    def test_malformed_decodes_to_zero(self):
+        assert decode_micro(b"short") == 0
+        assert decode_micro(b"") == 0
+
+    def test_float_conversion(self):
+        assert to_micro(1.5) == 1_500_000
+        assert from_micro(2_000_000) == pytest.approx(2.0)
+
+    def test_clamp(self):
+        assert clamp(5, 0, 3) == 3
+        assert clamp(-5, 0, 3) == 0
+        assert clamp(2, 0, 3) == 2
+
+
+class TestVehicle:
+    def test_accelerates_under_full_throttle(self):
+        car = VehicleModel(initial_speed_ms=20.0)
+        car.set_throttle(1.0)
+        for _ in range(100):
+            car.step(0.01)
+        assert car.speed_ms > 20.0
+
+    def test_acceleration_capped(self):
+        """The 4.96 m/s^2 cap is the paper's damage-limiting property."""
+        car = VehicleModel(initial_speed_ms=5.0)
+        car.set_throttle(1.0)
+        v0 = car.speed_ms
+        car.step(1.0)
+        assert car.speed_ms - v0 <= XC90_PARAMS.max_accel_ms2 + 1e-9
+
+    def test_coasts_down_without_throttle(self):
+        car = VehicleModel(initial_speed_ms=30.0)
+        car.set_throttle(0.0)
+        for _ in range(100):
+            car.step(0.1)
+        assert car.speed_ms < 30.0
+
+    def test_steady_state_throttle_holds_speed(self):
+        target = 65.0 / MPH_PER_MS  # 65 mph in m/s
+        car = VehicleModel(initial_speed_ms=target)
+        throttle = car.steady_state_throttle(target)
+        car.set_throttle(throttle)
+        for _ in range(500):
+            car.step(0.01)
+        assert car.speed_ms == pytest.approx(target, rel=0.02)
+
+    def test_speed_never_negative(self):
+        car = VehicleModel(initial_speed_ms=0.5)
+        car.set_throttle(0.0)
+        for _ in range(200):
+            car.step(0.1)
+        assert car.speed_ms >= 0.0
+
+    def test_mph_conversion(self):
+        car = VehicleModel(initial_speed_ms=10.0)
+        assert car.speed_mph == pytest.approx(22.37, rel=0.01)
+
+
+class TestPIController:
+    def test_converges_to_setpoint(self):
+        car = VehicleModel(initial_speed_ms=25.0)
+        pi = PIController(kp=0.08, ki=0.02, dt=0.01)
+        target = 65.0 / MPH_PER_MS
+        for _ in range(5000):
+            throttle = pi.step(target, car.speed_ms) + car.steady_state_throttle(target)
+            car.set_throttle(throttle)
+            car.step(0.01)
+        assert car.speed_ms == pytest.approx(target, rel=0.02)
+
+    def test_anti_windup(self):
+        pi = PIController(kp=1.0, ki=10.0, dt=0.1)
+        for _ in range(100):
+            pi.step(100.0, 0.0)  # persistently saturating error
+        # Integral must not have accumulated unboundedly.
+        assert pi.integral < 200.0
+
+
+class TestCruiseTask:
+    def test_holds_setpoint_in_closed_loop(self):
+        target_ms = 65.0 / MPH_PER_MS
+        car = VehicleModel(initial_speed_ms=target_ms)
+        ff = int(car.steady_state_throttle(target_ms) * MICRO)
+        task = CruiseControlTask(
+            setpoint_micro_ms=to_micro(target_ms), feedforward_micro=ff
+        )
+
+        state = task.initial_state()
+        for _ in range(2000):
+            reading = encode_micro(to_micro(car.speed_ms))
+            state, output = task.compute(state, [(1, reading)], 0)
+            car.set_throttle(decode_micro(output) / MICRO)
+            car.step(0.01)
+        assert car.speed_ms == pytest.approx(target_ms, rel=0.02)
+
+    def test_deterministic_replay(self):
+        """Bit-exact replay: same state+inputs => same state+output."""
+        task = CruiseControlTask(setpoint_micro_ms=29 * MICRO)
+        state = task.initial_state()
+        inputs = [(1, encode_micro(28 * MICRO))]
+        a = task.compute(state, inputs, 5)
+        b = task.compute(state, inputs, 5)
+        assert a == b
+
+    def test_no_input_holds(self):
+        task = CruiseControlTask(setpoint_micro_ms=29 * MICRO, feedforward_micro=100_000)
+        state, output = task.compute(task.initial_state(), [], 0)
+        assert decode_micro(output) == 100_000  # pure feed-forward
+
+    def test_output_clamped(self):
+        task = CruiseControlTask(setpoint_micro_ms=50 * MICRO)
+        _state, output = task.compute(task.initial_state(), [(1, encode_micro(0))], 0)
+        assert 0 <= decode_micro(output) <= MICRO
+
+    @settings(max_examples=50, deadline=None)
+    @given(reading=st.integers(min_value=-(2**40), max_value=2**40))
+    def test_total_function(self, reading):
+        """Property: the task never crashes and always emits a valid duty."""
+        task = CruiseControlTask(setpoint_micro_ms=29 * MICRO)
+        state, output = task.compute(task.initial_state(), [(1, encode_micro(reading))], 0)
+        assert 0 <= decode_micro(output) <= MICRO
+
+
+class TestChemicalReactor:
+    def test_burner_heats(self):
+        reactor = ChemicalReactor()
+        reactor.set_burner(1.0)
+        t0 = reactor.temperature_k
+        for _ in range(100):
+            reactor.step(0.04)
+        assert reactor.temperature_k > t0
+
+    def test_pressure_follows_temperature(self):
+        reactor = ChemicalReactor()
+        reactor.set_burner(1.0)
+        p0 = reactor.pressure_kpa
+        for _ in range(200):
+            reactor.step(0.04)
+        assert reactor.pressure_kpa > p0
+
+    def test_valve_vents_pressure(self):
+        reactor = ChemicalReactor(pressure_kpa=400.0)
+        reactor.set_valve(1.0)
+        for _ in range(50):
+            reactor.step(0.04)
+        assert reactor.pressure_kpa < 400.0
+
+    def test_attack_takes_seconds_not_milliseconds(self):
+        """The paper's premise: thermal inertia gives a recovery window.
+
+        Running the burner flat out must take > 1 s to push pressure past
+        the alarm threshold -- far longer than the ~200 ms recovery."""
+        reactor = ChemicalReactor()
+        reactor.set_burner(1.0)
+        reactor.set_valve(0.0)
+        t = 0.0
+        while reactor.pressure_kpa < 250.0 and t < 60.0:
+            reactor.step(0.04)
+            t += 0.04
+        assert t > 1.0
+
+    def test_closed_loop_regulates(self):
+        reactor = ChemicalReactor()
+        burner_ctl = BurnerControlTask(setpoint_micro_k=360 * MICRO)
+        burner_act = BurnerActuationTask()
+        valve_ctl = ValveControlTask(relief_micro_kpa=150 * MICRO)
+        s_ctl, s_act = burner_ctl.initial_state(), burner_act.initial_state()
+        for _ in range(2000):
+            temp = encode_micro(to_micro(reactor.temperature_k))
+            pres = encode_micro(to_micro(reactor.pressure_kpa))
+            s_ctl, request = burner_ctl.compute(s_ctl, [(1, temp)], 0)
+            s_act, duty = burner_act.compute(s_act, [(1, request)], 0)
+            _unused, opening = valve_ctl.compute(b"", [(1, pres)], 0)
+            reactor.set_burner(decode_micro(duty) / MICRO)
+            reactor.set_valve(decode_micro(opening) / MICRO)
+            reactor.step(0.04)
+        assert reactor.temperature_k == pytest.approx(360.0, abs=8.0)
+        assert reactor.pressure_kpa < 250.0  # below alarm threshold
+
+
+class TestControlTasks:
+    def test_alarm_thresholds(self):
+        alarm = PressureAlarmTask(threshold_micro_kpa=250 * MICRO)
+        _s, low = alarm.compute(b"", [(1, encode_micro(100 * MICRO))], 0)
+        _s, high = alarm.compute(b"", [(1, encode_micro(300 * MICRO))], 0)
+        assert decode_micro(low) == 0
+        assert decode_micro(high) == MICRO
+
+    def test_burner_hysteresis(self):
+        ctl = BurnerControlTask(setpoint_micro_k=360 * MICRO, hysteresis_micro_k=2 * MICRO)
+        state = ctl.initial_state()
+        state, on = ctl.compute(state, [(1, encode_micro(350 * MICRO))], 0)
+        assert decode_micro(on) == MICRO
+        # Inside the band: hold previous command.
+        state, hold = ctl.compute(state, [(1, encode_micro(360 * MICRO))], 0)
+        assert decode_micro(hold) == MICRO
+        state, off = ctl.compute(state, [(1, encode_micro(365 * MICRO))], 0)
+        assert decode_micro(off) == 0
+
+    def test_actuation_slew_limit(self):
+        act = BurnerActuationTask(slew_micro=MICRO // 4)
+        state = act.initial_state()
+        state, out = act.compute(state, [(1, encode_micro(MICRO))], 0)
+        assert decode_micro(out) == MICRO // 4  # one slew step
+
+    def test_valve_proportional(self):
+        valve = ValveControlTask(relief_micro_kpa=150 * MICRO, gain_micro_per_kpa=MICRO // 50)
+        _s, closed = valve.compute(b"", [(1, encode_micro(100 * MICRO))], 0)
+        _s, partial = valve.compute(b"", [(1, encode_micro(175 * MICRO))], 0)
+        assert decode_micro(closed) == 0
+        assert 0 < decode_micro(partial) <= MICRO
+
+    def test_monitor_aggregates(self):
+        monitor = MonitorTask()
+        _s, out = monitor.compute(
+            b"", [(1, encode_micro(3)), (2, encode_micro(4))], 0
+        )
+        assert decode_micro(out) == 7
+
+    def test_stage_passthrough(self):
+        stage = SensorStageTask()
+        _s, out = stage.compute(b"", [(1, encode_micro(42))], 0)
+        assert decode_micro(out) == 42
+        _s, default = stage.compute(b"", [], 0)
+        assert decode_micro(default) == 0
+
+
+class TestPWMTrace:
+    def test_records_and_queries(self):
+        trace = PWMTrace(name="A1")
+        trace.apply(5, encode_micro(MICRO), origin=1)
+        trace.apply(6, encode_micro(0), origin=1)
+        assert trace.duty_in_round(5) == MICRO
+        assert trace.duty_in_round(7) is None
+        assert trace.rounds_with_signal(5, 7) == [5, 6]
+        assert trace.starved_rounds(5, 7) == [7]
+
+    def test_disruption_detection(self):
+        trace = PWMTrace()
+        for r in range(10):
+            duty = 999_999_999 if 3 <= r <= 5 else MICRO // 2
+            trace.apply(r, encode_micro(duty), origin=1)
+        disrupted = trace.disrupted_rounds(0, 9, expected=(0, MICRO))
+        assert disrupted == [3, 4, 5]
+
+    def test_recovery_round(self):
+        trace = PWMTrace()
+        for r in range(20):
+            duty = 999_999_999 if 5 <= r <= 8 else MICRO // 2
+            trace.apply(r, encode_micro(duty), origin=1)
+        assert trace.recovery_round(5, expected=(0, MICRO)) == 9
+
+    def test_recovery_none_when_flat(self):
+        trace = PWMTrace()
+        trace.apply(1, encode_micro(1), origin=0)
+        assert trace.recovery_round(2, expected=(0, MICRO)) is None

@@ -1,0 +1,217 @@
+"""Property-based tests of the BTR requirements (paper S2.7).
+
+Hypothesis draws random connected topologies, random workloads, and a
+random adversary behaviour for a random victim; the properties assert, for
+every drawn configuration:
+
+* **Accuracy (Req. 3)** -- no correct controller ever enters any correct
+  node's fault set;
+* **Completeness + bounded detection (Req. 1/2)** -- observable faults are
+  detected within a bound;
+* **Bounded stabilization (Req. 4)** -- all correct controllers agree on
+  the mode within a bound;
+* **BTR end-to-end** -- converged placements exclude the faulty node, and
+  the active flow set is the criticality-maximal feasible set.
+
+These runs are intentionally small (Hypothesis example counts multiply a
+full multi-round simulation), but each example exercises the entire stack.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import ReboundConfig, ReboundSystem
+from repro.faults.adversary import (
+    CrashBehavior,
+    EquivocateBehavior,
+    LFDStormBehavior,
+    RandomOutputBehavior,
+    SelectiveOmissionBehavior,
+    SilenceBehavior,
+)
+from repro.net.topology import erdos_renyi_topology
+from repro.sched.workload import WorkloadGenerator
+
+BEHAVIOR_FACTORIES = [
+    ("crash", CrashBehavior),
+    ("silence", SilenceBehavior),
+    ("random-output", lambda: RandomOutputBehavior(seed=11)),
+    ("bogus-auditor", lambda: RandomOutputBehavior(seed=11, primaries_only=False)),
+    ("equivocate", EquivocateBehavior),
+    ("lfd-storm", LFDStormBehavior),
+]
+
+SETTLE_ROUNDS = 18
+
+
+def _build_system(n: int, seed: int, variant: str):
+    topology = erdos_renyi_topology(n, seed=seed)
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=1.5
+    )
+    config = ReboundConfig(fmax=2, fconc=1, variant=variant, rsa_bits=256)
+    system = ReboundSystem(topology, workload, config, seed=seed)
+    system.run(10)
+    return system
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=5, max_value=9),
+    seed=st.integers(min_value=0, max_value=40),
+    behavior_idx=st.integers(min_value=0, max_value=len(BEHAVIOR_FACTORIES) - 1),
+    victim_idx=st.integers(min_value=0, max_value=100),
+    variant=st.sampled_from(["basic", "multi"]),
+)
+def test_accuracy_under_random_adversaries(n, seed, behavior_idx, victim_idx, variant):
+    """Req. 3: whatever one Byzantine node does, correct nodes stay clean."""
+    system = _build_system(n, seed, variant)
+    controllers = system.topology.controllers
+    victim = controllers[victim_idx % len(controllers)]
+    name, factory = BEHAVIOR_FACTORIES[behavior_idx]
+    system.inject_now(victim, factory())
+    system.run(SETTLE_ROUNDS)
+    correct = set(system.correct_controllers())
+    for node_id in correct:
+        pattern = system.nodes[node_id].fault_pattern
+        condemned_correct = pattern.nodes & correct
+        assert not condemned_correct, (
+            f"{name} on node {victim} (n={n}, seed={seed}, {variant}): "
+            f"correct node(s) {condemned_correct} condemned"
+        )
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=5, max_value=9),
+    seed=st.integers(min_value=0, max_value=40),
+    victim_idx=st.integers(min_value=0, max_value=100),
+    variant=st.sampled_from(["basic", "multi"]),
+)
+def test_crash_detected_and_recovered_within_bound(n, seed, victim_idx, variant):
+    """Req. 1/2/4 + BTR for the crash fault on random systems."""
+    system = _build_system(n, seed, variant)
+    controllers = system.topology.controllers
+    victim = controllers[victim_idx % len(controllers)]
+    system.inject_now(victim, CrashBehavior())
+    detection_round = None
+    for _ in range(SETTLE_ROUNDS):
+        system.run_round()
+        if detection_round is None and system.detected():
+            detection_round = system.round_no
+    assert detection_round is not None, "crash never detected"
+    assert detection_round - system.fault_rounds[0] <= 3, "detection not bounded"
+    assert system.converged(), "faulty node still hosts tasks"
+    assert system.schedules_agree(), "correct nodes disagree on the mode"
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=5, max_value=8),
+    seed=st.integers(min_value=0, max_value=30),
+    victim_idx=st.integers(min_value=0, max_value=100),
+)
+def test_commission_fault_condemned_by_pom(n, seed, victim_idx):
+    """A stealthy commission fault is condemned by verifiable evidence
+    naming the culprit (not just link suspicions), whenever the victim
+    actually hosts a primary task."""
+    from repro.core.evidence import BadComputationPoM, StateChainPoM
+
+    system = _build_system(n, seed, "multi")
+    controllers = system.topology.controllers
+    victim = controllers[victim_idx % len(controllers)]
+    # The fault must be *observable* (paper Req. 1 explicitly excludes
+    # faults with no visible effects): the victim must run a primary whose
+    # output some correct consumer actually receives.
+    observable = any(
+        system.workload.flows_by_criticality()
+        and system.workload.flow_of(task_id).downstream_of(task_id)
+        for task_id in system.nodes[victim].auditing.primaries
+    )
+    if not observable:
+        return  # corrupting an output nobody consumes is unobservable
+    system.inject_now(victim, RandomOutputBehavior(seed=5))
+    system.run(SETTLE_ROUNDS)
+    accusations = set()
+    for node_id in system.correct_controllers():
+        for item in system.nodes[node_id].evidence.items():
+            if isinstance(item, (BadComputationPoM, StateChainPoM)):
+                accusations.add(item.accused)
+    assert accusations <= {victim}, f"PoM accused non-victims: {accusations}"
+    assert system.converged()
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=5, max_value=8),
+    seed=st.integers(min_value=0, max_value=30),
+    data=st.data(),
+)
+def test_link_fault_never_condemns_endpoints(n, seed, data):
+    """Cutting a physical link may kill the link, never its endpoints."""
+    system = _build_system(n, seed, "multi")
+    links = sorted(tuple(sorted(l)) for l in system.topology.p2p_links)
+    link = data.draw(st.sampled_from(links))
+    system.cut_link_now(*link)
+    system.run(SETTLE_ROUNDS)
+    for node_id in system.correct_controllers():
+        pattern = system.nodes[node_id].fault_pattern
+        assert link[0] not in pattern.nodes
+        assert link[1] not in pattern.nodes
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=6, max_value=9),
+    seed=st.integers(min_value=0, max_value=30),
+    victim_idx=st.integers(min_value=0, max_value=100),
+)
+def test_active_flows_maximal_by_criticality(n, seed, victim_idx):
+    """After recovery, the active set equals the schedule the tree holds
+    for the true scenario -- i.e. the criticality-greedy maximal set."""
+    system = _build_system(n, seed, "multi")
+    controllers = system.topology.controllers
+    victim = controllers[victim_idx % len(controllers)]
+    system.inject_now(victim, CrashBehavior())
+    system.run(SETTLE_ROUNDS)
+    if not system.converged():
+        return  # pathological draw; covered by the recovery property above
+    target = system.target_schedule()
+    for node_id in system.correct_controllers():
+        schedule = system.nodes[node_id].current_schedule
+        assert schedule.active_flows == target.active_flows
+        # The drop order respects criticality: no dropped flow is more
+        # critical than every active flow.
+        if schedule.active_flows and schedule.dropped_flows:
+            min_active = min(
+                system.workload.flows[f].criticality
+                for f in schedule.active_flows
+            )
+            for dropped in schedule.dropped_flows:
+                flow = system.workload.flows[dropped]
+                # A more-critical flow may only be dropped for
+                # connectivity reasons, which a crash of one controller on
+                # a connected ER graph does not cause.
+                assert flow.criticality <= min_active or len(
+                    schedule.active_flows
+                ) == len(system.workload.flows) - 1

@@ -1,0 +1,169 @@
+"""Property-based tests of scheduling invariants (DESIGN.md S6).
+
+Random topologies and workloads; the invariants:
+
+* every mode schedule respects the EDF utilization cap on every node;
+* replica anti-affinity (no node hosts two copies of one task);
+* failed controllers host nothing;
+* active flows are fully placed with fconc replicas per task;
+* mode-tree children extend their parent by exactly one fault;
+* normalize_scenario always lands within the fault budget and never
+  invents faults out of thin air.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.net.topology import erdos_renyi_topology
+from repro.sched.assign import InfeasibleSchedule, ScheduleBuilder
+from repro.sched.edf import edf_schedulable
+from repro.sched.modegen import (
+    EMPTY_SCENARIO,
+    FailureScenario,
+    ModeTreeGenerator,
+    normalize_scenario,
+)
+from repro.sched.workload import WorkloadGenerator
+
+_topology_params = st.tuples(
+    st.integers(min_value=4, max_value=12),  # n
+    st.integers(min_value=0, max_value=50),  # seed
+)
+
+
+def _workload_for(n, seed, fconc):
+    # Target low enough that most flows fit even with replicas.
+    return WorkloadGenerator(seed=seed, chain_length_range=(1, 3)).workload(
+        target_utilization=n * 0.25
+    )
+
+
+def _assert_schedule_invariants(schedule, builder):
+    workload = builder.workload
+    # Capacity + EDF schedulability per node.
+    for node in builder.topology.controllers:
+        tasks = [
+            workload.task(task_id) for (task_id, _c) in schedule.copies_on(node)
+        ]
+        assert schedule.utilization_of(node, workload) <= builder.utilization_cap + 1e-9
+        assert edf_schedulable(tasks, utilization_cap=builder.utilization_cap)
+    # Anti-affinity.
+    hosts_by_task = {}
+    for (task_id, _copy), node in schedule.placements.items():
+        hosts_by_task.setdefault(task_id, []).append(node)
+    for task_id, hosts in hosts_by_task.items():
+        assert len(hosts) == len(set(hosts))
+    # Failed controllers host nothing.
+    for node in schedule.failed_nodes:
+        assert node not in schedule.placements.values()
+    # Active flows fully placed.
+    for flow_id in schedule.active_flows:
+        flow = workload.flows[flow_id]
+        for task in flow.tasks:
+            for copy in range(builder.fconc + 1):
+                assert (task.task_id, copy) in schedule.placements
+    # Partition of the flow set.
+    assert schedule.active_flows | schedule.dropped_flows == set(workload.flows)
+    assert not (schedule.active_flows & schedule.dropped_flows)
+
+
+class TestScheduleInvariants:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=_topology_params, fconc=st.integers(min_value=0, max_value=2),
+           fail_count=st.integers(min_value=0, max_value=2),
+           fail_seed=st.integers(min_value=0, max_value=10**6))
+    def test_random_modes_valid(self, params, fconc, fail_count, fail_seed):
+        import random
+
+        n, seed = params
+        topology = erdos_renyi_topology(n, seed=seed)
+        workload = _workload_for(n, seed, fconc)
+        builder = ScheduleBuilder(topology, workload, fconc=fconc)
+        rng = random.Random(fail_seed)
+        failed = rng.sample(topology.controllers, min(fail_count, n - 1))
+        try:
+            schedule = builder.build(failed_nodes=failed)
+        except InfeasibleSchedule:
+            assert len(failed) >= n - 1
+            return
+        _assert_schedule_invariants(schedule, builder)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=_topology_params)
+    def test_child_modes_extend_parent(self, params):
+        n, seed = params
+        topology = erdos_renyi_topology(n, seed=seed)
+        workload = _workload_for(n, seed, 1)
+        tree = ModeTreeGenerator(topology, workload, fmax=1, fconc=1).generate()
+        for parent, kids in tree.children.items():
+            for child in kids:
+                assert child.fault_count == parent.fault_count + 1
+                assert child.covers(parent)
+        for scenario, schedule in tree.schedules.items():
+            assert schedule.failed_nodes == scenario.nodes
+            builder = tree.builder
+            _assert_schedule_invariants(schedule, builder)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=_topology_params)
+    def test_more_faults_never_add_flows(self, params):
+        """Monotonicity: a child mode never runs MORE flows than its parent
+        when capacity is the binding constraint at the root."""
+        n, seed = params
+        topology = erdos_renyi_topology(n, seed=seed)
+        workload = _workload_for(n, seed, 1)
+        tree = ModeTreeGenerator(topology, workload, fmax=1, fconc=1).generate()
+        root = tree.schedules[EMPTY_SCENARIO]
+        for scenario, schedule in tree.schedules.items():
+            if scenario == EMPTY_SCENARIO:
+                continue
+            assert len(schedule.active_flows) <= len(root.active_flows)
+
+
+class TestNormalizeScenarioProperties:
+    links_strategy = st.sets(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+            lambda ab: ab[0] != ab[1]
+        ),
+        max_size=8,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(links=links_strategy, nodes=st.sets(st.integers(0, 9), max_size=3),
+           fmax=st.integers(min_value=1, max_value=5))
+    def test_budget_and_soundness(self, links, nodes, fmax):
+        canonical = frozenset(tuple(sorted(l)) for l in links)
+        scenario = FailureScenario(nodes=frozenset(nodes), links=canonical)
+        normalized = normalize_scenario(scenario, fmax)
+        # Normalization never inflates the fault count...
+        assert normalized.fault_count <= scenario.fault_count
+        # ...and reaches the budget whenever a single shared endpoint can
+        # explain all links (the paper's S3.2 example).  Disjoint link sets
+        # need a vertex cover, which may legitimately exceed fmax -- such
+        # evidence can only arise when the adversary already broke the
+        # fault-budget assumption.
+        endpoints = set()
+        for a, b in canonical:
+            endpoints.update((a, b))
+        shared = [e for e in endpoints if all(e in l for l in canonical)]
+        if shared and len(nodes) + 1 <= fmax:
+            assert normalized.fault_count <= fmax
+        # Soundness: every original fault is still covered.
+        assert normalized.covers(scenario)
+        # No faults invented: every blamed node touches an original fault.
+        for blamed in normalized.nodes - scenario.nodes:
+            assert any(blamed in link for link in canonical)
+        # Remaining links were all in the original set.
+        assert normalized.links <= canonical
+
+    @settings(max_examples=60, deadline=None)
+    @given(links=links_strategy, fmax=st.integers(min_value=1, max_value=5))
+    def test_idempotent(self, links, fmax):
+        canonical = frozenset(tuple(sorted(l)) for l in links)
+        scenario = FailureScenario(nodes=frozenset(), links=canonical)
+        once = normalize_scenario(scenario, fmax)
+        twice = normalize_scenario(once, fmax)
+        assert once == twice

@@ -1,0 +1,110 @@
+"""EDF analysis + simulator tests, cross-validated against each other."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched.edf import EDFSimulator, demand_bound, edf_schedulable, total_utilization
+from repro.sched.task import MS, Task
+
+
+def _task(task_id, period_ms, wcet_ms, deadline_ms=None):
+    return Task(
+        task_id=task_id,
+        flow_id=0,
+        name=f"T{task_id}",
+        period_us=period_ms * MS,
+        wcet_us=wcet_ms * MS,
+        deadline_us=(deadline_ms or period_ms) * MS,
+    )
+
+
+class TestSchedulabilityTest:
+    def test_empty_set_schedulable(self):
+        assert edf_schedulable([])
+
+    def test_utilization_bound_implicit(self):
+        tasks = [_task(1, 10, 5), _task(2, 20, 10)]  # U = 1.0
+        assert edf_schedulable(tasks)
+        assert not edf_schedulable(tasks + [_task(3, 100, 1)])  # U = 1.01
+
+    def test_utilization_cap_respected(self):
+        tasks = [_task(1, 10, 5)]  # U = 0.5
+        assert edf_schedulable(tasks, utilization_cap=0.5)
+        assert not edf_schedulable(tasks, utilization_cap=0.4)
+
+    def test_constrained_deadline_infeasible(self):
+        # Two tasks that collide on an early deadline: U < 1 but dbf fails.
+        tasks = [_task(1, 10, 5, deadline_ms=5), _task(2, 10, 4, deadline_ms=5)]
+        assert not edf_schedulable(tasks)
+
+    def test_constrained_deadline_feasible(self):
+        tasks = [_task(1, 10, 3, deadline_ms=5), _task(2, 20, 4, deadline_ms=10)]
+        assert edf_schedulable(tasks)
+
+    def test_demand_bound_function(self):
+        tasks = [_task(1, 10, 2)]
+        assert demand_bound(tasks, 10 * MS) == 2 * MS
+        assert demand_bound(tasks, 25 * MS) == 4 * MS  # two full deadlines by t=25
+        assert demand_bound(tasks, 9 * MS) == 0
+
+    def test_total_utilization(self):
+        assert total_utilization([_task(1, 10, 5), _task(2, 10, 2)]) == pytest.approx(0.7)
+
+
+class TestSimulator:
+    def test_single_task_meets_deadlines(self):
+        result = EDFSimulator([_task(1, 10, 3)]).run(horizon_us=50 * MS)
+        assert result.schedulable
+        assert len(result.jobs) == 5
+
+    def test_full_utilization_meets_deadlines(self):
+        result = EDFSimulator([_task(1, 10, 5), _task(2, 20, 10)]).run()
+        assert result.schedulable
+
+    def test_overload_misses_deadlines(self):
+        result = EDFSimulator([_task(1, 10, 6), _task(2, 10, 6)]).run(horizon_us=40 * MS)
+        assert not result.schedulable
+        assert result.deadline_misses
+
+    def test_preemption_counted(self):
+        # Long-period task running when a short-deadline job arrives.
+        tasks = [_task(1, 100, 50), _task(2, 10, 2)]
+        result = EDFSimulator(tasks).run(horizon_us=100 * MS)
+        assert result.schedulable
+        assert result.preemptions > 0
+
+    def test_chemical_plant_node_load(self):
+        # Four 8ms/40ms tasks fit exactly on one node (U = 0.8).
+        tasks = [_task(i, 40, 8) for i in range(1, 5)]
+        result = EDFSimulator(tasks).run()
+        assert result.schedulable
+
+    def test_empty_taskset(self):
+        result = EDFSimulator([]).run()
+        assert result.schedulable
+        assert result.jobs == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        specs=st.lists(
+            st.tuples(
+                st.sampled_from([5, 10, 20, 40]),  # period ms
+                st.integers(min_value=1, max_value=8),  # wcet ms
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_analysis_agrees_with_simulation(self, specs):
+        """Property: analytic test and simulator agree for implicit deadlines."""
+        tasks = [
+            _task(i + 1, period, min(wcet, period)) for i, (period, wcet) in enumerate(specs)
+        ]
+        analytic = edf_schedulable(tasks)
+        simulated = EDFSimulator(tasks).run().schedulable
+        # Analytic schedulable => simulation must meet all deadlines.
+        if analytic:
+            assert simulated
+        # Simulation over a full hyperperiod missing => analysis must agree.
+        if not simulated:
+            assert not analytic

@@ -1,0 +1,146 @@
+"""Tests for the from-scratch 0-1 branch-and-bound ILP solver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched.ilp import ILPStatus, ZeroOneILP
+
+
+class TestBasics:
+    def test_unconstrained_minimization_picks_negatives(self):
+        ilp = ZeroOneILP()
+        ilp.add_variable("a", cost=-2.0)
+        ilp.add_variable("b", cost=3.0)
+        sol = ilp.solve()
+        assert sol.status == ILPStatus.OPTIMAL
+        assert sol.assignment == {"a": 1, "b": 0}
+        assert sol.objective == pytest.approx(-2.0)
+
+    def test_equality_constraint(self):
+        ilp = ZeroOneILP()
+        for name in ("a", "b", "c"):
+            ilp.add_variable(name, cost=1.0)
+        ilp.add_constraint({"a": 1, "b": 1, "c": 1}, "==", 2)
+        sol = ilp.solve()
+        assert sol.status == ILPStatus.OPTIMAL
+        assert sum(sol.assignment.values()) == 2
+        assert sol.objective == pytest.approx(2.0)
+
+    def test_infeasible_detected(self):
+        ilp = ZeroOneILP()
+        ilp.add_variable("a")
+        ilp.add_constraint({"a": 1}, ">=", 2)
+        sol = ilp.solve()
+        assert sol.status == ILPStatus.INFEASIBLE
+        assert not sol.feasible
+
+    def test_knapsack(self):
+        # max value <=> min -value; capacity 10.
+        items = {"x1": (6, -10), "x2": (5, -8), "x3": (5, -7)}
+        ilp = ZeroOneILP()
+        for name, (_w, cost) in items.items():
+            ilp.add_variable(name, cost=cost)
+        ilp.add_constraint({n: w for n, (w, _c) in items.items()}, "<=", 10)
+        sol = ilp.solve()
+        # Best is x2 + x3 (weight 10, value 15).
+        assert sol.assignment == {"x1": 0, "x2": 1, "x3": 1}
+        assert sol.objective == pytest.approx(-15.0)
+
+    def test_duplicate_variable_rejected(self):
+        ilp = ZeroOneILP()
+        ilp.add_variable("a")
+        with pytest.raises(ValueError):
+            ilp.add_variable("a")
+
+    def test_unknown_variable_in_constraint_rejected(self):
+        ilp = ZeroOneILP()
+        with pytest.raises(ValueError):
+            ilp.add_constraint({"ghost": 1}, "<=", 1)
+
+    def test_bad_sense_rejected(self):
+        ilp = ZeroOneILP()
+        ilp.add_variable("a")
+        with pytest.raises(ValueError):
+            ilp.add_constraint({"a": 1}, "<", 1)
+
+    def test_empty_model(self):
+        sol = ZeroOneILP().solve()
+        assert sol.status == ILPStatus.OPTIMAL
+        assert sol.objective == pytest.approx(0.0)
+        assert sol.feasible
+
+
+class TestAssignmentShaped:
+    def test_exactly_one_per_item(self):
+        """3 items x 2 bins, one bin penalized; solver avoids penalties."""
+        ilp = ZeroOneILP()
+        for item in range(3):
+            for bin_no in range(2):
+                ilp.add_variable(f"x{item}_{bin_no}", cost=float(bin_no))
+        for item in range(3):
+            ilp.add_constraint({f"x{item}_0": 1, f"x{item}_1": 1}, "==", 1)
+        # Bin 0 holds at most 2 items.
+        ilp.add_constraint({f"x{i}_0": 1 for i in range(3)}, "<=", 2)
+        sol = ilp.solve()
+        assert sol.status == ILPStatus.OPTIMAL
+        assert sol.objective == pytest.approx(1.0)  # exactly one item pays
+
+    def test_anti_affinity(self):
+        """Two copies of a task must go to different nodes."""
+        ilp = ZeroOneILP()
+        for copy in range(2):
+            for node in range(2):
+                ilp.add_variable(f"c{copy}n{node}", cost=0.0)
+        for copy in range(2):
+            ilp.add_constraint({f"c{copy}n0": 1, f"c{copy}n1": 1}, "==", 1)
+        for node in range(2):
+            ilp.add_constraint({f"c0n{node}": 1, f"c1n{node}": 1}, "<=", 1)
+        sol = ilp.solve()
+        assert sol.status == ILPStatus.OPTIMAL
+        placed = {c: next(n for n in range(2) if sol.assignment[f"c{c}n{n}"]) for c in range(2)}
+        assert placed[0] != placed[1]
+
+
+class TestBruteForceEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_matches_brute_force(self, data):
+        """Property: on random small models, B&B matches exhaustive search."""
+        n = data.draw(st.integers(min_value=1, max_value=6))
+        costs = [data.draw(st.integers(min_value=-5, max_value=5)) for _ in range(n)]
+        m = data.draw(st.integers(min_value=0, max_value=3))
+        constraints = []
+        for _ in range(m):
+            coeffs = [data.draw(st.integers(min_value=-3, max_value=3)) for _ in range(n)]
+            sense = data.draw(st.sampled_from(["<=", ">=", "=="]))
+            bound = data.draw(st.integers(min_value=-4, max_value=6))
+            constraints.append((coeffs, sense, bound))
+
+        ilp = ZeroOneILP()
+        for i, c in enumerate(costs):
+            ilp.add_variable(f"v{i}", cost=c)
+        for coeffs, sense, bound in constraints:
+            ilp.add_constraint({f"v{i}": c for i, c in enumerate(coeffs)}, sense, bound)
+        sol = ilp.solve()
+
+        best = None
+        for mask in range(2**n):
+            x = [(mask >> i) & 1 for i in range(n)]
+            ok = True
+            for coeffs, sense, bound in constraints:
+                lhs = sum(c * xi for c, xi in zip(coeffs, x))
+                if sense == "<=" and lhs > bound:
+                    ok = False
+                elif sense == ">=" and lhs < bound:
+                    ok = False
+                elif sense == "==" and lhs != bound:
+                    ok = False
+            if ok:
+                obj = sum(c * xi for c, xi in zip(costs, x))
+                if best is None or obj < best:
+                    best = obj
+        if best is None:
+            assert sol.status == ILPStatus.INFEASIBLE
+        else:
+            assert sol.status == ILPStatus.OPTIMAL
+            assert sol.objective == pytest.approx(best)

@@ -1,0 +1,155 @@
+"""Tests for the task/flow/workload model."""
+
+import pytest
+
+from repro.sched.task import (
+    CRITICALITY_HIGH,
+    CRITICALITY_LOW,
+    CRITICALITY_MEDIUM,
+    CRITICALITY_VERY_HIGH,
+    MS,
+    Flow,
+    Task,
+    Workload,
+    chemical_plant_workload,
+)
+
+
+def _task(task_id=1, flow_id=0, period=40, wcet=8, deadline=None):
+    return Task(
+        task_id=task_id,
+        flow_id=flow_id,
+        name=f"T{task_id}",
+        period_us=period * MS,
+        wcet_us=wcet * MS,
+        deadline_us=(deadline or period) * MS,
+    )
+
+
+class TestTask:
+    def test_utilization(self):
+        assert _task(period=40, wcet=8).utilization == pytest.approx(0.2)
+
+    def test_implicit_deadline(self):
+        assert _task().implicit_deadline
+        assert not _task(deadline=30).implicit_deadline
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ValueError):
+            _task(period=0)
+
+    def test_wcet_exceeding_period_rejected(self):
+        with pytest.raises(ValueError):
+            _task(period=10, wcet=11)
+
+    def test_deadline_exceeding_period_rejected(self):
+        with pytest.raises(ValueError):
+            _task(period=10, wcet=5, deadline=11)
+
+
+class TestFlow:
+    def test_chain_recognized(self):
+        t1, t2 = _task(1), _task(2)
+        flow = Flow(
+            flow_id=0, name="f", criticality=CRITICALITY_HIGH,
+            tasks=(t1, t2), edges=((1, 2),),
+        )
+        assert flow.is_chain()
+        assert flow.upstream_of(2) == [1]
+        assert flow.downstream_of(1) == [2]
+        assert [t.task_id for t in flow.entry_tasks()] == [1]
+        assert [t.task_id for t in flow.exit_tasks()] == [2]
+
+    def test_dag_flow(self):
+        tasks = tuple(_task(i) for i in (1, 2, 3))
+        flow = Flow(
+            flow_id=0, name="fanout", criticality=CRITICALITY_LOW,
+            tasks=tasks, edges=((1, 2), (1, 3)),
+        )
+        assert not flow.is_chain()
+        assert flow.downstream_of(1) == [2, 3]
+
+    def test_cycle_rejected(self):
+        tasks = tuple(_task(i) for i in (1, 2))
+        with pytest.raises(ValueError):
+            Flow(
+                flow_id=0, name="cyc", criticality=CRITICALITY_LOW,
+                tasks=tasks, edges=((1, 2), (2, 1)),
+            )
+
+    def test_edge_to_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(
+                flow_id=0, name="bad", criticality=CRITICALITY_LOW,
+                tasks=(_task(1),), edges=((1, 9),),
+            )
+
+    def test_duplicate_task_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(
+                flow_id=0, name="dup", criticality=CRITICALITY_LOW,
+                tasks=(_task(1), _task(1)),
+            )
+
+    def test_flow_utilization(self):
+        flow = Flow(
+            flow_id=0, name="f", criticality=CRITICALITY_LOW,
+            tasks=(_task(1), _task(2)), edges=((1, 2),),
+        )
+        assert flow.utilization == pytest.approx(0.4)
+
+
+class TestWorkload:
+    def test_duplicate_flow_id_rejected(self):
+        f = Flow(flow_id=0, name="f", criticality=1, tasks=(_task(1),))
+        g = Flow(flow_id=0, name="g", criticality=1, tasks=(_task(2),))
+        with pytest.raises(ValueError):
+            Workload([f, g])
+
+    def test_duplicate_task_across_flows_rejected(self):
+        f = Flow(flow_id=0, name="f", criticality=1, tasks=(_task(1),))
+        g = Flow(flow_id=1, name="g", criticality=1, tasks=(_task(1, flow_id=1),))
+        with pytest.raises(ValueError):
+            Workload([f, g])
+
+    def test_lookup(self):
+        wl = chemical_plant_workload()
+        assert wl.task(3).name == "T3"
+        assert wl.flow_of(3).name == "burner-control"
+
+    def test_criticality_order(self):
+        wl = chemical_plant_workload()
+        names = [f.name for f in wl.flows_by_criticality()]
+        assert names == ["pressure-alarm", "burner-control", "valve-control", "monitor"]
+
+    def test_subset(self):
+        wl = chemical_plant_workload()
+        sub = wl.subset([0, 1])
+        assert len(sub) == 2
+        assert sub.total_utilization == pytest.approx(0.2 * 3)
+
+
+class TestChemicalPlantWorkload:
+    def test_matches_figure_1c(self):
+        wl = chemical_plant_workload()
+        assert len(wl.flows) == 4
+        assert len(wl.tasks) == 8
+        for task in wl.tasks:
+            assert task.period_us == 40 * MS
+            assert task.wcet_us == 8 * MS
+            assert task.deadline_us == 40 * MS
+        crits = {f.name: f.criticality for f in wl.flows.values()}
+        assert crits["pressure-alarm"] == CRITICALITY_VERY_HIGH
+        assert crits["burner-control"] == CRITICALITY_HIGH
+        assert crits["valve-control"] == CRITICALITY_MEDIUM
+        assert crits["monitor"] == CRITICALITY_LOW
+
+    def test_total_utilization(self):
+        # 8 tasks x 0.2 = 1.6 nodes' worth of work.
+        wl = chemical_plant_workload()
+        assert wl.total_utilization == pytest.approx(1.6)
+
+    def test_flows_are_chains(self):
+        wl = chemical_plant_workload()
+        for flow in wl.flows.values():
+            assert flow.is_chain()

@@ -1,0 +1,113 @@
+"""Tests for the S5.1 random workload generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched.task import MS
+from repro.sched.workload import WorkloadGenerator
+
+
+class TestFlowGeneration:
+    def test_periods_in_paper_range(self):
+        generator = WorkloadGenerator(seed=1)
+        for i in range(20):
+            flow = generator.flow(i, first_task_id=1 + i * 4)
+            for task in flow.tasks:
+                assert 30 * MS <= task.period_us <= 70 * MS
+
+    def test_chain_lengths_in_range(self):
+        generator = WorkloadGenerator(seed=2)
+        lengths = {len(generator.flow(i, 1 + i * 4).tasks) for i in range(40)}
+        assert lengths <= {1, 2, 3, 4}
+        assert len(lengths) > 1  # actually varies
+
+    def test_flow_utilization_in_range(self):
+        generator = WorkloadGenerator(seed=3)
+        for i in range(20):
+            flow = generator.flow(i, 1 + i * 4)
+            # Rounding of integer WCETs may dip slightly below the low end.
+            assert 0.35 <= flow.utilization <= 0.72
+
+    def test_flows_are_chains(self):
+        generator = WorkloadGenerator(seed=4)
+        for i in range(10):
+            assert generator.flow(i, 1 + i * 4).is_chain()
+
+    def test_explicit_criticality(self):
+        generator = WorkloadGenerator(seed=5)
+        flow = generator.flow(0, 1, criticality=4)
+        assert flow.criticality == 4
+
+    def test_sensors_actuators_attached(self):
+        generator = WorkloadGenerator(seed=6)
+        flow = generator.flow(0, 1, sensors=(9,), actuators=(10, 11))
+        assert flow.sensors == (9,)
+        assert flow.actuators == (10, 11)
+
+
+class TestWorkloadGeneration:
+    def test_reaches_target_utilization(self):
+        wl = WorkloadGenerator(seed=7).workload(target_utilization=5.0)
+        assert wl.total_utilization >= 5.0
+        # Overshoot bounded by one application's worth.
+        assert wl.total_utilization < 5.0 + 0.75
+
+    def test_unique_ids(self):
+        wl = WorkloadGenerator(seed=8).workload(target_utilization=8.0)
+        task_ids = [t.task_id for t in wl.tasks]
+        assert len(task_ids) == len(set(task_ids))
+
+    def test_deterministic_given_seed(self):
+        a = WorkloadGenerator(seed=9).workload(target_utilization=3.0)
+        b = WorkloadGenerator(seed=9).workload(target_utilization=3.0)
+        assert [f.name for f in a.flows.values()] == [f.name for f in b.flows.values()]
+        assert a.total_utilization == b.total_utilization
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(seed=10).workload(target_utilization=3.0)
+        b = WorkloadGenerator(seed=11).workload(target_utilization=3.0)
+        assert a.total_utilization != b.total_utilization
+
+    def test_batch_generation(self):
+        batch = WorkloadGenerator(seed=12).workloads(5, target_utilization=2.0)
+        assert len(batch) == 5
+        assert len({w.total_utilization for w in batch}) > 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000), target=st.floats(min_value=0.5, max_value=10.0))
+    def test_tasks_always_valid(self, seed, target):
+        """Property: every generated task satisfies the Task invariants
+        (construction would raise otherwise) and has deadline == period."""
+        wl = WorkloadGenerator(seed=seed).workload(target_utilization=target)
+        for task in wl.tasks:
+            assert task.implicit_deadline
+            assert 0 < task.wcet_us <= task.period_us
+
+
+class TestDagGeneration:
+    def test_pure_chains_by_default(self):
+        generator = WorkloadGenerator(seed=13)
+        for i in range(15):
+            assert generator.flow(i, 1 + i * 4).is_chain()
+
+    def test_dag_probability_produces_diamonds(self):
+        generator = WorkloadGenerator(seed=14, chain_length_range=(4, 4),
+                                      dag_probability=1.0)
+        flow = generator.flow(0, 1)
+        assert not flow.is_chain()
+        # Diamond shape: entry fans out, exit fans in.
+        entry = flow.entry_tasks()
+        exit_ = flow.exit_tasks()
+        assert len(entry) == 1 and len(exit_) == 1
+        assert len(flow.downstream_of(entry[0].task_id)) == 2
+
+    def test_dag_flows_still_schedulable(self):
+        from repro.net.topology import erdos_renyi_topology
+        from repro.sched.assign import ScheduleBuilder
+
+        generator = WorkloadGenerator(seed=15, chain_length_range=(4, 4),
+                                      dag_probability=0.5)
+        wl = generator.workload(target_utilization=2.0)
+        topo = erdos_renyi_topology(8, seed=15)
+        schedule = ScheduleBuilder(topo, wl, fconc=1).build()
+        assert schedule.active_flows  # DAG flows place like chains
