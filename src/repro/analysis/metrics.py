@@ -3,12 +3,17 @@
 Collects exactly the quantities the paper's evaluation reports: per-link
 bandwidth (Fig. 5a, 6, 8a), per-node storage (Fig. 5b, 8c), and per-node
 cryptographic operation counts split by layer (Fig. 5c, 8b).
+
+Also aggregates the *fast-path* instrumentation: hit/miss/time counters
+from the CRT signer, the process-wide verification cache, batched multisig
+checks, the codec encode memo, and the coverage-calculator cache (see
+docs/PROTOCOL.md, "Performance architecture").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.core.identity import DOMAIN_AUDITING, DOMAIN_FORWARDING
 from repro.crypto.cost_model import CryptoCostModel, CryptoCounters
@@ -113,6 +118,40 @@ class MetricsCollector:
             forwarding_ops=_scale(fwd, 1.0 / k),
             auditing_ops=_scale(aud, 1.0 / k),
         )
+
+
+def fastpath_stats() -> Dict[str, Dict[str, Any]]:
+    """One dict with every fast-path counter, keyed by component.
+
+    Components: ``rsa_sign`` (CRT vs plain counts, wall-clock),
+    ``verify_cache`` (process-wide verification outcomes),
+    ``multisig_batch`` (batched aggregate checks), ``codec_memo``
+    (canonical-encoding memo), ``coverage_cache`` (coverage DP reuse).
+    """
+    from repro.core import forwarding
+    from repro.crypto import multisig, rsa, verify_cache
+    from repro.net import message
+
+    return {
+        "rsa_sign": rsa.sign_stats(),
+        "verify_cache": verify_cache.stats(),
+        "multisig_batch": multisig.batch_stats(),
+        "codec_memo": message.codec_memo_stats(),
+        "coverage_cache": forwarding.coverage_cache_stats(),
+    }
+
+
+def reset_fastpath_stats() -> None:
+    """Zero every fast-path counter (caches keep their contents)."""
+    from repro.core import forwarding
+    from repro.crypto import multisig, rsa, verify_cache
+    from repro.net import message
+
+    rsa.reset_sign_stats()
+    verify_cache.GLOBAL.reset_stats()
+    multisig.reset_batch_stats()
+    message.reset_codec_memo_stats()
+    forwarding.reset_coverage_cache_stats()
 
 
 def _scale(counters: CryptoCounters, factor: float) -> CryptoCounters:

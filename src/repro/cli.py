@@ -11,6 +11,7 @@ Usage::
     python -m repro fig11
     python -m repro table1
     python -m repro report --out results.md [--scale full]
+    python -m repro bench-fastpath [--rounds 30] [--out BENCH_fastpath.json]
 
 Each command prints the regenerated rows and the paper's qualitative shape
 checks.  The same drivers back the pytest benchmarks.
@@ -118,6 +119,14 @@ def cmd_report(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_bench_fastpath(args) -> int:
+    from repro.experiments import bench_fastpath
+
+    result = bench_fastpath.main(output_path=args.out, rounds=args.rounds)
+    ok = result["transcripts_identical"] and result["speedup"] >= 1.0
+    return 0 if ok else 1
+
+
 def cmd_fig11(_args) -> int:
     results = fig11_testbed.run_all()
     for name, r in results.items():
@@ -164,6 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig11", help="testbed attack scenarios").set_defaults(
         func=cmd_fig11
     )
+
+    bench = sub.add_parser(
+        "bench-fastpath",
+        help="crypto/wire fast-path speedup benchmark (prints a BENCH JSON line)",
+    )
+    bench.add_argument("--rounds", type=int, default=30)
+    bench.add_argument("--out", default="BENCH_fastpath.json")
+    bench.set_defaults(func=cmd_bench_fastpath)
 
     rep = sub.add_parser("report", help="run everything, write a markdown report")
     rep.add_argument("--out", default="results.md")

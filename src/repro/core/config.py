@@ -44,6 +44,10 @@ class ReboundConfig:
         protocol_enabled: set False for the *unprotected* baseline of
             Fig. 8/10/11: no heartbeats, no omission detection, no
             auditing replicas -- just task execution and data routing.
+        verify_cache: consult the process-wide signature-verification
+            cache (:mod:`repro.crypto.verify_cache`).  A pure simulator
+            fast path; disabling it yields byte-identical transcripts
+            and operation counts, just slower (see benchmarks).
     """
 
     fmax: int = 1
@@ -61,6 +65,7 @@ class ReboundConfig:
     scheduler_method: str = "greedy"
     audit_lag_rounds: int = 1
     protocol_enabled: bool = True
+    verify_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.fmax < 0 or self.fconc < 0:

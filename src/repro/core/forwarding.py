@@ -38,7 +38,7 @@ back to individual flooding while evidence is in flux.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter, OrderedDict, defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -67,20 +67,52 @@ from repro.net.message import encode, register_message
 from repro.net.topology import Topology
 from repro.sched.modegen import FailureScenario
 
-# Process-wide cache of coverage calculators, keyed by the canonical
+# Process-wide LRU cache of coverage calculators, keyed by the canonical
 # adjacency encoding.  The DP is a deterministic function of shared public
 # information (topology + fault pattern), so sharing it across simulated
-# nodes loses no fidelity.
-_coverage_cache: Dict[bytes, CoverageCalculator] = {}
+# nodes loses no fidelity.  Bounded so a long-lived process sweeping many
+# scenarios (the figure scripts) cannot grow it without limit.
+_COVERAGE_CACHE_CAPACITY = 256
+_coverage_cache: "OrderedDict[bytes, CoverageCalculator]" = OrderedDict()
+_coverage_cache_stats: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def _coverage_for(adjacency: Dict[int, Tuple[int, ...]], max_age: int) -> CoverageCalculator:
     key = hash_bytes(encode((sorted(adjacency.items()), max_age)))
     calc = _coverage_cache.get(key)
     if calc is None:
+        _coverage_cache_stats["misses"] += 1
         calc = CoverageCalculator(adjacency, max_age)
         _coverage_cache[key] = calc
+        while len(_coverage_cache) > _COVERAGE_CACHE_CAPACITY:
+            _coverage_cache.popitem(last=False)
+            _coverage_cache_stats["evictions"] += 1
+    else:
+        _coverage_cache_stats["hits"] += 1
+        _coverage_cache.move_to_end(key)
     return calc
+
+
+def coverage_cache_stats() -> Dict[str, int]:
+    stats = dict(_coverage_cache_stats)
+    stats["capacity"] = _COVERAGE_CACHE_CAPACITY
+    stats["entries"] = len(_coverage_cache)
+    return stats
+
+
+def reset_coverage_cache_stats() -> None:
+    _coverage_cache_stats.update(hits=0, misses=0, evictions=0)
+
+
+def configure_coverage_cache(capacity: int) -> None:
+    """Resize the coverage-calculator cache (evicting LRU entries)."""
+    global _COVERAGE_CACHE_CAPACITY
+    if capacity <= 0:
+        raise ValueError("coverage cache capacity must be positive")
+    _COVERAGE_CACHE_CAPACITY = capacity
+    while len(_coverage_cache) > capacity:
+        _coverage_cache.popitem(last=False)
+        _coverage_cache_stats["evictions"] += 1
 
 
 @register_message
@@ -454,6 +486,12 @@ class ForwardingLayer:
         if self.config.variant != VARIANT_MULTI:
             return len(aggregates) == 0
         assert self._coverage is not None
+        # Two passes: collect every admissible aggregate, batch-verify them
+        # in one combined group equation (verdicts identical to per-item
+        # checks -- see crypto.multisig), then fold in the ones that pass.
+        # Admissibility only reads state the loop never mutates (epoch
+        # digest, coverage DP), so the split is behavior-preserving.
+        admissible: List[Tuple[AggregateHeartbeat, int]] = []
         for agg in aggregates:
             age = self._round - 1 - agg.round_no
             if age < 0 or age > self.d_max:
@@ -462,13 +500,21 @@ class ForwardingLayer:
                 continue  # different fault epoch; fallback records cover this
             if not self._coverage.has_node(sender):
                 continue
-            expected = self._coverage.multiset(sender, age)
-            ok = self.crypto.ms_verify_value(
-                agg.body(),
-                agg.sig_value,
-                expected,
-                cache_key=(self.epoch_digest, sender, age),
-            )
+            admissible.append((agg, age))
+        if not admissible:
+            return True
+        verdicts = self.crypto.ms_verify_batch(
+            [
+                (
+                    agg.body(),
+                    agg.sig_value,
+                    self._coverage.multiset(sender, age),
+                    (self.epoch_digest, sender, age),
+                )
+                for agg, age in admissible
+            ]
+        )
+        for (agg, age), ok in zip(admissible, verdicts):
             if not ok:
                 # The sender's propagation was disturbed (or it lies); do not
                 # combine, and let Rule B attribute any resulting shortfall.

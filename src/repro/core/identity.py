@@ -13,19 +13,31 @@ are deterministic functions of public information (topology + fault epoch),
 so sharing the cache across simulated nodes loses no fidelity while keeping
 simulations fast; the ms_combine_key cost is charged to the first node that
 computes each key.
+
+Verification outcomes are likewise shared through the process-wide
+:mod:`repro.crypto.verify_cache` (same fidelity argument: an outcome is a
+pure function of public data).  The cache sits *below* the counters --
+every logical operation is still counted, only redundant arithmetic is
+skipped -- so cost metrics and transcripts are identical with the cache on
+or off.  Per-deployment opt-out flows through ``NodeCrypto.use_cache``
+(set from ``ReboundConfig.verify_cache``).
 """
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.crypto import verify_cache
 from repro.crypto.cost_model import CryptoCounters
+from repro.crypto.hashing import hash_bytes
 from repro.crypto.multisig import (
     MultisigGroup,
     MultisigKeyPair,
     MultisigPublicKey,
+    verify_multisig_values_batch,
 )
 from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, RSASignature
 
@@ -47,6 +59,8 @@ class Directory:
                                    seed=hash((seed, "operator")))
         # (adjacency_key, node, age) -> aggregate key value.
         self._agg_key_cache: Dict[Tuple, int] = {}
+        self.agg_key_hits = 0
+        self.agg_key_misses = 0
 
     def register(self, node_id: int) -> None:
         if node_id in self._rsa_pairs:
@@ -64,8 +78,8 @@ class Directory:
     def ms_public(self, node_id: int) -> MultisigPublicKey:
         return self._ms_pairs[node_id].public_key
 
-    def crypto_for(self, node_id: int) -> "NodeCrypto":
-        return NodeCrypto(node_id, self)
+    def crypto_for(self, node_id: int, use_cache: bool = True) -> "NodeCrypto":
+        return NodeCrypto(node_id, self, use_cache=use_cache)
 
     # -- aggregate key computation (cached, cost charged on miss) ---------------
 
@@ -74,7 +88,9 @@ class Directory:
     ) -> int:
         cached = self._agg_key_cache.get(cache_key)
         if cached is not None:
+            self.agg_key_hits += 1
             return cached
+        self.agg_key_misses += 1
         q = self.group.q
         value = 0
         for node, mult in sorted(multiset.items()):
@@ -92,11 +108,14 @@ class NodeCrypto:
     Attributes:
         node_id: the owning node.
         directory: the shared key directory.
+        use_cache: consult the process-wide verification cache (pure
+            fast path; counters and outcomes are unaffected).
         counters: per-domain operation counters.
     """
 
     node_id: int
     directory: Directory
+    use_cache: bool = True
 
     def __post_init__(self) -> None:
         self.counters: Dict[str, CryptoCounters] = {
@@ -116,25 +135,55 @@ class NodeCrypto:
         self.counters[domain].rsa_sign += 1
         return self.directory._rsa_pairs[self.node_id].sign(body).to_bytes()
 
+    @staticmethod
+    def _rsa_cache_key(public: RSAPublicKey, body: bytes, signature: bytes) -> Tuple:
+        # Raw wire bytes key the cache so hits skip signature parsing and
+        # hashing entirely; bodies longer than a digest are hashed (the
+        # distinct tag keeps digest keys from colliding with short bodies).
+        if len(body) <= 64:
+            return ("rsa", public.n, public.e, body, signature)
+        return ("rsa-d", public.n, public.e, hash_bytes(body), signature)
+
+    def _verify_rsa(self, public: RSAPublicKey, body: bytes, signature: bytes) -> bool:
+        if self.use_cache and verify_cache.GLOBAL.enabled:
+            key = self._rsa_cache_key(public, body, signature)
+            cached = verify_cache.GLOBAL.get(key)
+            if cached is not None:
+                return cached
+        else:
+            key = None
+        t0 = time.perf_counter()
+        try:
+            sig = RSASignature.from_bytes(signature)
+        except (ValueError, IndexError):
+            outcome = False
+        else:
+            outcome = public.verify(body, sig)
+        if key is not None:
+            verify_cache.GLOBAL.put(key, outcome, time.perf_counter() - t0)
+        return outcome
+
     def verify(
         self, origin: int, body: bytes, signature: bytes, domain: str = DOMAIN_FORWARDING
     ) -> bool:
         self.counters[domain].rsa_verify += 1
         try:
-            sig = RSASignature.from_bytes(signature)
-        except (ValueError, IndexError):
-            return False
-        try:
             public = self.directory.rsa_public(origin)
         except KeyError:
             return False
-        return public.verify(body, sig)
+        return self._verify_rsa(public, body, signature)
 
     # -- multisignatures ------------------------------------------------------
 
     def ms_sign(self, body: bytes, domain: str = DOMAIN_FORWARDING) -> int:
         self.counters[domain].ms_sign += 1
         return self.directory._ms_pairs[self.node_id].sign(body).value
+
+    def _ms_cache_key(self, body: bytes, sig_value: int, apk: int) -> Tuple:
+        group = self.directory.group
+        if len(body) <= 64:
+            return ("ms", group.q, group.g, apk, body, sig_value)
+        return ("ms-d", group.q, group.g, apk, hash_bytes(body), sig_value)
 
     def ms_verify_value(
         self,
@@ -150,19 +199,67 @@ class NodeCrypto:
         apk = self.directory.aggregate_key_value(
             cache_key, multiset, self.counters[domain]
         )
-        h = group.hash_to_group(body)
-        return (sig_value * group.g) % group.q == (h * apk) % group.q
+        if not self.use_cache or not verify_cache.GLOBAL.enabled:
+            h = group.hash_to_group(body)
+            return (sig_value * group.g) % group.q == (h * apk) % group.q
+
+        def compute() -> bool:
+            h = group.hash_to_group(body)
+            return (sig_value * group.g) % group.q == (h * apk) % group.q
+
+        return verify_cache.cached_check(
+            self._ms_cache_key(body, sig_value, apk), compute
+        )
+
+    def ms_verify_batch(
+        self,
+        entries: Sequence[Tuple[bytes, int, Counter, Tuple]],
+        domain: str = DOMAIN_FORWARDING,
+    ) -> List[bool]:
+        """Batch :meth:`ms_verify_value` over (body, sig, multiset, key).
+
+        Counting semantics are identical to calling :meth:`ms_verify_value`
+        once per entry (the batch is a simulator fast path, not a modeled
+        protocol change): one ms_verify per entry, ms_combine_key charged
+        on aggregate-key cache misses.  Cache hits are served per entry;
+        only the residual misses pay arithmetic, amortized in one batched
+        group equation.
+        """
+        if not entries:
+            return []
+        group = self.directory.group
+        bucket = self.counters[domain]
+        results: List[Optional[bool]] = [None] * len(entries)
+        misses: List[Tuple[int, Tuple[bytes, int, int], Optional[Tuple]]] = []
+        caching = self.use_cache and verify_cache.GLOBAL.enabled
+        for index, (body, sig_value, multiset, agg_cache_key) in enumerate(entries):
+            bucket.ms_verify += 1
+            apk = self.directory.aggregate_key_value(agg_cache_key, multiset, bucket)
+            if caching:
+                key = self._ms_cache_key(body, sig_value, apk)
+                cached = verify_cache.GLOBAL.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            else:
+                key = None
+            misses.append((index, (body, sig_value, apk), key))
+        if misses:
+            verdicts = verify_multisig_values_batch(
+                group, [triple for _i, triple, _k in misses]
+            )
+            for (index, _triple, key), verdict in zip(misses, verdicts):
+                results[index] = verdict
+                if key is not None:
+                    verify_cache.GLOBAL.put(key, verdict)
+        return [bool(r) for r in results]
 
     def verify_operator(
         self, body: bytes, signature: bytes, domain: str = DOMAIN_FORWARDING
     ) -> bool:
         """Verify an operator-signed certificate (blessings)."""
         self.counters[domain].rsa_verify += 1
-        try:
-            sig = RSASignature.from_bytes(signature)
-        except (ValueError, IndexError):
-            return False
-        return self.directory.operator.public_key.verify(body, sig)
+        return self._verify_rsa(self.directory.operator.public_key, body, signature)
 
     def ms_combine(self, a: int, b: int, domain: str = DOMAIN_FORWARDING) -> int:
         self.counters[domain].ms_combine_sig += 1

@@ -105,7 +105,7 @@ class ReboundSystem:
                 topology=topology,
                 workload=workload,
                 config=config,
-                crypto=self.directory.crypto_for(node_id),
+                crypto=self.directory.crypto_for(node_id, use_cache=config.verify_cache),
                 registry=self.registry,
                 mode_tree=mode_tree,
                 path_cache=self.path_cache,
@@ -117,7 +117,7 @@ class ReboundSystem:
                 node_id,
                 topology,
                 config,
-                self.directory.crypto_for(node_id),
+                self.directory.crypto_for(node_id, use_cache=config.verify_cache),
                 self.registry,
                 mode_tree,
                 self.path_cache,
@@ -130,7 +130,7 @@ class ReboundSystem:
                 node_id,
                 topology,
                 config,
-                self.directory.crypto_for(node_id),
+                self.directory.crypto_for(node_id, use_cache=config.verify_cache),
                 self.registry,
                 mode_tree,
                 self.path_cache,
@@ -233,7 +233,7 @@ class ReboundSystem:
             topology=self.topology,
             config=self.config,
             workload=self.workload,
-            crypto=self.directory.crypto_for(node_id),
+            crypto=self.directory.crypto_for(node_id, use_cache=self.config.verify_cache),
             registry=self.registry,
             mode_tree=self.mode_tree,
             path_cache=self.path_cache,

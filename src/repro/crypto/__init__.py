@@ -14,6 +14,8 @@ Everything here is implemented from scratch (no external crypto libraries):
 * :mod:`repro.crypto.cost_model` -- counts cryptographic operations and
   attributes the paper's measured per-operation timings so that simulated
   CPU costs match the evaluation's cost accounting.
+* :mod:`repro.crypto.verify_cache` -- process-wide bounded LRU cache of
+  verification outcomes (simulator fast path; see docs/PROTOCOL.md).
 """
 
 from repro.crypto.hashing import Authenticator, hash_bytes, hash_hex
@@ -23,9 +25,11 @@ from repro.crypto.multisig import (
     MultisigKeyPair,
     MultisigPublicKey,
     Multisignature,
+    verify_multisig_values_batch,
 )
 from repro.crypto.rotation import KeyRotationManager, RotatingKey
 from repro.crypto.cost_model import CryptoCostModel, CryptoCounters
+from repro.crypto.verify_cache import VerificationCache
 
 __all__ = [
     "Authenticator",
@@ -38,8 +42,10 @@ __all__ = [
     "MultisigKeyPair",
     "MultisigPublicKey",
     "Multisignature",
+    "verify_multisig_values_batch",
     "KeyRotationManager",
     "RotatingKey",
     "CryptoCostModel",
     "CryptoCounters",
+    "VerificationCache",
 ]

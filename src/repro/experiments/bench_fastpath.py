@@ -1,0 +1,191 @@
+"""Fast-path benchmark: cache-enabled vs cache-disabled wall-clock.
+
+Runs the same 20-node grid REBOUND deployment twice in one process -- once
+with every fast path disabled (plain-exponentiation signing, no
+verification cache, no codec memo: the pre-fast-path code path) and once
+with them all enabled -- and records both wall-clock times, the speedup,
+and full transcripts proving the runs are *byte-identical*: same per-node
+evidence sets and same mode switches every round.  (CRT signing produces
+bit-identical signatures, so toggling it cannot change a transcript; it is
+additionally reported as a standalone microbenchmark.)
+
+The result is written to ``BENCH_fastpath.json`` so regressions are
+diffable across commits; ``python -m repro bench-fastpath`` prints the
+JSON line.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import fastpath_stats, reset_fastpath_stats
+from repro.core.config import ReboundConfig
+from repro.core.runtime import ReboundSystem
+from repro.crypto import rsa, verify_cache
+from repro.crypto.rsa import RSAKeyPair
+from repro.faults.adversary import CrashBehavior
+from repro.net import message
+from repro.net.topology import grid_topology
+from repro.sched.workload import WorkloadGenerator
+
+DEFAULT_ROWS = 4
+DEFAULT_COLS = 5
+DEFAULT_ROUNDS = 30
+DEFAULT_CRASH_ROUND = 10
+
+
+def _transcript_entry(system: ReboundSystem) -> Tuple:
+    """One round's observable state: per-node evidence digest + mode."""
+    digests = []
+    for node_id in sorted(system.nodes):
+        node = system.nodes[node_id]
+        schedule = node.current_schedule
+        mode = (
+            (tuple(sorted(schedule.failed_nodes)), tuple(sorted(schedule.failed_links)))
+            if schedule
+            else None
+        )
+        digests.append((node_id, node.forwarding.evidence.digest().hex(), mode))
+    return tuple(digests)
+
+
+def _run_once(
+    rows: int,
+    cols: int,
+    rounds: int,
+    crash_round: Optional[int],
+    seed: int,
+    variant: str,
+    fast: bool,
+) -> Dict[str, Any]:
+    """Build and run one deployment; returns time, transcript, stats."""
+    verify_cache.GLOBAL.clear()
+    verify_cache.GLOBAL.reset_stats()
+    verify_cache.configure(enabled=True)  # per-run opt-out goes via config
+    message.configure_codec_memo(enabled=fast)
+    rsa.configure_crt(enabled=fast)
+    reset_fastpath_stats()
+
+    topology = grid_topology(rows, cols)
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=1.5
+    )
+    config = ReboundConfig(
+        fmax=1, fconc=1, variant=variant, rsa_bits=512, verify_cache=fast
+    )
+    t0 = time.perf_counter()
+    system = ReboundSystem(topology, workload, config, seed=seed)
+    build_s = time.perf_counter() - t0
+
+    # Only the protocol rounds are timed; transcript capture (evidence
+    # digests for the byte-identity check) is measurement overhead shared
+    # by both runs and stays outside the clock.
+    transcript: List[Tuple] = []
+    run_s = 0.0
+    for r in range(1, rounds + 1):
+        if crash_round is not None and r == crash_round:
+            victim = max(system.topology.controllers)
+            system.inject_now(victim, CrashBehavior())
+        t0 = time.perf_counter()
+        system.run_round()
+        run_s += time.perf_counter() - t0
+        transcript.append(_transcript_entry(system))
+
+    stats = fastpath_stats()
+    message.configure_codec_memo(enabled=True)
+    rsa.configure_crt(enabled=True)
+    return {
+        "fast": fast,
+        "build_s": build_s,
+        "run_s": run_s,
+        "transcript": transcript,
+        "stats": stats,
+    }
+
+
+def _crt_microbench(bits: int = 512, iterations: int = 50) -> Dict[str, float]:
+    """CRT vs plain signing on one key (bit-identical outputs)."""
+    pair = RSAKeyPair(bits=bits, seed=12345)
+    messages = [i.to_bytes(4, "big") * 8 for i in range(iterations)]
+    t0 = time.perf_counter()
+    crt = [pair.sign(m).value for m in messages]
+    crt_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    plain = [pair.sign_plain(m).value for m in messages]
+    plain_s = time.perf_counter() - t0
+    return {
+        "bits": bits,
+        "iterations": iterations,
+        "crt_s": crt_s,
+        "plain_s": plain_s,
+        "speedup": (plain_s / crt_s) if crt_s else float("inf"),
+        "identical": crt == plain,
+    }
+
+
+def run_fastpath_bench(
+    rows: int = DEFAULT_ROWS,
+    cols: int = DEFAULT_COLS,
+    rounds: int = DEFAULT_ROUNDS,
+    crash_round: Optional[int] = DEFAULT_CRASH_ROUND,
+    seed: int = 0,
+    variant: str = "basic",
+    output_path: Optional[str] = "BENCH_fastpath.json",
+) -> Dict[str, Any]:
+    """The headline before/after measurement (see module docstring).
+
+    Returns the result dict; also writes it to ``output_path`` (JSON)
+    unless that is None.  Transcripts are compared in full but only their
+    digest is persisted.
+    """
+    baseline = _run_once(rows, cols, rounds, crash_round, seed, variant, fast=False)
+    fast = _run_once(rows, cols, rounds, crash_round, seed, variant, fast=True)
+    transcripts_identical = baseline["transcript"] == fast["transcript"]
+    result = {
+        "benchmark": "fastpath",
+        "topology": f"grid_{rows}x{cols}",
+        "nodes": rows * cols,
+        "rounds": rounds,
+        "variant": variant,
+        "crash_round": crash_round,
+        "seed": seed,
+        "baseline_run_s": baseline["run_s"],
+        "fast_run_s": fast["run_s"],
+        "speedup": (
+            baseline["run_s"] / fast["run_s"] if fast["run_s"] else float("inf")
+        ),
+        "transcripts_identical": transcripts_identical,
+        "crt_microbench": _crt_microbench(),
+        "fast_stats": fast["stats"],
+        "baseline_stats": baseline["stats"],
+    }
+    if output_path is not None:
+        with open(output_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return result
+
+
+def main(
+    output_path: Optional[str] = "BENCH_fastpath.json",
+    rounds: int = DEFAULT_ROUNDS,
+) -> Dict[str, Any]:
+    result = run_fastpath_bench(rounds=rounds, output_path=output_path)
+    print("BENCH " + json.dumps(
+        {
+            k: result[k]
+            for k in (
+                "benchmark", "topology", "rounds", "variant",
+                "baseline_run_s", "fast_run_s", "speedup",
+                "transcripts_identical",
+            )
+        },
+        sort_keys=True,
+    ))
+    return result
+
+
+if __name__ == "__main__":
+    main()

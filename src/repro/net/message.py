@@ -12,12 +12,27 @@ are encoded as a type tag followed by their fields in declaration order.
 Encoding is canonical: dicts and frozensets are serialized in sorted order,
 so equal values always produce identical bytes -- a property the evidence
 subsystem relies on (signatures are computed over encodings).
+
+Encoding is also *memoized* for recursively-immutable values (tuples and
+frozen registered dataclasses whose fields are themselves immutable): a
+:class:`RoundMessage`'s shared record tuples are identical objects across
+all of a node's per-neighbor messages within a round, so they are encoded
+once and the bytes reused.  The memo is keyed by object *identity* and
+holds a strong reference to the key object, which makes it sound: the entry
+can only be hit while the exact object is alive, and an immutable object's
+encoding never changes.  (A value-keyed cache would be unsound here --
+``True == 1`` hash-equal but ``encode(True) != encode(1)``.)  Mutable
+containers (list, dict) and anything transitively containing them are never
+memoized.  The memo is bounded LRU and can be disabled via
+:func:`configure_codec_memo`; being a pure function cache, on/off produces
+identical bytes.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import struct
+from collections import OrderedDict
 from typing import Any, Dict, List, Tuple, Type
 
 _T_NONE = b"\x00"
@@ -34,6 +49,43 @@ _T_MESSAGE = b"\x10"
 
 _registry_by_name: Dict[str, Tuple[int, Type]] = {}
 _registry_by_id: Dict[int, Type] = {}
+_frozen_by_name: Dict[str, bool] = {}
+
+# -- encode memo (see module docstring) ---------------------------------------
+
+_MEMO_CAPACITY = 4096
+#: id(obj) -> (obj, encoded bytes).  The strong reference to obj pins its id.
+_memo: "OrderedDict[int, Tuple[Any, bytes]]" = OrderedDict()
+_memo_enabled = True
+_memo_stats: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0, "saved_bytes": 0}
+
+
+def configure_codec_memo(enabled=None, capacity=None) -> None:
+    """Enable/disable or resize the encode memo (clears it on any change)."""
+    global _memo_enabled, _MEMO_CAPACITY
+    if capacity is not None:
+        if capacity <= 0:
+            raise ValueError("codec memo capacity must be positive")
+        _MEMO_CAPACITY = capacity
+    if enabled is not None:
+        _memo_enabled = enabled
+    _memo.clear()
+
+
+def codec_memo_enabled() -> bool:
+    return _memo_enabled
+
+
+def codec_memo_stats() -> Dict[str, int]:
+    stats = dict(_memo_stats)
+    stats["enabled"] = _memo_enabled
+    stats["capacity"] = _MEMO_CAPACITY
+    stats["entries"] = len(_memo)
+    return stats
+
+
+def reset_codec_memo_stats() -> None:
+    _memo_stats.update(hits=0, misses=0, evictions=0, saved_bytes=0)
 
 
 def register_message(cls: Type) -> Type:
@@ -54,6 +106,7 @@ def register_message(cls: Type) -> Type:
         raise ValueError(f"type-id collision between {name} and {existing.__name__}")
     _registry_by_name[name] = (type_id, cls)
     _registry_by_id[type_id] = cls
+    _frozen_by_name[name] = bool(cls.__dataclass_params__.frozen)
     return cls
 
 
@@ -62,7 +115,19 @@ def _encode_varbytes(data: bytes, out: List[bytes]) -> None:
     out.append(data)
 
 
-def _encode_into(value: Any, out: List[bytes]) -> None:
+def _memo_store(value: Any, blob: bytes) -> None:
+    _memo[id(value)] = (value, blob)
+    while len(_memo) > _MEMO_CAPACITY:
+        _memo.popitem(last=False)
+        _memo_stats["evictions"] += 1
+
+
+def _encode_into(value: Any, out: List[bytes]) -> bool:
+    """Append the encoding of ``value`` to ``out``.
+
+    Returns True when ``value`` is *recursively immutable* (so its encoding
+    can never change and is safe to memoize by identity), False otherwise.
+    """
     if value is None:
         out.append(_T_NONE)
     elif value is True:
@@ -80,15 +145,30 @@ def _encode_into(value: Any, out: List[bytes]) -> None:
         out.append(_T_STR)
         _encode_varbytes(value.encode("utf-8"), out)
     elif isinstance(value, tuple):
-        out.append(_T_TUPLE)
-        out.append(struct.pack(">I", len(value)))
+        if _memo_enabled:
+            hit = _memo.get(id(value))
+            if hit is not None and hit[0] is value:
+                _memo.move_to_end(id(value))
+                _memo_stats["hits"] += 1
+                _memo_stats["saved_bytes"] += len(hit[1])
+                out.append(hit[1])
+                return True
+        sub: List[bytes] = [_T_TUPLE, struct.pack(">I", len(value))]
+        safe = True
         for item in value:
-            _encode_into(item, out)
+            safe = _encode_into(item, sub) and safe
+        blob = b"".join(sub)
+        out.append(blob)
+        if _memo_enabled and safe:
+            _memo_stats["misses"] += 1
+            _memo_store(value, blob)
+        return safe
     elif isinstance(value, list):
         out.append(_T_LIST)
         out.append(struct.pack(">I", len(value)))
         for item in value:
             _encode_into(item, out)
+        return False
     elif isinstance(value, dict):
         out.append(_T_DICT)
         items = sorted(value.items(), key=lambda kv: encode(kv[0]))
@@ -96,25 +176,42 @@ def _encode_into(value: Any, out: List[bytes]) -> None:
         for k, v in items:
             _encode_into(k, out)
             _encode_into(v, out)
+        return False
     elif isinstance(value, frozenset):
         out.append(_T_FROZENSET)
         items = sorted(value, key=encode)
         out.append(struct.pack(">I", len(items)))
+        safe = True
         for item in items:
-            _encode_into(item, out)
+            safe = _encode_into(item, out) and safe
+        return safe
     elif dataclasses.is_dataclass(value) and not isinstance(value, type):
         name = type(value).__name__
         if name not in _registry_by_name:
             raise TypeError(f"unregistered message type: {name}")
+        if _memo_enabled:
+            hit = _memo.get(id(value))
+            if hit is not None and hit[0] is value:
+                _memo.move_to_end(id(value))
+                _memo_stats["hits"] += 1
+                _memo_stats["saved_bytes"] += len(hit[1])
+                out.append(hit[1])
+                return True
         type_id, _ = _registry_by_name[name]
-        out.append(_T_MESSAGE)
-        out.append(struct.pack(">I", type_id))
         fields = dataclasses.fields(value)
-        out.append(struct.pack(">I", len(fields)))
+        sub = [_T_MESSAGE, struct.pack(">I", type_id), struct.pack(">I", len(fields))]
+        safe = _frozen_by_name[name]
         for f in fields:
-            _encode_into(getattr(value, f.name), out)
+            safe = _encode_into(getattr(value, f.name), sub) and safe
+        blob = b"".join(sub)
+        out.append(blob)
+        if _memo_enabled and safe:
+            _memo_stats["misses"] += 1
+            _memo_store(value, blob)
+        return safe
     else:
         raise TypeError(f"cannot encode value of type {type(value).__name__}")
+    return True
 
 
 def encode(value: Any) -> bytes:

@@ -321,6 +321,27 @@ def ring_topology(n: int) -> Topology:
     return topo
 
 
+def grid_topology(rows: int, cols: int, capacity: int = DEFAULT_LINK_CAPACITY) -> Topology:
+    """A rows x cols mesh of controllers (node id = row * cols + col).
+
+    A regular sparse topology with a known diameter (rows + cols - 2),
+    used by the fast-path benchmark for reproducible 20-node runs.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    topo = Topology()
+    for node in range(rows * cols):
+        topo.add_node(node)
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                topo.add_link(node, node + 1, capacity=capacity)
+            if r + 1 < rows:
+                topo.add_link(node, node + cols, capacity=capacity)
+    return topo
+
+
 def fully_connected_topology(n: int) -> Topology:
     """A clique of n controllers."""
     topo = Topology()
