@@ -1,0 +1,70 @@
+"""Mode-tree generation scaling: seed serial path vs the optimized engine.
+
+Runs the ``bench_modegen`` sweep (the same driver behind
+``python -m repro bench-modegen``) under pytest-benchmark and asserts the
+engine's contract: the parallel tree is identical to the serial tree, the
+optimized flow sets match the seed path, and the optimized engine is
+faster end-to-end.  Small-scale by default; ``REPRO_FULL=1`` runs the full
+ILP cells (tens of seconds of seed-path branch-and-bound per cell).
+"""
+
+from conftest import scale
+
+
+def test_modegen_speedup_and_identity(benchmark):
+    from repro.experiments.bench_modegen import run_modegen_bench
+
+    result = benchmark.pedantic(
+        lambda: run_modegen_bench(
+            workers=2,
+            quick=scale(True, False),
+            output_path=None,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for cell in result["cells"]:
+        assert cell["parallel_identical_to_serial"], cell["name"]
+        assert cell["same_flow_sets_as_seed"], cell["name"]
+        if cell["method"] == "greedy":
+            assert cell["identical_to_seed"], cell["name"]
+    assert result["all_parallel_identical"]
+    assert result["all_flow_sets_match_seed"]
+    # ILP cells dominate both sweeps; warm starts + batch admission +
+    # the placement memo must beat the seed path end to end.
+    assert result["speedup_end_to_end"] > 1.0
+    print(
+        f"modegen: seed {result['total_seed_s']:.2f}s, "
+        f"optimized serial {result['total_opt_serial_s']:.2f}s, "
+        f"parallel {result['total_opt_parallel_s']:.2f}s, "
+        f"end-to-end speedup {result['speedup_end_to_end']:.1f}x"
+    )
+
+
+def test_parallel_workers_sweep(benchmark):
+    """Exact generation at a fixed size across worker counts: identical
+    trees whatever the pool size."""
+    from repro.net.topology import erdos_renyi_topology
+    from repro.sched.modegen import ModeTreeGenerator
+    from repro.sched.workload import WorkloadGenerator
+
+    n, fmax = scale((10, 2), (14, 2))
+    topology = erdos_renyi_topology(n, seed=2)
+    workload = WorkloadGenerator(seed=2, chain_length_range=(1, 2)).workload(
+        target_utilization=2.0
+    )
+
+    def sweep():
+        trees = {}
+        for workers in (1, 2, 4):
+            gen = ModeTreeGenerator(topology, workload, fmax=fmax)
+            trees[workers] = gen.generate(workers=workers)
+        return trees
+
+    trees = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    serial = trees[1]
+    for workers, tree in trees.items():
+        assert tree.schedules == serial.schedules
+        assert tree.parents == serial.parents
+        assert tree.children == serial.children
+        assert tree.serialized_size() == serial.serialized_size()

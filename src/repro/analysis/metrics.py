@@ -126,11 +126,16 @@ def fastpath_stats() -> Dict[str, Dict[str, Any]]:
     Components: ``rsa_sign`` (CRT vs plain counts, wall-clock),
     ``verify_cache`` (process-wide verification outcomes),
     ``multisig_batch`` (batched aggregate checks), ``codec_memo``
-    (canonical-encoding memo), ``coverage_cache`` (coverage DP reuse).
+    (canonical-encoding memo), ``coverage_cache`` (coverage DP reuse),
+    ``ilp_solver`` (branch-and-bound solves, explored nodes, warm-start
+    outcomes, tripped budgets), ``place_memo`` (placement-subproblem memo
+    in the schedule builder), ``edf_memo`` (schedulability-test memo),
+    ``modegen_lookup`` (mode-tree ``schedule_for`` memo).
     """
     from repro.core import forwarding
     from repro.crypto import multisig, rsa, verify_cache
     from repro.net import message
+    from repro.sched import assign, edf, ilp, modegen
 
     return {
         "rsa_sign": rsa.sign_stats(),
@@ -138,6 +143,10 @@ def fastpath_stats() -> Dict[str, Dict[str, Any]]:
         "multisig_batch": multisig.batch_stats(),
         "codec_memo": message.codec_memo_stats(),
         "coverage_cache": forwarding.coverage_cache_stats(),
+        "ilp_solver": ilp.solver_stats(),
+        "place_memo": assign.place_memo_stats(),
+        "edf_memo": edf.edf_memo_stats(),
+        "modegen_lookup": modegen.lookup_memo_stats(),
     }
 
 
@@ -146,12 +155,17 @@ def reset_fastpath_stats() -> None:
     from repro.core import forwarding
     from repro.crypto import multisig, rsa, verify_cache
     from repro.net import message
+    from repro.sched import assign, edf, ilp, modegen
 
     rsa.reset_sign_stats()
     verify_cache.GLOBAL.reset_stats()
     multisig.reset_batch_stats()
     message.reset_codec_memo_stats()
     forwarding.reset_coverage_cache_stats()
+    ilp.reset_solver_stats()
+    assign.reset_place_memo_stats()
+    edf.reset_edf_memo()
+    modegen.reset_lookup_memo_stats()
 
 
 def _scale(counters: CryptoCounters, factor: float) -> CryptoCounters:

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro fig5 [--sizes 4,10,20] [--rounds 25]
     python -m repro fig6 [--n 45] [--fault-round 50]
-    python -m repro fig7 [--sizes 15,30] [--fmax 1,2]
+    python -m repro fig7 [--sizes 15,30] [--fmax 1,2] [--workers 4]
     python -m repro fig8 [--rounds 60]
     python -m repro fig9
     python -m repro fig10 [--duration 3.0]
@@ -12,6 +12,7 @@ Usage::
     python -m repro table1
     python -m repro report --out results.md [--scale full]
     python -m repro bench-fastpath [--rounds 30] [--out BENCH_fastpath.json]
+    python -m repro bench-modegen [--workers 2] [--quick] [--out BENCH_modegen.json]
 
 Each command prints the regenerated rows and the paper's qualitative shape
 checks.  The same drivers back the pytest benchmarks.
@@ -77,7 +78,9 @@ def cmd_fig6(args) -> int:
 
 def cmd_fig7(args) -> int:
     rows = fig7_scheduling.run(
-        sizes=tuple(args.sizes), fmax_values=tuple(args.fmax)
+        sizes=tuple(args.sizes),
+        fmax_values=tuple(args.fmax),
+        workers=args.workers,
     )
     print_table(rows, "Figure 7: scheduling trees")
     return _print_checks(fig7_scheduling.check_shape(rows))
@@ -127,6 +130,20 @@ def cmd_bench_fastpath(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_bench_modegen(args) -> int:
+    from repro.experiments import bench_modegen
+
+    result = bench_modegen.main(
+        output_path=args.out, workers=args.workers, quick=args.quick
+    )
+    ok = result["all_parallel_identical"] and result["all_flow_sets_match_seed"]
+    if not args.quick:
+        # Tiny smoke cells are dominated by pool startup; the speedup gate
+        # only applies to the full sweep.
+        ok = ok and result["speedup_end_to_end"] >= 1.0
+    return 0 if ok else 1
+
+
 def cmd_fig11(_args) -> int:
     results = fig11_testbed.run_all()
     for name, r in results.items():
@@ -156,6 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
     p6.set_defaults(func=cmd_fig6)
 
     p7 = sub.add_parser("fig7", help="scheduling trees")
+    p7.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan mode-tree layers across N worker processes "
+        "(identical output; serial by default)",
+    )
     p7.add_argument("--sizes", type=_int_list, default=[15, 30, 60])
     p7.add_argument("--fmax", type=_int_list, default=[1, 2])
     p7.set_defaults(func=cmd_fig7)
@@ -181,6 +205,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--rounds", type=int, default=30)
     bench.add_argument("--out", default="BENCH_fastpath.json")
     bench.set_defaults(func=cmd_bench_fastpath)
+
+    benchm = sub.add_parser(
+        "bench-modegen",
+        help="mode-tree generation speedup benchmark: seed serial path vs "
+        "warm-started/memoized/parallel engine (prints a BENCH JSON line)",
+    )
+    benchm.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for the parallel runs",
+    )
+    benchm.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized smoke sweep (skips the expensive ILP cells)",
+    )
+    benchm.add_argument("--out", default="BENCH_modegen.json")
+    benchm.set_defaults(func=cmd_bench_modegen)
 
     rep = sub.add_parser("report", help="run everything, write a markdown report")
     rep.add_argument("--out", default="results.md")

@@ -1,0 +1,207 @@
+"""Mode-tree generation benchmark: seed serial path vs the optimized engine.
+
+Runs a Fig. 7-style node-fault sweep three times per cell in one process:
+
+* ``seed``      -- the pre-optimization serial path (no ILP warm starts, no
+                   batch admission, no placement memo, no schedule
+                   interning): the code path the repo shipped before the
+                   parallel engine landed.
+* ``opt_serial``-- all solver-level optimizations on, ``workers=1``.
+* ``opt_par``   -- the same configuration fanned out across a worker pool.
+
+For every cell the benchmark itself verifies the parallel tree is
+*identical* to the serial tree (schedules, parents, child order, and both
+serialized encodings), and that the optimized trees admit exactly the same
+flow sets as the seed tree (ILP warm starts may pick a different
+equally-optimal placement, so full bit-identity to the seed path is only
+asserted for greedy cells, where every optimization is result-preserving).
+
+The result is written to ``BENCH_modegen.json`` so regressions are
+diffable across commits; ``python -m repro bench-modegen`` prints the
+JSON line.  ``quick=True`` shrinks the sweep to a CI-sized smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.net.topology import erdos_renyi_topology
+from repro.sched.modegen import ModeTree, ModeTreeGenerator
+from repro.sched.workload import WorkloadGenerator
+
+DEFAULT_WORKERS = 2
+
+#: Fig. 7-style sweep cells.  ILP cells are deliberately small: the
+#: pure-Python branch-and-bound seed path takes tens of seconds per cell
+#: already at n=6 (that cost is exactly what this benchmark measures).
+CELLS: List[Dict[str, Any]] = [
+    {"name": "ilp_n6_f1", "n": 6, "fmax": 1, "method": "ilp", "util": 1.2},
+    {"name": "ilp_n6_f2", "n": 6, "fmax": 2, "method": "ilp", "util": 1.2},
+    {"name": "greedy_n12_f2", "n": 12, "fmax": 2, "method": "greedy", "util": 2.0},
+]
+
+QUICK_CELLS: List[Dict[str, Any]] = [
+    {"name": "greedy_n8_f2", "n": 8, "fmax": 2, "method": "greedy", "util": 1.5},
+    {"name": "ilp_n5_f1", "n": 5, "fmax": 1, "method": "ilp", "util": 1.0},
+]
+
+
+def _trees_identical(a: ModeTree, b: ModeTree) -> bool:
+    """Full structural identity: schedules, canonical parents, child order."""
+    return (
+        a.schedules == b.schedules
+        and a.parents == b.parents
+        and a.children == b.children
+        and a.serialized_size() == b.serialized_size()
+        and a.serialized_size(dedup=False) == b.serialized_size(dedup=False)
+    )
+
+
+def _same_flow_sets(a: ModeTree, b: ModeTree) -> bool:
+    """Same scenarios with the same active/dropped flows (placements may
+    differ between equally-optimal ILP solutions)."""
+    if set(a.schedules) != set(b.schedules):
+        return False
+    for scenario, sched_a in a.schedules.items():
+        sched_b = b.schedules[scenario]
+        if sched_a.active_flows != sched_b.active_flows:
+            return False
+        if sched_a.dropped_flows != sched_b.dropped_flows:
+            return False
+    return True
+
+
+def _generate(cell: Dict[str, Any], optimized: bool, workers: int, seed: int):
+    topology = erdos_renyi_topology(cell["n"], seed=seed)
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=cell["util"]
+    )
+    generator = ModeTreeGenerator(
+        topology,
+        workload,
+        fmax=cell["fmax"],
+        fconc=1,
+        method=cell["method"],
+        ilp_warm_start=optimized,
+        ilp_batch_admit=optimized,
+        place_memo=optimized,
+        intern_schedules=optimized,
+    )
+    t0 = time.perf_counter()
+    tree = generator.generate(workers=workers)
+    elapsed = time.perf_counter() - t0
+    return tree, elapsed
+
+
+def _run_cell(cell: Dict[str, Any], workers: int, seed: int) -> Dict[str, Any]:
+    tree_seed, seed_s = _generate(cell, optimized=False, workers=1, seed=seed)
+    tree_opt, opt_serial_s = _generate(cell, optimized=True, workers=1, seed=seed)
+    tree_par, opt_parallel_s = _generate(
+        cell, optimized=True, workers=workers, seed=seed
+    )
+    solver_seed = tree_seed.stats.solver
+    solver_opt = tree_par.stats.solver
+    row = {
+        **{k: cell[k] for k in ("name", "n", "fmax", "method", "util")},
+        "modes": tree_seed.num_modes,
+        "seed_s": seed_s,
+        "opt_serial_s": opt_serial_s,
+        "opt_parallel_s": opt_parallel_s,
+        "speedup_serial": seed_s / opt_serial_s if opt_serial_s else float("inf"),
+        "speedup_parallel": (
+            seed_s / opt_parallel_s if opt_parallel_s else float("inf")
+        ),
+        # The headline identity claim: the pool produces the very tree the
+        # serial engine does.
+        "parallel_identical_to_serial": _trees_identical(tree_opt, tree_par),
+        "same_flow_sets_as_seed": _same_flow_sets(tree_seed, tree_par),
+        "size_flat_bytes": tree_seed.serialized_size(dedup=False),
+        "size_dedup_bytes": tree_par.serialized_size(),
+        "interned_schedules": tree_par.stats.interned_schedules,
+        "unique_schedule_bodies": tree_par.stats.unique_schedule_bodies,
+        "seed_ilp_nodes": solver_seed.get("ilp_nodes_explored", 0),
+        "opt_ilp_nodes": solver_opt.get("ilp_nodes_explored", 0),
+        "seed_ilp_solves": solver_seed.get("ilp_solves", 0),
+        "opt_ilp_solves": solver_opt.get("ilp_solves", 0),
+        "opt_warm_proved_optimal": solver_opt.get("ilp_warm_proved_optimal", 0),
+        "opt_place_memo_hits": solver_opt.get("place_memo_hits", 0),
+    }
+    if cell["method"] == "greedy":
+        # Every optimization is result-preserving for greedy placement, so
+        # the optimized trees must be bit-identical to the seed tree.
+        row["identical_to_seed"] = _trees_identical(tree_seed, tree_par)
+    return row
+
+
+def run_modegen_bench(
+    workers: int = DEFAULT_WORKERS,
+    seed: int = 0,
+    quick: bool = False,
+    output_path: Optional[str] = "BENCH_modegen.json",
+) -> Dict[str, Any]:
+    """The headline before/after measurement (see module docstring).
+
+    Returns the result dict; also writes it to ``output_path`` (JSON)
+    unless that is None.
+    """
+    cells = QUICK_CELLS if quick else CELLS
+    rows = [_run_cell(cell, workers=workers, seed=seed) for cell in cells]
+    total_seed = sum(r["seed_s"] for r in rows)
+    total_serial = sum(r["opt_serial_s"] for r in rows)
+    total_parallel = sum(r["opt_parallel_s"] for r in rows)
+    result = {
+        "benchmark": "modegen",
+        "quick": quick,
+        "workers": workers,
+        "seed": seed,
+        "cells": rows,
+        "total_seed_s": total_seed,
+        "total_opt_serial_s": total_serial,
+        "total_opt_parallel_s": total_parallel,
+        "speedup_serial": (
+            total_seed / total_serial if total_serial else float("inf")
+        ),
+        "speedup_end_to_end": (
+            total_seed / total_parallel if total_parallel else float("inf")
+        ),
+        "all_parallel_identical": all(
+            r["parallel_identical_to_serial"] for r in rows
+        ),
+        "all_flow_sets_match_seed": all(
+            r["same_flow_sets_as_seed"] for r in rows
+        ),
+    }
+    if output_path is not None:
+        with open(output_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return result
+
+
+def main(
+    output_path: Optional[str] = "BENCH_modegen.json",
+    workers: int = DEFAULT_WORKERS,
+    quick: bool = False,
+) -> Dict[str, Any]:
+    result = run_modegen_bench(
+        workers=workers, quick=quick, output_path=output_path
+    )
+    print("BENCH " + json.dumps(
+        {
+            k: result[k]
+            for k in (
+                "benchmark", "quick", "workers",
+                "total_seed_s", "total_opt_serial_s", "total_opt_parallel_s",
+                "speedup_serial", "speedup_end_to_end",
+                "all_parallel_identical", "all_flow_sets_match_seed",
+            )
+        },
+        sort_keys=True,
+    ))
+    return result
+
+
+if __name__ == "__main__":
+    main()

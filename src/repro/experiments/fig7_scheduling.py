@@ -32,14 +32,25 @@ EXACT_LIMIT = 600  # generate exactly when the tree has at most this many modes
 
 
 def run_cell(
-    n: int, fmax: int, seed: int = 0, samples_per_layer: int = 6
+    n: int,
+    fmax: int,
+    seed: int = 0,
+    samples_per_layer: int = 6,
+    workers: int = 1,
 ) -> Dict:
-    """One (n, fmax) cell: exact when small, estimated otherwise."""
+    """One (n, fmax) cell: exact when small, estimated otherwise.
+
+    ``workers > 1`` fans each fault layer out across a process pool (the
+    tree -- and hence every reported metric except wall time -- is
+    identical to a serial run; see :meth:`ModeTreeGenerator.generate`).
+    """
     topology = erdos_renyi_topology(n, seed=seed)
     workload = WorkloadGenerator(seed=seed).workload(
         target_utilization=max(2.0, n * 0.3)
     )
-    generator = ModeTreeGenerator(topology, workload, fmax=fmax, fconc=1)
+    generator = ModeTreeGenerator(
+        topology, workload, fmax=fmax, fconc=1, workers=workers
+    )
     total_modes = sum(generator.layer_counts())
     if total_modes <= EXACT_LIMIT:
         start = time.perf_counter()
@@ -52,6 +63,7 @@ def run_cell(
             "size_bytes": tree.serialized_size(),
             "generation_s": elapsed,
             "method": "exact",
+            "workers": workers,
         }
     stats = generator.estimate(samples_per_layer=samples_per_layer, seed=seed)
     return {
@@ -61,6 +73,7 @@ def run_cell(
         "size_bytes": stats.estimated_size_bytes,
         "generation_s": stats.estimated_total_time_s,
         "method": "estimated",
+        "workers": workers,
     }
 
 
@@ -69,9 +82,16 @@ def run(
     fmax_values: Sequence[int] = DEFAULT_FMAX,
     seed: int = 0,
     samples_per_layer: int = 6,
+    workers: int = 1,
 ) -> List[Dict]:
     return [
-        run_cell(n, fmax, seed=seed, samples_per_layer=samples_per_layer)
+        run_cell(
+            n,
+            fmax,
+            seed=seed,
+            samples_per_layer=samples_per_layer,
+            workers=workers,
+        )
         for n in sizes
         for fmax in fmax_values
     ]

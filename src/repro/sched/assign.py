@@ -25,6 +25,7 @@ branch-and-bound solver (the Gurobi substitute).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -37,6 +38,19 @@ from repro.sched.task import Flow, Task, Workload
 
 # A copy is (task_id, copy_index); copy 0 is the primary, 1..fconc replicas.
 Copy = Tuple[int, int]
+
+#: Process-wide placement-memo counters (surfaced via repro.analysis.metrics).
+_PLACE_STATS: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def place_memo_stats() -> Dict[str, int]:
+    """A copy of the process-wide placement-memo counters."""
+    return dict(_PLACE_STATS)
+
+
+def reset_place_memo_stats() -> None:
+    for key in _PLACE_STATS:
+        _PLACE_STATS[key] = 0
 
 
 @register_message
@@ -108,7 +122,33 @@ class ScheduleBuilder:
             copy (used by case studies to model a function's natural home,
             e.g. cruise control on the ECM); honored when feasible, ignored
             when the node is failed or full.
+        ilp_warm_start: seed the ILP with the greedy placement as the
+            initial incumbent (prunes from node one; solves with a
+            provably-at-bound incumbent skip the search entirely).
+            Objective-preserving but may return a different equally-optimal
+            assignment than a cold solve, so it is opt-in.
+        ilp_batch_admit: for the exact ILP method, admit the full normal
+            flow set with a single solve when it is feasible instead of one
+            solve per flow (the exact solver makes the incremental
+            most-critical-first admission loop redundant in that case:
+            every prefix of a feasible set is feasible, so the loop admits
+            everything and its final solve equals the batch solve).
+            Result-identical; opt-in alongside ``ilp_warm_start``.
+        ilp_node_budget: deterministic branch-and-bound node budget passed
+            to every ILP solve; makes solver outcomes (and thus mode
+            trees) machine-independent, unlike the wall-clock limit.
+        ilp_time_limit_s: wall-clock safety net behind the node budget.
+        place_memo: memoize placement subproblems under a canonical key
+            (flow set, per-flow candidate lists, parent placements).
+            Scenarios whose failures do not disturb that structure --
+            symmetric siblings, pruned-link modes, repeated on-demand
+            lookups -- reuse the solved placement instead of re-solving.
+            Exactly result-preserving (the key captures every input the
+            placement engines read), so it defaults on.
     """
+
+    #: Bounded size of the per-builder placement memo.
+    PLACE_MEMO_MAX = 20_000
 
     def __init__(
         self,
@@ -118,6 +158,11 @@ class ScheduleBuilder:
         utilization_cap: float = 0.9,
         method: str = "greedy",
         pinned_primaries: Optional[Dict[int, int]] = None,
+        ilp_warm_start: bool = False,
+        ilp_batch_admit: bool = False,
+        ilp_node_budget: Optional[int] = 1_000_000,
+        ilp_time_limit_s: float = 20.0,
+        place_memo: bool = True,
     ):
         if fconc < 0:
             raise ValueError("fconc must be non-negative")
@@ -129,6 +174,25 @@ class ScheduleBuilder:
         self.utilization_cap = utilization_cap
         self.method = method
         self.pinned_primaries = dict(pinned_primaries or {})
+        self.ilp_warm_start = ilp_warm_start
+        self.ilp_batch_admit = ilp_batch_admit
+        self.ilp_node_budget = ilp_node_budget
+        self.ilp_time_limit_s = ilp_time_limit_s
+        self.place_memo = place_memo
+        self._place_cache: "OrderedDict[Tuple, Optional[Dict[Copy, int]]]" = (
+            OrderedDict()
+        )
+        #: Per-builder counters; mirrored into the process-wide stats so
+        #: parallel modegen workers can ship deltas back to the parent.
+        self.counters: Dict[str, int] = {
+            "builds": 0,
+            "place_calls": 0,
+            "place_memo_hits": 0,
+            "ilp_solves": 0,
+            "ilp_nodes_explored": 0,
+            "ilp_warm_proved_optimal": 0,
+            "ilp_budget_trips": 0,
+        }
 
     # -- scenario geometry ------------------------------------------------
 
@@ -203,6 +267,19 @@ class ScheduleBuilder:
         available = [c for c in self.topology.controllers if c not in failed_node_set]
         if not available:
             raise InfeasibleSchedule("no surviving controllers")
+        self.counters["builds"] += 1
+
+        # Per-flow candidate sets depend only on the scenario, not on the
+        # admitted prefix; compute each once per build instead of once per
+        # admission trial (connected components are the dominant cost).
+        candidate_cache: Dict[int, Optional[List[int]]] = {}
+
+        def candidates(flow: Flow) -> Optional[List[int]]:
+            if flow.flow_id not in candidate_cache:
+                candidate_cache[flow.flow_id] = self._flow_component_nodes(
+                    flow, graph, available
+                )
+            return candidate_cache[flow.flow_id]
 
         admitted: List[Flow] = []
         dropped: Set[int] = set()
@@ -210,20 +287,40 @@ class ScheduleBuilder:
 
         def try_admit(flow: Flow) -> None:
             nonlocal admitted, placements
-            candidate_nodes = self._flow_component_nodes(flow, graph, available)
-            if candidate_nodes is None:
+            if candidates(flow) is None:
                 dropped.add(flow.flow_id)
                 return
             trial = admitted + [flow]
-            result = self._place(trial, graph, available, parent)
+            result = self._place(trial, graph, available, parent, candidate_cache)
             if result is None:
                 dropped.add(flow.flow_id)
             else:
                 admitted = trial
                 placements = result
 
-        for flow in self.workload.normal_flows():
-            try_admit(flow)
+        normal = self.workload.normal_flows()
+        batch_done = False
+        if self.method == "ilp" and self.ilp_batch_admit:
+            placeable = [f for f in normal if candidates(f) is not None]
+            result = (
+                self._place(placeable, graph, available, parent, candidate_cache)
+                if placeable
+                else None
+            )
+            if result is not None:
+                # The exact solver admits every placeable flow anyway when
+                # the full set fits (any prefix of a feasible set is
+                # feasible), so one solve replaces the per-flow loop and
+                # produces the identical final placement.
+                dropped.update(
+                    f.flow_id for f in normal if candidates(f) is None
+                )
+                admitted = placeable
+                placements = result
+                batch_done = True
+        if not batch_done:
+            for flow in normal:
+                try_admit(flow)
         # Emergency substitutes (paper S2.7): active only while the flow
         # they stand in for is dropped.
         admitted_ids = {f.flow_id for f in admitted}
@@ -250,16 +347,84 @@ class ScheduleBuilder:
         nodes = self._flow_component_nodes(flow, graph, available)
         return nodes if nodes is not None else []
 
+    def _resolve_candidates(
+        self,
+        flows: Sequence[Flow],
+        graph: nx.Graph,
+        available: Sequence[int],
+        candidate_cache: Optional[Dict[int, Optional[List[int]]]],
+    ) -> Dict[int, List[int]]:
+        out: Dict[int, List[int]] = {}
+        for flow in flows:
+            cached = (
+                candidate_cache.get(flow.flow_id)
+                if candidate_cache is not None
+                else None
+            )
+            if cached is None:
+                cached = self._candidates_for(flow, graph, available)
+            out[flow.flow_id] = cached
+        return out
+
+    def _place_key(
+        self,
+        flows: Sequence[Flow],
+        parent: Optional[ModeSchedule],
+        per_flow_candidates: Dict[int, List[int]],
+    ) -> Tuple:
+        """Canonical key capturing every input the placement engines read.
+
+        Two placement subproblems with identical flow sets, identical
+        per-flow candidate lists, and identical parent placements for the
+        copies being placed are the same instance -- whatever failure
+        scenarios produced them -- so the solved placement can be reused.
+        """
+        prefs: Tuple = ()
+        if parent is not None:
+            prefs = tuple(
+                parent.placements.get((task.task_id, copy_idx))
+                for flow in flows
+                for task in flow.tasks
+                for copy_idx in range(self.fconc + 1)
+            )
+        return (
+            self.method,
+            tuple(f.flow_id for f in flows),
+            tuple(tuple(per_flow_candidates[f.flow_id]) for f in flows),
+            prefs,
+        )
+
     def _place(
         self,
         flows: Sequence[Flow],
         graph: nx.Graph,
         available: Sequence[int],
         parent: Optional[ModeSchedule],
+        candidate_cache: Optional[Dict[int, Optional[List[int]]]] = None,
     ) -> Optional[Dict[Copy, int]]:
+        self.counters["place_calls"] += 1
+        per_flow_candidates = self._resolve_candidates(
+            flows, graph, available, candidate_cache
+        )
+        key: Optional[Tuple] = None
+        if self.place_memo:
+            key = self._place_key(flows, parent, per_flow_candidates)
+            if key in self._place_cache:
+                self._place_cache.move_to_end(key)
+                self.counters["place_memo_hits"] += 1
+                _PLACE_STATS["hits"] += 1
+                return self._place_cache[key]
+            _PLACE_STATS["misses"] += 1
         if self.method == "ilp":
-            return self._place_ilp(flows, graph, available, parent)
-        return self._place_greedy(flows, graph, available, parent)
+            result = self._place_ilp(flows, available, parent, per_flow_candidates)
+        else:
+            result = self._place_greedy(flows, available, parent, per_flow_candidates)
+        if key is not None:
+            self._place_cache[key] = result
+            while len(self._place_cache) > self.PLACE_MEMO_MAX:
+                self._place_cache.popitem(last=False)
+                _PLACE_STATS["evictions"] += 1
+        return result
 
     def _copies(self, flows: Sequence[Flow]) -> List[Tuple[Copy, Task, Flow]]:
         out: List[Tuple[Copy, Task, Flow]] = []
@@ -272,15 +437,12 @@ class ScheduleBuilder:
     def _place_greedy(
         self,
         flows: Sequence[Flow],
-        graph: nx.Graph,
         available: Sequence[int],
         parent: Optional[ModeSchedule],
+        per_flow_candidates: Dict[int, List[int]],
     ) -> Optional[Dict[Copy, int]]:
         load: Dict[int, float] = {n: 0.0 for n in available}
         placements: Dict[Copy, int] = {}
-        per_flow_candidates = {
-            flow.flow_id: self._candidates_for(flow, graph, available) for flow in flows
-        }
         # Place heaviest tasks first (first-fit decreasing), primaries before
         # replicas so primaries get the parent-preferred slots.
         copies = sorted(
@@ -320,15 +482,12 @@ class ScheduleBuilder:
     def _place_ilp(
         self,
         flows: Sequence[Flow],
-        graph: nx.Graph,
         available: Sequence[int],
         parent: Optional[ModeSchedule],
+        per_flow_candidates: Dict[int, List[int]],
     ) -> Optional[Dict[Copy, int]]:
         ilp = ZeroOneILP()
         copies = self._copies(flows)
-        per_flow_candidates = {
-            flow.flow_id: self._candidates_for(flow, graph, available) for flow in flows
-        }
         var_names: Dict[Tuple[Copy, int], str] = {}
         for copy, task, flow in copies:
             candidates = per_flow_candidates[flow.flow_id]
@@ -364,7 +523,27 @@ class ScheduleBuilder:
                     coeffs[var_names[(copy, node)]] = task.utilization
             if coeffs:
                 ilp.add_constraint(coeffs, "<=", self.utilization_cap)
-        solution = ilp.solve(time_limit_s=20.0)
+        warm_start: Optional[Dict[str, int]] = None
+        if self.ilp_warm_start:
+            greedy = self._place_greedy(
+                flows, available, parent, per_flow_candidates
+            )
+            if greedy is not None:
+                warm_start = {
+                    name: 1 if greedy.get(copy) == node else 0
+                    for (copy, node), name in var_names.items()
+                }
+        self.counters["ilp_solves"] += 1
+        solution = ilp.solve(
+            time_limit_s=self.ilp_time_limit_s,
+            max_nodes=self.ilp_node_budget,
+            warm_start=warm_start,
+        )
+        self.counters["ilp_nodes_explored"] += solution.nodes_explored
+        if warm_start is not None and solution.nodes_explored == 0:
+            self.counters["ilp_warm_proved_optimal"] += 1
+        if solution.stopped_by is not None:
+            self.counters["ilp_budget_trips"] += 1
         if solution.status == ILPStatus.INFEASIBLE or not solution.assignment:
             return None
         placements: Dict[Copy, int] = {}

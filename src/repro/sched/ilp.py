@@ -13,17 +13,34 @@ and (b) an optimistic objective bound -- the sum of all negative remaining
 costs.  Variables are branched in decreasing |cost| order, trying the
 cost-improving value first, so good incumbents are found early.
 
+Two features support the mode-tree generator's offline scheduling path:
+
+* **Warm starts** -- :meth:`ZeroOneILP.solve` accepts an externally computed
+  feasible assignment (modegen passes the greedy placement).  The incumbent
+  prunes from node one; when its objective already meets an admissible
+  lower bound (detected from exactly-one "GUB" constraints), the solve
+  returns immediately without any search.  A warm-started solve always
+  returns the *same objective* as a cold solve (the incumbent only prunes
+  subtrees that cannot strictly improve), though it may return a different
+  equally-optimal assignment, so it is opt-in where bit-identical
+  placements matter.
+* **Deterministic node budgets** -- ``max_nodes`` bounds the number of
+  branch-and-bound nodes explored, a machine-independent alternative to the
+  wall-clock ``time_limit_s``: identical models explore identical node
+  sequences on every machine, so budget-limited outcomes (and thus mode
+  trees) are reproducible across hosts and in CI.  ``ILPSolution.stopped_by``
+  reports which budget tripped.
+
 This is exact and fast enough for the per-mode assignment instances the
-mode-tree generator produces (tens of binaries); the large Fig. 7/9 sweeps
-use the greedy scheduler in :mod:`repro.sched.assign` with identical
-feasibility checks.
+mode-tree generator produces; the large Fig. 7/9 sweeps use the greedy
+scheduler in :mod:`repro.sched.assign` with identical feasibility checks.
 """
 
 from __future__ import annotations
 
 import enum
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
@@ -31,16 +48,45 @@ class ILPStatus(enum.Enum):
     OPTIMAL = "optimal"
     INFEASIBLE = "infeasible"
     TIME_LIMIT = "time-limit"
+    NODE_LIMIT = "node-limit"
+
+
+#: Process-wide solver counters (surfaced via repro.analysis.metrics).
+_SOLVER_STATS: Dict[str, int] = {
+    "solves": 0,
+    "nodes_explored": 0,
+    "warm_starts": 0,
+    "warm_proved_optimal": 0,
+    "warm_start_infeasible": 0,
+    "time_limit_trips": 0,
+    "node_limit_trips": 0,
+}
+
+
+def solver_stats() -> Dict[str, int]:
+    """A copy of the process-wide branch-and-bound counters."""
+    return dict(_SOLVER_STATS)
+
+
+def reset_solver_stats() -> None:
+    for key in _SOLVER_STATS:
+        _SOLVER_STATS[key] = 0
 
 
 @dataclass
 class ILPSolution:
-    """Result of a solve: status, assignment by variable name, objective."""
+    """Result of a solve: status, assignment by variable name, objective.
+
+    Attributes:
+        stopped_by: which budget ended the search early -- ``"time"``,
+            ``"nodes"``, or None when the search ran to completion.
+    """
 
     status: ILPStatus
     assignment: Dict[str, int]
     objective: Optional[float]
     nodes_explored: int = 0
+    stopped_by: Optional[str] = None
 
     @property
     def feasible(self) -> bool:
@@ -103,11 +149,106 @@ class ZeroOneILP:
     def num_constraints(self) -> int:
         return len(self._constraints)
 
+    # -- warm-start helpers ---------------------------------------------------
+
+    def _check_feasible(self, x: List[int]) -> bool:
+        for con in self._constraints:
+            lhs = sum(c * x[i] for i, c in con.coeffs.items())
+            if con.sense == "<=" and lhs > con.bound + 1e-9:
+                return False
+            if con.sense == ">=" and lhs < con.bound - 1e-9:
+                return False
+            if con.sense == "==" and abs(lhs - con.bound) > 1e-9:
+                return False
+        return True
+
+    def _gub_groups(self) -> List[List[int]]:
+        """Disjoint exactly-one ("GUB") groups detected from the model.
+
+        An equality constraint with all-ones coefficients and bound 1 forces
+        exactly one member variable to 1; disjoint groups yield the
+        admissible objective lower bound used to prove warm starts optimal
+        without search.
+        """
+        groups: List[List[int]] = []
+        grouped: set = set()
+        for con in self._constraints:
+            if con.sense != "==" or con.bound != 1.0 or not con.coeffs:
+                continue
+            if any(c != 1.0 for c in con.coeffs.values()):
+                continue
+            members = sorted(con.coeffs)
+            if any(v in grouped for v in members):
+                continue
+            grouped.update(members)
+            groups.append(members)
+        return groups
+
+    def _lower_bound(self, groups: List[List[int]]) -> float:
+        """Admissible objective lower bound from the GUB relaxation."""
+        grouped = {v for g in groups for v in g}
+        bound = sum(min(self._costs[v] for v in g) for g in groups)
+        bound += sum(
+            c for i, c in enumerate(self._costs) if i not in grouped and c < 0
+        )
+        return bound
+
     # -- solving ----------------------------------------------------------------
 
-    def solve(self, time_limit_s: float = 30.0) -> ILPSolution:
-        """Exact branch-and-bound solve (minimization)."""
+    def solve(
+        self,
+        time_limit_s: float = 30.0,
+        max_nodes: Optional[int] = None,
+        warm_start: Optional[Dict[str, int]] = None,
+    ) -> ILPSolution:
+        """Exact branch-and-bound solve (minimization).
+
+        Args:
+            time_limit_s: wall-clock budget (machine-dependent).
+            max_nodes: branch-and-bound node budget (machine-independent;
+                the same model explores the same node sequence everywhere,
+                so budget-limited outcomes are reproducible).
+            warm_start: optional feasible assignment used as the initial
+                incumbent; infeasible warm starts are ignored.  Guarantees
+                the cold-solve objective; the returned assignment may be a
+                different equally-optimal one.
+        """
+        _SOLVER_STATS["solves"] += 1
         n = len(self._names)
+
+        warm_x: Optional[List[int]] = None
+        warm_obj = 0.0
+        if warm_start is not None:
+            candidate = [0] * n
+            for name, value in warm_start.items():
+                idx = self._index.get(name)
+                if idx is not None and value:
+                    candidate[idx] = 1
+            if self._check_feasible(candidate):
+                warm_x = candidate
+                warm_obj = sum(
+                    c * candidate[i] for i, c in enumerate(self._costs)
+                )
+                _SOLVER_STATS["warm_starts"] += 1
+            else:
+                _SOLVER_STATS["warm_start_infeasible"] += 1
+
+        groups: List[List[int]] = []
+        if warm_x is not None:
+            groups = self._gub_groups()
+            if warm_obj <= self._lower_bound(groups) + 1e-9:
+                # The incumbent meets an admissible lower bound: provably
+                # optimal, no search needed.
+                _SOLVER_STATS["warm_proved_optimal"] += 1
+                return ILPSolution(
+                    status=ILPStatus.OPTIMAL,
+                    assignment={
+                        self._names[i]: warm_x[i] for i in range(n)
+                    },
+                    objective=warm_obj,
+                    nodes_explored=0,
+                )
+
         # Normalize constraints to <= form; keep == as a pair.
         norm: List[Tuple[Dict[int, float], float]] = []
         for con in self._constraints:
@@ -116,9 +257,19 @@ class ZeroOneILP:
             if con.sense in (">=", "=="):
                 norm.append(({i: -c for i, c in con.coeffs.items()}, -con.bound))
 
-        # Branch order: decreasing |cost|, then most-constrained.
-        order = sorted(range(n), key=lambda i: -abs(self._costs[i]))
-        position = {var: pos for pos, var in enumerate(order)}
+        if warm_x is None:
+            # Branch order: decreasing |cost|, then most-constrained.
+            order = sorted(range(n), key=lambda i: -abs(self._costs[i]))
+        else:
+            # Warm-started order: exactly-one groups first (propagation
+            # localizes infeasibility within a group), remaining variables
+            # by decreasing |cost|.
+            order = [v for g in groups for v in g]
+            seen = set(order)
+            order += sorted(
+                (i for i in range(n) if i not in seen),
+                key=lambda i: -abs(self._costs[i]),
+            )
 
         # For propagation: per-constraint running LHS and the min possible
         # remaining contribution (sum of negative coeffs of unassigned vars).
@@ -138,9 +289,12 @@ class ZeroOneILP:
         assignment = [0] * n
         best_obj: Optional[float] = None
         best_assignment: Optional[List[int]] = None
+        if warm_x is not None:
+            best_obj = warm_obj
+            best_assignment = list(warm_x)
         nodes = 0
         deadline = time.monotonic() + time_limit_s
-        timed_out = False
+        stopped: Optional[str] = None
 
         def feasible_now() -> bool:
             return all(
@@ -149,10 +303,15 @@ class ZeroOneILP:
             )
 
         def dfs(depth: int, current_obj: float) -> None:
-            nonlocal best_obj, best_assignment, nodes, obj_min_remaining, timed_out
+            nonlocal best_obj, best_assignment, nodes, obj_min_remaining, stopped
             nodes += 1
-            if timed_out or (nodes % 1024 == 0 and time.monotonic() > deadline):
-                timed_out = True
+            if stopped is not None:
+                return
+            if max_nodes is not None and nodes > max_nodes:
+                stopped = "nodes"
+                return
+            if nodes % 1024 == 0 and time.monotonic() > deadline:
+                stopped = "time"
                 return
             if best_obj is not None and current_obj + obj_min_remaining >= best_obj - 1e-12:
                 return
@@ -165,7 +324,12 @@ class ZeroOneILP:
                 return
             var = order[depth]
             cost = self._costs[var]
-            values = (1, 0) if cost < 0 else (0, 1)
+            if warm_x is not None:
+                # Descend toward the warm incumbent first: deviations are
+                # explored only where they can strictly improve.
+                values = (warm_x[var], 1 - warm_x[var])
+            else:
+                values = (1, 0) if cost < 0 else (0, 1)
             for value in values:
                 assignment[var] = value
                 delta_obj = cost * value
@@ -183,19 +347,41 @@ class ZeroOneILP:
                 for (ci, coeff), (_ci2, minrem) in zip(var_cons[var], saved_minrem):
                     con_lhs[ci] -= coeff * assignment[var]
                     con_min_remaining[ci] = minrem
-                if timed_out:
+                if stopped is not None:
                     return
             assignment[var] = 0
 
         dfs(0, 0.0)
+        _SOLVER_STATS["nodes_explored"] += nodes
+        if stopped == "time":
+            _SOLVER_STATS["time_limit_trips"] += 1
+        elif stopped == "nodes":
+            _SOLVER_STATS["node_limit_trips"] += 1
 
         if best_assignment is None:
-            status = ILPStatus.TIME_LIMIT if timed_out else ILPStatus.INFEASIBLE
-            return ILPSolution(status=status, assignment={}, objective=None, nodes_explored=nodes)
-        status = ILPStatus.TIME_LIMIT if timed_out else ILPStatus.OPTIMAL
+            if stopped == "nodes":
+                status = ILPStatus.NODE_LIMIT
+            elif stopped == "time":
+                status = ILPStatus.TIME_LIMIT
+            else:
+                status = ILPStatus.INFEASIBLE
+            return ILPSolution(
+                status=status,
+                assignment={},
+                objective=None,
+                nodes_explored=nodes,
+                stopped_by=stopped,
+            )
+        if stopped == "nodes":
+            status = ILPStatus.NODE_LIMIT
+        elif stopped == "time":
+            status = ILPStatus.TIME_LIMIT
+        else:
+            status = ILPStatus.OPTIMAL
         return ILPSolution(
             status=status,
             assignment={self._names[i]: best_assignment[i] for i in range(n)},
             objective=best_obj,
             nodes_explored=nodes,
+            stopped_by=stopped,
         )

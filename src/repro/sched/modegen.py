@@ -9,20 +9,36 @@ precomputed offline and stored on every node (a few MB, fitting embedded
 flash -- Fig. 7a).
 
 The number of node-fault vertices is sum_{i=0..fmax} C(n, i) (paper S5.4),
-which explodes for large n; like the paper we parallelize "per fault layer"
-conceptually, and additionally offer a *sampling estimator* used by the
-Fig. 7 benchmark at large n: it schedules the root plus a random sample of
-modes per layer and extrapolates total generation time and tree size.  The
-exact and estimated paths share all scheduling code.
+which explodes for large n.  Like the paper we parallelize per fault layer:
+every scenario in a layer depends only on its parent's schedule (computed in
+the previous layer), so the layer's solves are embarrassingly parallel.
+:meth:`ModeTreeGenerator.generate` fans them out across a
+``concurrent.futures.ProcessPoolExecutor`` when ``workers > 1`` (or the
+``REBOUND_MODEGEN_WORKERS`` environment variable opts in); the expansion
+plan and the merge are computed deterministically in the parent process, so
+the parallel tree is byte-identical to the serial one -- same canonical
+parents, same child ordering, same schedules.  Serial remains the default.
+
+For large n the Fig. 7 benchmark additionally uses a *sampling estimator*:
+it schedules the root plus a random sample of modes per layer and
+extrapolates total generation time and tree size.  The exact and estimated
+paths share all scheduling code (and the same worker pool).
+
+Identical schedule *bodies* (placements + active/dropped flows, which
+repeat heavily across sibling modes whose failed node hosted nothing) are
+interned tree-wide, and :meth:`ModeTree.serialized_size` stores each unique
+body once -- cutting both memory and the Fig. 7a flash footprint.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import random
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.net.message import encode, register_message
 from repro.net.topology import Topology
@@ -30,6 +46,22 @@ from repro.sched.assign import InfeasibleSchedule, ModeSchedule, ScheduleBuilder
 from repro.sched.task import Workload
 
 Link = Tuple[int, int]
+
+#: Environment variable opting generation into a worker pool.
+WORKERS_ENV = "REBOUND_MODEGEN_WORKERS"
+
+#: Process-wide mode-lookup memo counters (surfaced via analysis.metrics).
+_LOOKUP_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def lookup_memo_stats() -> Dict[str, int]:
+    """A copy of the process-wide ``ModeTree.schedule_for`` memo counters."""
+    return dict(_LOOKUP_STATS)
+
+
+def reset_lookup_memo_stats() -> None:
+    for key in _LOOKUP_STATS:
+        _LOOKUP_STATS[key] = 0
 
 
 @register_message
@@ -93,6 +125,15 @@ def normalize_scenario(
     return FailureScenario(nodes=frozenset(nodes), links=frozenset(links))
 
 
+def _body_key(schedule: ModeSchedule) -> Tuple:
+    """Canonical key for a schedule's scenario-independent payload."""
+    return (
+        tuple(sorted(schedule.placements.items())),
+        tuple(sorted(schedule.active_flows)),
+        tuple(sorted(schedule.dropped_flows)),
+    )
+
+
 @dataclass
 class ModeTree:
     """The generated tree: scenario -> schedule, with parent/child structure.
@@ -103,14 +144,36 @@ class ModeTree:
     precompute (the paper notes schedules "could be computed on demand",
     S3.9).  Because the builder is deterministic, every correct node
     computes the identical schedule without coordination.
+
+    Recovery experiments call :meth:`schedule_for` / :meth:`depth_of` once
+    per node per round for the same handful of scenarios, so both are
+    backed by bounded LRU memos (``LOOKUP_MEMO_MAX`` entries).  The memos
+    are sound: an entry is only written after any on-demand insertion for
+    that scenario has happened, and existing tree nodes never change.
     """
+
+    #: Bound on the per-tree schedule_for / depth_of memos.
+    LOOKUP_MEMO_MAX = 4096
 
     fmax: int
     fconc: int
     schedules: Dict[FailureScenario, ModeSchedule] = field(default_factory=dict)
     parents: Dict[FailureScenario, Optional[FailureScenario]] = field(default_factory=dict)
     children: Dict[FailureScenario, List[FailureScenario]] = field(default_factory=dict)
-    builder: Optional["ScheduleBuilder"] = None
+    builder: Optional["ScheduleBuilder"] = field(default=None, compare=False)
+    stats: Optional["GenerationStats"] = field(
+        default=None, compare=False, repr=False
+    )
+    _body_pool: Dict[Tuple, ModeSchedule] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    _interned_count: int = field(default=0, compare=False, repr=False)
+    _lookup_memo: "OrderedDict[FailureScenario, ModeSchedule]" = field(
+        default_factory=OrderedDict, compare=False, repr=False
+    )
+    _depth_memo: "OrderedDict[FailureScenario, int]" = field(
+        default_factory=OrderedDict, compare=False, repr=False
+    )
 
     @property
     def num_modes(self) -> int:
@@ -120,6 +183,45 @@ class ModeTree:
     def num_edges(self) -> int:
         return sum(len(c) for c in self.children.values())
 
+    # -- schedule interning ------------------------------------------------
+
+    def intern(self, schedule: ModeSchedule) -> ModeSchedule:
+        """Dedupe the schedule's body against the tree-wide pool.
+
+        The returned schedule is value-equal to the input; when another
+        mode already carries the same placements and flow sets, their
+        container objects are shared, cutting the memory held by large
+        trees (the per-scenario ``failed_nodes``/``failed_links`` stay
+        distinct).
+        """
+        key = _body_key(schedule)
+        pooled = self._body_pool.get(key)
+        if pooled is None:
+            self._body_pool[key] = schedule
+            return schedule
+        self._interned_count += 1
+        if (
+            pooled.placements is schedule.placements
+            and pooled.active_flows is schedule.active_flows
+            and pooled.dropped_flows is schedule.dropped_flows
+        ):
+            return schedule
+        return ModeSchedule(
+            failed_nodes=schedule.failed_nodes,
+            failed_links=schedule.failed_links,
+            placements=pooled.placements,
+            active_flows=pooled.active_flows,
+            dropped_flows=pooled.dropped_flows,
+        )
+
+    def intern_stats(self) -> Dict[str, int]:
+        return {
+            "unique_bodies": len(self._body_pool),
+            "interned": self._interned_count,
+        }
+
+    # -- lookups -----------------------------------------------------------
+
     def schedule_for(self, scenario: FailureScenario) -> ModeSchedule:
         """Look up the schedule for a (normalized) scenario.
 
@@ -128,6 +230,19 @@ class ModeTree:
         closest generated ancestor that covers a maximal subset of the
         faults -- conservative but always defined.
         """
+        memo_hit = self._lookup_memo.get(scenario)
+        if memo_hit is not None:
+            self._lookup_memo.move_to_end(scenario)
+            _LOOKUP_STATS["hits"] += 1
+            return memo_hit
+        _LOOKUP_STATS["misses"] += 1
+        result = self._schedule_for_uncached(scenario)
+        self._lookup_memo[scenario] = result
+        while len(self._lookup_memo) > self.LOOKUP_MEMO_MAX:
+            self._lookup_memo.popitem(last=False)
+        return result
+
+    def _schedule_for_uncached(self, scenario: FailureScenario) -> ModeSchedule:
         normalized = normalize_scenario(scenario, self.fmax)
         if normalized in self.schedules:
             return self.schedules[normalized]
@@ -149,6 +264,7 @@ class ModeTree:
                 )
             except Exception:
                 return self.schedules[best]
+            schedule = self.intern(schedule)
             self.schedules[normalized] = schedule
             self.parents[normalized] = best
             self.children.setdefault(best, []).append(normalized)
@@ -156,34 +272,130 @@ class ModeTree:
             return schedule
         return self.schedules[best]
 
-    def serialized_size(self) -> int:
-        """Bytes needed to store the tree on a node (Fig. 7a metric)."""
-        payload = [
-            (scenario, schedule)
-            for scenario, schedule in sorted(
-                self.schedules.items(), key=lambda kv: encode(kv[0])
-            )
-        ]
-        return len(encode(payload))
+    def serialized_size(self, dedup: bool = True) -> int:
+        """Bytes needed to store the tree on a node (Fig. 7a metric).
+
+        With ``dedup`` (the default) each unique schedule body --
+        placements plus active/dropped flow sets -- is stored once and
+        scenarios reference it by index; the per-mode failure sets are
+        recoverable from the scenario key itself.  ``dedup=False`` gives
+        the legacy flat encoding (every mode carries its full schedule).
+        """
+        items = sorted(self.schedules.items(), key=lambda kv: encode(kv[0]))
+        if not dedup:
+            return len(encode(list(items)))
+        bodies: List[Tuple] = []
+        body_index: Dict[Tuple, int] = {}
+        entries: List[Tuple[FailureScenario, int]] = []
+        for scenario, schedule in items:
+            key = _body_key(schedule)
+            idx = body_index.get(key)
+            if idx is None:
+                idx = len(bodies)
+                body_index[key] = idx
+                bodies.append(
+                    (
+                        schedule.placements,
+                        schedule.active_flows,
+                        schedule.dropped_flows,
+                    )
+                )
+            entries.append((scenario, idx))
+        return len(encode(("modetree/v2", bodies, entries)))
 
     def depth_of(self, scenario: FailureScenario) -> int:
+        cached = self._depth_memo.get(scenario)
+        if cached is not None:
+            self._depth_memo.move_to_end(scenario)
+            return cached
         depth = 0
         current = self.parents.get(scenario)
         while current is not None:
             depth += 1
             current = self.parents.get(current)
+        self._depth_memo[scenario] = depth
+        while len(self._depth_memo) > self.LOOKUP_MEMO_MAX:
+            self._depth_memo.popitem(last=False)
         return depth
 
 
 @dataclass
 class GenerationStats:
-    """Bookkeeping from a generation run (drives Fig. 7)."""
+    """Bookkeeping from a generation or estimation run (drives Fig. 7).
+
+    The first five fields predate the parallel engine and keep their
+    positional meaning.  For :meth:`ModeTreeGenerator.generate` runs the
+    "estimated" fields hold the actual totals (the run *is* the full tree)
+    and ``estimated_size_bytes`` is left 0 -- call
+    :meth:`ModeTree.serialized_size` for the real footprint.
+
+    Attributes:
+        workers: pool size used (1 = serial).
+        per_layer: one dict per fault layer -- ``layer``, ``scenarios``
+            (solve jobs), ``feasible`` (schedules produced), ``wall_s``,
+            ``solve_s`` (summed per-job solver time, across workers).
+        solver: aggregated ScheduleBuilder counters (ILP solves, explored
+            nodes, warm-start proofs, placement-memo hits, ...), including
+            deltas shipped back from pool workers.
+        interned_schedules: schedule bodies deduped by the tree-wide pool.
+        unique_schedule_bodies: distinct bodies kept.
+    """
 
     modes_generated: int
     wall_time_s: float
     estimated_total_modes: int
     estimated_total_time_s: float
     estimated_size_bytes: int
+    workers: int = 1
+    per_layer: List[Dict[str, Any]] = field(default_factory=list)
+    solver: Dict[str, int] = field(default_factory=dict)
+    interned_schedules: int = 0
+    unique_schedule_bodies: int = 0
+
+
+# -- worker-pool plumbing -----------------------------------------------------
+#
+# Workers hold a per-process ScheduleBuilder (shipped once via the pool
+# initializer); jobs carry only the scenario and its parent schedule.  Each
+# job returns the schedule (or None when infeasible), its wall time, and
+# the builder-counter delta so the parent can aggregate solver stats.
+
+_WORKER_BUILDER: Optional[ScheduleBuilder] = None
+
+
+def _pool_init(builder: ScheduleBuilder) -> None:
+    global _WORKER_BUILDER
+    _WORKER_BUILDER = builder
+
+
+def _solve_with(
+    builder: ScheduleBuilder,
+    nodes: FrozenSet[int],
+    links: FrozenSet[Link],
+    parent: Optional[ModeSchedule],
+) -> Tuple[Optional[ModeSchedule], float, Dict[str, int]]:
+    before = dict(builder.counters)
+    start = time.perf_counter()
+    try:
+        schedule = builder.build(
+            failed_nodes=nodes, failed_links=links, parent=parent
+        )
+    except InfeasibleSchedule:
+        schedule = None
+    elapsed = time.perf_counter() - start
+    delta = {
+        key: builder.counters[key] - before.get(key, 0)
+        for key in builder.counters
+    }
+    return schedule, elapsed, delta
+
+
+def _pool_job(
+    job: Tuple[FrozenSet[int], FrozenSet[Link], Optional[ModeSchedule]]
+) -> Tuple[Optional[ModeSchedule], float, Dict[str, int]]:
+    nodes, links, parent = job
+    assert _WORKER_BUILDER is not None, "pool worker not initialized"
+    return _solve_with(_WORKER_BUILDER, nodes, links, parent)
 
 
 class ModeTreeGenerator:
@@ -198,6 +410,16 @@ class ModeTreeGenerator:
             (the full cross-product of link faults is enormous; the paper's
             Fig. 7 sweep counts node-fault vertices, so the default is off).
         method: ``"greedy"`` or ``"ilp"`` placement.
+        workers: fan each fault layer out across this many worker
+            processes (layers are embarrassingly parallel; the merge is
+            deterministic, so the tree is byte-identical to a serial run).
+            None consults the ``REBOUND_MODEGEN_WORKERS`` environment
+            variable and falls back to 1 (serial, the default).
+        ilp_warm_start / ilp_batch_admit / ilp_node_budget / place_memo /
+        intern_schedules: solver-level optimizations, forwarded to
+            :class:`ScheduleBuilder` (see its docstring).  Warm starts and
+            batch admission are opt-in; the placement memo and schedule
+            interning are exactly result-preserving and default on.
     """
 
     def __init__(
@@ -210,6 +432,12 @@ class ModeTreeGenerator:
         method: str = "greedy",
         utilization_cap: float = 0.9,
         pinned_primaries=None,
+        workers: Optional[int] = None,
+        ilp_warm_start: bool = False,
+        ilp_batch_admit: bool = False,
+        ilp_node_budget: Optional[int] = 1_000_000,
+        place_memo: bool = True,
+        intern_schedules: bool = True,
     ):
         if fmax < 0:
             raise ValueError("fmax must be non-negative")
@@ -218,6 +446,9 @@ class ModeTreeGenerator:
         self.fmax = fmax
         self.fconc = fconc
         self.include_link_faults = include_link_faults
+        self.workers = workers
+        self.intern_schedules = intern_schedules
+        self.last_stats: Optional[GenerationStats] = None
         self.builder = ScheduleBuilder(
             topology,
             workload,
@@ -225,42 +456,189 @@ class ModeTreeGenerator:
             utilization_cap=utilization_cap,
             method=method,
             pinned_primaries=pinned_primaries,
+            ilp_warm_start=ilp_warm_start,
+            ilp_batch_admit=ilp_batch_admit,
+            ilp_node_budget=ilp_node_budget,
+            place_memo=place_memo,
         )
+
+    # -- worker resolution --------------------------------------------------
+
+    def _resolve_workers(self, workers: Optional[int]) -> int:
+        if workers is None:
+            workers = self.workers
+        if workers is None:
+            env = os.environ.get(WORKERS_ENV, "").strip()
+            if env:
+                try:
+                    workers = int(env)
+                except ValueError:
+                    workers = 1
+            else:
+                workers = 1
+        return max(1, int(workers))
+
+    def _make_pool(self, workers: int):
+        """A ProcessPoolExecutor primed with this generator's builder."""
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else None
+        context = mp.get_context(method) if method else mp.get_context()
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_pool_init,
+            initargs=(self.builder,),
+        )
+
+    def _solve_batch(
+        self,
+        jobs: Sequence[Tuple[FrozenSet[int], FrozenSet[Link], Optional[ModeSchedule]]],
+        pool,
+    ) -> List[Tuple[Optional[ModeSchedule], float, Dict[str, int]]]:
+        """Solve jobs in order; via the pool when one is attached.
+
+        ``Executor.map`` preserves input order, so results merge
+        deterministically regardless of completion order.
+        """
+        if pool is None:
+            return [
+                _solve_with(self.builder, nodes, links, parent)
+                for nodes, links, parent in jobs
+            ]
+        chunksize = max(1, len(jobs) // (pool._max_workers * 4) or 1)
+        return list(pool.map(_pool_job, jobs, chunksize=chunksize))
 
     # -- exact generation ----------------------------------------------------
 
-    def generate(self) -> ModeTree:
-        """Generate the full tree (exponential in fmax; use for small n)."""
+    def generate(self, workers: Optional[int] = None) -> ModeTree:
+        """Generate the full tree (exponential in fmax; use for small n).
+
+        With ``workers > 1`` each fault layer's scenarios are solved by a
+        process pool; the expansion plan (which child belongs to which
+        canonical parent, and in which order) is fixed in the parent
+        process before any solve, so the result is identical to a serial
+        run -- the satellite equivalence tests assert this bit-for-bit.
+        """
+        workers = self._resolve_workers(workers)
+        start = time.perf_counter()
+        baseline = dict(self.builder.counters)
+        extra: Dict[str, int] = {}
         tree = ModeTree(fmax=self.fmax, fconc=self.fconc, builder=self.builder)
+        per_layer: List[Dict[str, Any]] = []
+
+        root_t0 = time.perf_counter()
         root_schedule = self.builder.build()
+        root_solve_s = time.perf_counter() - root_t0
+        root_schedule = (
+            tree.intern(root_schedule) if self.intern_schedules else root_schedule
+        )
         tree.schedules[EMPTY_SCENARIO] = root_schedule
         tree.parents[EMPTY_SCENARIO] = None
         tree.children[EMPTY_SCENARIO] = []
-        frontier = [EMPTY_SCENARIO]
-        for _layer in range(self.fmax):
-            next_frontier: List[FailureScenario] = []
-            for scenario in frontier:
-                for child in self._children_of(scenario):
+        per_layer.append(
+            {
+                "layer": 0,
+                "scenarios": 1,
+                "feasible": 1,
+                "wall_s": root_solve_s,
+                "solve_s": root_solve_s,
+            }
+        )
+
+        pool = self._make_pool(workers) if workers > 1 else None
+        try:
+            frontier = [EMPTY_SCENARIO]
+            for layer_no in range(1, self.fmax + 1):
+                layer_t0 = time.perf_counter()
+                # Deterministic expansion plan: every (parent, child) edge
+                # in serial visit order.  The first parent reaching a child
+                # is canonical and owns the (single) solve.
+                plan: List[Tuple[FailureScenario, FailureScenario]] = []
+                claimed: Set[FailureScenario] = set()
+                jobs = []
+                job_children: List[FailureScenario] = []
+                for scenario in frontier:
+                    for child in self._children_of(scenario):
+                        plan.append((scenario, child))
+                        if child in tree.schedules or child in claimed:
+                            continue
+                        claimed.add(child)
+                        job_children.append(child)
+                        jobs.append(
+                            (child.nodes, child.links, tree.schedules[scenario])
+                        )
+                results = self._solve_batch(jobs, pool)
+                solved: Dict[FailureScenario, ModeSchedule] = {}
+                solve_s = 0.0
+                for child, (schedule, elapsed, delta) in zip(job_children, results):
+                    solve_s += elapsed
+                    if pool is not None:
+                        for key, value in delta.items():
+                            extra[key] = extra.get(key, 0) + value
+                    if schedule is not None:
+                        solved[child] = (
+                            tree.intern(schedule)
+                            if self.intern_schedules
+                            else schedule
+                        )
+                # Deterministic merge replicating the serial insertion
+                # semantics: first parent inserts, later parents only link.
+                next_frontier: List[FailureScenario] = []
+                for scenario, child in plan:
                     if child in tree.schedules:
                         # DAG-shaped scenario space collapses onto the first
                         # parent (the tree keeps one canonical parent).
                         if child not in tree.children[scenario]:
                             tree.children[scenario].append(child)
                         continue
-                    try:
-                        schedule = self.builder.build(
-                            failed_nodes=child.nodes,
-                            failed_links=child.links,
-                            parent=tree.schedules[scenario],
-                        )
-                    except InfeasibleSchedule:
-                        continue
+                    schedule = solved.get(child)
+                    if schedule is None:
+                        continue  # infeasible under every parent
                     tree.schedules[child] = schedule
                     tree.parents[child] = scenario
                     tree.children[scenario].append(child)
                     tree.children[child] = []
                     next_frontier.append(child)
-            frontier = next_frontier
+                frontier = next_frontier
+                per_layer.append(
+                    {
+                        "layer": layer_no,
+                        "scenarios": len(jobs),
+                        "feasible": len(solved),
+                        "wall_s": time.perf_counter() - layer_t0,
+                        "solve_s": solve_s,
+                    }
+                )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+        wall = time.perf_counter() - start
+        intern = tree.intern_stats()
+        # This run's solver work: the parent builder's delta plus the
+        # deltas shipped back from pool workers.
+        solver = {
+            key: self.builder.counters.get(key, 0)
+            - baseline.get(key, 0)
+            + extra.get(key, 0)
+            for key in set(self.builder.counters) | set(extra)
+        }
+        stats = GenerationStats(
+            modes_generated=tree.num_modes,
+            wall_time_s=wall,
+            estimated_total_modes=tree.num_modes,
+            estimated_total_time_s=wall,
+            estimated_size_bytes=0,
+            workers=workers,
+            per_layer=per_layer,
+            solver=solver,
+            interned_schedules=intern["interned"],
+            unique_schedule_bodies=intern["unique_bodies"],
+        )
+        tree.stats = stats
+        self.last_stats = stats
         return tree
 
     def _children_of(self, scenario: FailureScenario) -> Iterable[FailureScenario]:
@@ -284,58 +662,122 @@ class ModeTreeGenerator:
         n = len(self.topology.controllers)
         return [math.comb(n, i) for i in range(self.fmax + 1)]
 
-    def estimate(self, samples_per_layer: int = 8, seed: int = 0) -> GenerationStats:
+    def estimate(
+        self,
+        samples_per_layer: int = 8,
+        seed: int = 0,
+        workers: Optional[int] = None,
+    ) -> GenerationStats:
         """Estimate full-tree generation cost by sampling each fault layer.
 
         Schedules the root exactly, then for each layer draws random
         scenarios, schedules them against the root (transition-cost parent),
         and extrapolates per-layer time and per-mode serialized size to the
-        analytic layer counts.
+        analytic layer counts.  The sample set is drawn deterministically
+        up front (seeded), so serial and parallel runs schedule identical
+        scenarios; with ``workers > 1`` the samples are solved by the same
+        worker pool as :meth:`generate`.
         """
+        workers = self._resolve_workers(workers)
         rng = random.Random(seed)
         controllers = self.topology.controllers
         counts = self.layer_counts()
+        per_layer: List[Dict[str, Any]] = []
+        baseline = dict(self.builder.counters)
+        extra: Dict[str, int] = {}
         start = time.perf_counter()
         root = self.builder.build()
         root_time = time.perf_counter() - start
         root_size = len(encode((EMPTY_SCENARIO, root)))
+        per_layer.append(
+            {
+                "layer": 0,
+                "scenarios": 1,
+                "feasible": 1,
+                "wall_s": root_time,
+                "solve_s": root_time,
+            }
+        )
 
-        total_time = root_time
-        total_size = root_size
-        modes_generated = 1
+        # Pre-draw each layer's sample deterministically.  The serial loop
+        # only ever fails a draw when no controller survives, which is a
+        # property of the scenario alone, so the draw sequence (including
+        # retries) is reproducible without solving anything.
+        layer_samples: List[List[FailureScenario]] = []
         for layer in range(1, self.fmax + 1):
             count = counts[layer]
             sample_n = min(samples_per_layer, count)
-            layer_time = 0.0
-            layer_size = 0
-            scheduled = 0
+            scenarios: List[FailureScenario] = []
             seen: Set[FrozenSet[int]] = set()
             attempts = 0
-            while scheduled < sample_n and attempts < sample_n * 20:
+            while len(scenarios) < sample_n and attempts < sample_n * 20:
                 attempts += 1
                 nodes = frozenset(rng.sample(controllers, layer))
                 if nodes in seen:
                     continue
                 seen.add(nodes)
-                scenario = FailureScenario(nodes=nodes, links=frozenset())
-                t0 = time.perf_counter()
-                try:
-                    schedule = self.builder.build(
-                        failed_nodes=scenario.nodes, parent=root
-                    )
-                except InfeasibleSchedule:
-                    continue
-                layer_time += time.perf_counter() - t0
-                layer_size += len(encode((scenario, schedule)))
-                scheduled += 1
-            if scheduled:
-                total_time += layer_time / scheduled * count
-                total_size += layer_size // scheduled * count
-                modes_generated += scheduled
-        return GenerationStats(
+                if len(nodes) >= len(controllers):
+                    continue  # no surviving controllers: build() would raise
+                scenarios.append(
+                    FailureScenario(nodes=nodes, links=frozenset())
+                )
+            layer_samples.append(scenarios)
+
+        pool = self._make_pool(workers) if workers > 1 else None
+        total_time = root_time
+        total_size = root_size
+        modes_generated = 1
+        try:
+            for layer, scenarios in enumerate(layer_samples, start=1):
+                layer_t0 = time.perf_counter()
+                count = counts[layer]
+                jobs = [(s.nodes, s.links, root) for s in scenarios]
+                results = self._solve_batch(jobs, pool)
+                layer_time = 0.0
+                layer_size = 0
+                scheduled = 0
+                for scenario, (schedule, elapsed, delta) in zip(
+                    scenarios, results
+                ):
+                    if pool is not None:
+                        for key, value in delta.items():
+                            extra[key] = extra.get(key, 0) + value
+                    if schedule is None:
+                        continue
+                    layer_time += elapsed
+                    layer_size += len(encode((scenario, schedule)))
+                    scheduled += 1
+                if scheduled:
+                    total_time += layer_time / scheduled * count
+                    total_size += layer_size // scheduled * count
+                    modes_generated += scheduled
+                per_layer.append(
+                    {
+                        "layer": layer,
+                        "scenarios": len(jobs),
+                        "feasible": scheduled,
+                        "wall_s": time.perf_counter() - layer_t0,
+                        "solve_s": layer_time,
+                    }
+                )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        solver = {
+            key: self.builder.counters.get(key, 0)
+            - baseline.get(key, 0)
+            + extra.get(key, 0)
+            for key in set(self.builder.counters) | set(extra)
+        }
+        stats = GenerationStats(
             modes_generated=modes_generated,
             wall_time_s=time.perf_counter() - start,
             estimated_total_modes=sum(counts),
             estimated_total_time_s=total_time,
             estimated_size_bytes=total_size,
+            workers=workers,
+            per_layer=per_layer,
+            solver=solver,
         )
+        self.last_stats = stats
+        return stats

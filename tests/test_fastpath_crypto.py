@@ -283,8 +283,16 @@ def test_fastpath_stats_shape():
         "multisig_batch",
         "codec_memo",
         "coverage_cache",
+        "ilp_solver",
+        "place_memo",
+        "edf_memo",
+        "modegen_lookup",
     }
     assert "hit_rate" in stats["verify_cache"]
+    assert {"hits", "misses"} <= set(stats["place_memo"])
+    assert {"hits", "misses"} <= set(stats["edf_memo"])
+    assert {"hits", "misses"} <= set(stats["modegen_lookup"])
+    assert "warm_starts" in stats["ilp_solver"]
 
 
 def test_grid_topology_shape():

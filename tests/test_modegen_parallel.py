@@ -1,0 +1,294 @@
+"""Parallel/serial equivalence of the mode-tree generation engine.
+
+The engine's contract (ISSUE 2 / docs/PROTOCOL.md "Offline scheduling
+performance") is that every optimization is invisible in the results:
+
+* ``workers=N`` produces a tree *identical* to the serial one (schedules,
+  canonical parents, child order, serialized encodings);
+* the default solver flags (placement memo, schedule interning) are exactly
+  result-preserving, so ``workers=1`` with defaults is bit-identical to the
+  pre-optimization path (all flags off);
+* ILP warm starts preserve the cold-solve *objective* (the assignment may
+  be a different equally-optimal one, which is why they are opt-in);
+* ``max_nodes`` budgets are deterministic and reported via ``stopped_by``.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.net.topology import erdos_renyi_topology
+from repro.sched.assign import ScheduleBuilder
+from repro.sched.edf import edf_memo_stats, edf_schedulable, reset_edf_memo
+from repro.sched.ilp import ILPStatus, ZeroOneILP
+from repro.sched.modegen import FailureScenario, ModeTreeGenerator
+from repro.sched.task import Task
+from repro.sched.workload import WorkloadGenerator
+
+
+def _system(n: int, seed: int, util: float = 1.5):
+    topology = erdos_renyi_topology(n, seed=seed)
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=util
+    )
+    return topology, workload
+
+
+def _assert_trees_identical(a, b):
+    assert a.schedules == b.schedules
+    assert a.parents == b.parents
+    assert a.children == b.children
+    assert a.serialized_size() == b.serialized_size()
+    assert a.serialized_size(dedup=False) == b.serialized_size(dedup=False)
+    assert a == b
+
+
+class TestParallelEqualsSerial:
+    @settings(
+        derandomize=True,
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        n=st.integers(min_value=5, max_value=8),
+        seed=st.integers(min_value=0, max_value=20),
+        fmax=st.integers(min_value=1, max_value=2),
+    )
+    def test_parallel_tree_identical_across_random_systems(self, n, seed, fmax):
+        topology, workload = _system(n, seed)
+        serial = ModeTreeGenerator(topology, workload, fmax=fmax).generate()
+        parallel = ModeTreeGenerator(topology, workload, fmax=fmax).generate(
+            workers=2
+        )
+        _assert_trees_identical(serial, parallel)
+        assert parallel.stats.workers == 2
+        assert serial.stats.workers == 1
+
+    def test_workers_env_var_opts_in(self, monkeypatch):
+        topology, workload = _system(6, 3)
+        monkeypatch.setenv("REBOUND_MODEGEN_WORKERS", "2")
+        via_env = ModeTreeGenerator(topology, workload, fmax=1)
+        tree_env = via_env.generate()
+        assert tree_env.stats.workers == 2
+        monkeypatch.delenv("REBOUND_MODEGEN_WORKERS")
+        serial = ModeTreeGenerator(topology, workload, fmax=1).generate()
+        _assert_trees_identical(serial, tree_env)
+
+    def test_estimate_parallel_matches_serial(self):
+        topology, workload = _system(9, 1)
+        s = ModeTreeGenerator(topology, workload, fmax=2).estimate(
+            samples_per_layer=4, seed=5
+        )
+        p = ModeTreeGenerator(topology, workload, fmax=2).estimate(
+            samples_per_layer=4, seed=5, workers=2
+        )
+        assert s.modes_generated == p.modes_generated
+        assert s.estimated_total_modes == p.estimated_total_modes
+        assert s.estimated_size_bytes == p.estimated_size_bytes
+        assert [d["scenarios"] for d in s.per_layer] == [
+            d["scenarios"] for d in p.per_layer
+        ]
+
+
+class TestDefaultsAreResultPreserving:
+    @pytest.mark.parametrize("method", ["greedy", "ilp"])
+    def test_default_flags_match_unoptimized_path(self, method):
+        """workers=1 with default flags is bit-identical to the seed path
+        (every optimization on by default is result-preserving)."""
+        n, util = (7, 1.5) if method == "greedy" else (5, 1.0)
+        topology, workload = _system(n, 2, util)
+        plain = ModeTreeGenerator(
+            topology,
+            workload,
+            fmax=1,
+            method=method,
+            place_memo=False,
+            intern_schedules=False,
+        ).generate()
+        defaults = ModeTreeGenerator(
+            topology, workload, fmax=1, method=method
+        ).generate()
+        _assert_trees_identical(plain, defaults)
+
+    def test_interning_dedupes_bodies(self):
+        topology, workload = _system(8, 0)
+        tree = ModeTreeGenerator(topology, workload, fmax=2).generate()
+        stats = tree.intern_stats()
+        assert stats["unique_bodies"] + stats["interned"] == tree.num_modes
+        # Sibling modes whose failed node hosts nothing share bodies, so
+        # dedup must strictly shrink the serialized tree.
+        assert tree.serialized_size() < tree.serialized_size(dedup=False)
+
+
+class TestWarmStartObjectiveEquality:
+    @settings(derandomize=True, max_examples=30, deadline=None)
+    @given(
+        groups=st.integers(min_value=2, max_value=5),
+        nodes=st.integers(min_value=2, max_value=4),
+        cap=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_random_assignment_models(self, groups, nodes, cap, seed):
+        """Warm-started solves return the cold objective on random
+        assignment-shaped models (exactly-one groups + capacities)."""
+        rng = random.Random(seed)
+        costs = {
+            f"x_{g}_{k}": rng.uniform(-5, 5)
+            for g in range(groups)
+            for k in range(nodes)
+        }
+
+        def build():
+            ilp = ZeroOneILP()
+            for name, cost in costs.items():
+                ilp.add_variable(name, cost=cost)
+            for g in range(groups):
+                ilp.add_constraint(
+                    {f"x_{g}_{k}": 1 for k in range(nodes)}, "==", 1
+                )
+            for k in range(nodes):
+                ilp.add_constraint(
+                    {f"x_{g}_{k}": 1 for g in range(groups)}, "<=", cap
+                )
+            return ilp
+
+        cold = build().solve()
+        if cold.status is not ILPStatus.OPTIMAL:
+            return  # over-capacitated draw: nothing to compare
+        # Greedy warm start: first node with remaining capacity per group.
+        load = {k: 0 for k in range(nodes)}
+        warm = {}
+        for g in range(groups):
+            for k in range(nodes):
+                if load[k] < cap:
+                    load[k] += 1
+                    warm[f"x_{g}_{k}"] = 1
+                    break
+        warmed = build().solve(warm_start=warm)
+        assert warmed.status is ILPStatus.OPTIMAL
+        assert warmed.objective == pytest.approx(cold.objective, abs=1e-9)
+
+    def test_infeasible_warm_start_is_ignored(self):
+        ilp = ZeroOneILP()
+        ilp.add_variable("a", cost=-1.0)
+        ilp.add_variable("b", cost=-2.0)
+        ilp.add_constraint({"a": 1, "b": 1}, "<=", 1)
+        sol = ilp.solve(warm_start={"a": 1, "b": 1})
+        assert sol.status is ILPStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-2.0)
+
+    def test_builder_warm_start_same_flows_and_migration_cost(self):
+        """At the ScheduleBuilder level: against the *same* parent, a
+        warm-started ILP solve admits the same flows with the same
+        transition objective as a cold one.  (Across a whole tree the
+        placements -- and hence descendants' minimal migration costs -- may
+        legitimately differ, which is exactly why warm starts are opt-in.)"""
+        topology, workload = _system(5, 4, util=1.0)
+        cold_b = ScheduleBuilder(topology, workload, method="ilp")
+        warm_b = ScheduleBuilder(
+            topology,
+            workload,
+            method="ilp",
+            ilp_warm_start=True,
+            ilp_batch_admit=True,
+        )
+        parent = cold_b.build()  # shared parent for both children
+        for victim in topology.controllers:
+            failed = frozenset({victim})
+            c = cold_b.build(failed_nodes=failed, parent=parent)
+            w = warm_b.build(failed_nodes=failed, parent=parent)
+            assert c.active_flows == w.active_flows
+            assert c.dropped_flows == w.dropped_flows
+            assert c.migration_cost(parent) == w.migration_cost(parent)
+        assert warm_b.counters["ilp_solves"] > 0
+        assert warm_b.counters["ilp_warm_proved_optimal"] > 0
+
+
+class TestDeterministicBudgets:
+    def _knapsack(self, n=14, seed=7):
+        rng = random.Random(seed)
+        ilp = ZeroOneILP()
+        weights = {}
+        for i in range(n):
+            w = rng.randint(3, 19)
+            weights[f"v{i}"] = w
+            ilp.add_variable(f"v{i}", cost=-float(w + rng.randint(0, 3)))
+        ilp.add_constraint(weights, "<=", sum(weights.values()) // 2)
+        return ilp
+
+    def test_node_budget_trips_and_is_deterministic(self):
+        full = self._knapsack().solve()
+        assert full.status is ILPStatus.OPTIMAL
+        assert full.stopped_by is None
+        assert full.nodes_explored > 10
+
+        limited_a = self._knapsack().solve(max_nodes=10)
+        limited_b = self._knapsack().solve(max_nodes=10)
+        assert limited_a.stopped_by == "nodes"
+        assert limited_a.status in (ILPStatus.NODE_LIMIT,)
+        assert limited_a.nodes_explored == limited_b.nodes_explored
+        assert limited_a.assignment == limited_b.assignment
+        assert limited_a.objective == limited_b.objective
+
+    def test_generous_node_budget_reaches_optimal(self):
+        sol = self._knapsack().solve(max_nodes=10_000_000)
+        assert sol.status is ILPStatus.OPTIMAL
+        assert sol.stopped_by is None
+
+
+class TestBoundedMemos:
+    def test_schedule_for_memo_is_bounded_and_correct(self):
+        topology, workload = _system(7, 6)
+        tree = ModeTreeGenerator(topology, workload, fmax=2).generate()
+        tree.LOOKUP_MEMO_MAX = 2  # shadow the class attribute for the test
+        controllers = topology.controllers
+        scenarios = [
+            FailureScenario(nodes=frozenset({c}), links=frozenset())
+            for c in controllers[:4]
+        ]
+        expected = [tree.schedules[s] for s in scenarios]
+        for _round in range(3):
+            for scenario, want in zip(scenarios, expected):
+                assert tree.schedule_for(scenario) == want
+        assert len(tree._lookup_memo) <= 2
+        for scenario in scenarios:
+            tree.depth_of(scenario)
+        assert len(tree._depth_memo) <= 2
+
+    def test_edf_memo_hits_repeated_task_sets(self):
+        reset_edf_memo()
+        tasks = [
+            Task(
+                task_id=1, flow_id=0, name="T1",
+                period_us=1000, wcet_us=200, deadline_us=1000,
+            ),
+            Task(
+                task_id=2, flow_id=0, name="T2",
+                period_us=1500, wcet_us=300, deadline_us=1500,
+            ),
+        ]
+        first = edf_schedulable(tasks)
+        again = edf_schedulable(list(reversed(tasks)))  # order-insensitive key
+        assert first == again
+        stats = edf_memo_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        # A different cap is a different memo entry, not a stale hit
+        # (the set's utilization is exactly 0.4).
+        assert edf_schedulable(tasks, utilization_cap=0.3) is False
+        reset_edf_memo()
+
+
+class TestPlacementMemo:
+    def test_memo_reuses_subproblems_without_changing_results(self):
+        topology, workload = _system(7, 9)
+        memo_builder = ScheduleBuilder(topology, workload, place_memo=True)
+        plain_builder = ScheduleBuilder(topology, workload, place_memo=False)
+        scenarios = [frozenset(), frozenset({topology.controllers[0]})]
+        for failed in scenarios * 2:  # repeat: second pass must hit
+            assert memo_builder.build(failed_nodes=failed) == plain_builder.build(
+                failed_nodes=failed
+            )
+        assert memo_builder.counters["place_memo_hits"] > 0
