@@ -120,6 +120,26 @@ class MetricsCollector:
         )
 
 
+def transcript_entry(system) -> tuple:
+    """One round's observable state: per-node evidence digest + mode.
+
+    The shared fingerprint for transcript-identity checks (fast-path bench,
+    chaos no-op verification): two runs whose entries match round-for-round
+    made byte-identical protocol decisions.
+    """
+    digests = []
+    for node_id in sorted(system.nodes):
+        node = system.nodes[node_id]
+        schedule = node.current_schedule
+        mode = (
+            (tuple(sorted(schedule.failed_nodes)), tuple(sorted(schedule.failed_links)))
+            if schedule
+            else None
+        )
+        digests.append((node_id, node.forwarding.evidence.digest().hex(), mode))
+    return tuple(digests)
+
+
 def fastpath_stats() -> Dict[str, Dict[str, Any]]:
     """One dict with every fast-path counter, keyed by component.
 

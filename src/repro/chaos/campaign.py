@@ -1,0 +1,612 @@
+"""Chaos campaign runner: adversaries x impairment plans x topologies x seeds.
+
+Each campaign *cell* builds a fresh deployment, attaches a
+:class:`~repro.chaos.impairments.ChaosRoundNetwork` carrying one
+:class:`ImpairmentPlan` and a :class:`~repro.chaos.monitor.BTRMonitor` in
+record mode, optionally injects one adversary behaviour mid-run, and runs a
+fixed number of rounds.  The expectations depend on the cell's budget
+classification:
+
+* **in-budget** cells must finish with *zero* invariant violations;
+* **out-of-budget** cells must raise ``ReboundSystem.budget_exceeded``,
+  never crash, and never condemn a correct node through verifiable
+  evidence (the monitor's hard-accuracy check).
+
+Failing cells are shrunk to a minimal repro: impairment components are
+removed one at a time, the adversary is dropped, and the round count is
+halved, keeping every simplification that still fails.  Results are
+written to ``BENCH_chaos.json`` (pass/fail matrix, rounds-to-recovery
+distribution, violation census) -- the ``smoke`` preset is CI-sized.
+
+The known equivocation accuracy gap (ROADMAP "Open items", pinned by
+``tests/test_regression_equivocation.py``) is *tagged*, not failed: cells
+running ``equivocate`` under the ``multi`` variant report their violations
+under ``tagged`` so the campaign stays green while the gap is open.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.chaos.impairments import (
+    IN_BUDGET,
+    ChaosRoundNetwork,
+    ImpairmentPlan,
+    LinkFlap,
+    Partition,
+)
+from repro.chaos.monitor import BTRMonitor
+from repro.core.config import ReboundConfig
+from repro.core.runtime import ReboundSystem
+from repro.faults import adversary as adv
+from repro.net.network import RoundNetwork
+from repro.net.topology import (
+    Topology,
+    chemical_plant_topology,
+    erdos_renyi_topology,
+    grid_topology,
+)
+from repro.sched.task import chemical_plant_workload
+from repro.sched.workload import WorkloadGenerator
+
+WARMUP_ROUNDS = 10
+RUN_ROUNDS = 26
+IMPAIR_START = 12  # impairments and adversaries activate after warm-up
+FMAX = 2
+
+# -- topologies ----------------------------------------------------------------
+
+
+def _er(n: int):
+    def build(seed: int):
+        topology = erdos_renyi_topology(n, seed=seed)
+        workload = WorkloadGenerator(
+            seed=seed, chain_length_range=(1, 2)
+        ).workload(target_utilization=1.5)
+        return topology, workload
+    return build
+
+
+def _grid(rows: int, cols: int):
+    def build(seed: int):
+        topology = grid_topology(rows, cols)
+        workload = WorkloadGenerator(
+            seed=seed, chain_length_range=(1, 2)
+        ).workload(target_utilization=1.5)
+        return topology, workload
+    return build
+
+
+def _plant(seed: int):
+    return chemical_plant_topology(), chemical_plant_workload()
+
+
+TOPOLOGIES: Dict[str, Callable[[int], Tuple[Topology, Any]]] = {
+    "er6": _er(6),
+    "er8": _er(8),
+    "grid4x5": _grid(4, 5),
+    "plant": _plant,
+}
+
+# -- adversaries ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BehaviorSpec:
+    name: str
+    factory: Optional[Callable[[], Any]]
+    fault_units: int
+    observable: bool
+
+
+BEHAVIORS: Dict[str, BehaviorSpec] = {
+    spec.name: spec
+    for spec in [
+        BehaviorSpec("none", None, 0, False),
+        BehaviorSpec("crash", adv.CrashBehavior, 1, True),
+        BehaviorSpec("silence", adv.SilenceBehavior, 1, True),
+        BehaviorSpec("delay", lambda: adv.DelayBehavior(delay_rounds=2), 1, True),
+        BehaviorSpec("flood", lambda: adv.GarbageFloodBehavior(size=2_000), 1, True),
+        BehaviorSpec("equivocate", adv.EquivocateBehavior, 1, True),
+        BehaviorSpec("lfd-storm", adv.LFDStormBehavior, 1, True),
+        # Observability of a corrupted output depends on the drawn workload
+        # (paper Req. 1 excludes faults with no visible effect), so the
+        # detection deadline stays disarmed for this one.
+        BehaviorSpec("random-output", lambda: adv.RandomOutputBehavior(seed=11), 1, False),
+    ]
+}
+
+# -- impairment plans ----------------------------------------------------------
+
+
+def _controller_links(topology: Topology) -> List[Tuple[int, int]]:
+    controllers = set(topology.controllers)
+    return sorted(
+        tuple(sorted(link))
+        for link in topology.p2p_links
+        if set(link) <= controllers
+    ) or sorted(
+        tuple(sorted((a, b)))
+        for bus in topology.buses.values()
+        for a in bus.members
+        for b in bus.members
+        if a < b and {a, b} <= controllers
+    )
+
+
+def _pick_link(topology: Topology, seed: int, avoid: Optional[int]) -> Tuple[int, int]:
+    links = _controller_links(topology)
+    eligible = [l for l in links if avoid not in l] or links
+    return eligible[seed % len(eligible)]
+
+
+def _pick_node(topology: Topology, seed: int, avoid: Optional[int]) -> int:
+    controllers = [c for c in topology.controllers if c != avoid]
+    return controllers[seed % len(controllers)]
+
+
+def _halves(topology: Topology) -> Tuple[frozenset, frozenset]:
+    controllers = topology.controllers
+    mid = len(controllers) // 2
+    return frozenset(controllers[:mid]), frozenset(controllers[mid:])
+
+
+# Each builder: (topology, seed, victim) -> ImpairmentPlan.
+PlanBuilder = Callable[[Topology, int, Optional[int]], ImpairmentPlan]
+
+
+def _plan_none(topology, seed, victim):
+    return ImpairmentPlan(seed=seed)
+
+
+def _plan_dup(topology, seed, victim):
+    return ImpairmentPlan(seed=seed, dup_prob=0.35, start_round=IMPAIR_START)
+
+
+def _plan_reorder(topology, seed, victim):
+    return ImpairmentPlan(seed=seed, reorder_prob=0.6, start_round=IMPAIR_START)
+
+
+def _plan_dup_reorder(topology, seed, victim):
+    return ImpairmentPlan(
+        seed=seed, dup_prob=0.25, reorder_prob=0.5, start_round=IMPAIR_START
+    )
+
+
+def _plan_drop_link(topology, seed, victim):
+    link = _pick_link(topology, seed, victim)
+    return ImpairmentPlan(
+        seed=seed, drop_prob=0.7, target_links=frozenset([link]),
+        start_round=IMPAIR_START,
+    )
+
+
+def _plan_corrupt_link(topology, seed, victim):
+    link = _pick_link(topology, seed, victim)
+    return ImpairmentPlan(
+        seed=seed, corrupt_prob=0.6, target_links=frozenset([link]),
+        start_round=IMPAIR_START,
+    )
+
+
+def _plan_delay_link(topology, seed, victim):
+    link = _pick_link(topology, seed, victim)
+    return ImpairmentPlan(
+        seed=seed, delay_prob=0.5, max_delay_rounds=2,
+        target_links=frozenset([link]), start_round=IMPAIR_START,
+    )
+
+
+def _plan_flap_link(topology, seed, victim):
+    a, b = _pick_link(topology, seed, victim)
+    return ImpairmentPlan(
+        seed=seed,
+        flaps=(LinkFlap(a, b, start_round=IMPAIR_START, down_rounds=4),),
+        start_round=IMPAIR_START,
+    )
+
+
+def _plan_drop_global(topology, seed, victim):
+    return ImpairmentPlan(seed=seed, drop_prob=0.12, start_round=IMPAIR_START)
+
+
+def _plan_corrupt_global(topology, seed, victim):
+    return ImpairmentPlan(seed=seed, corrupt_prob=0.15, start_round=IMPAIR_START)
+
+
+def _plan_delay_global(topology, seed, victim):
+    return ImpairmentPlan(
+        seed=seed, delay_prob=0.25, max_delay_rounds=3, start_round=IMPAIR_START
+    )
+
+
+def _plan_storm(topology, seed, victim):
+    return ImpairmentPlan(
+        seed=seed, drop_prob=0.1, dup_prob=0.2, corrupt_prob=0.1,
+        delay_prob=0.15, reorder_prob=0.5, start_round=IMPAIR_START,
+    )
+
+
+def _plan_partition(topology, seed, victim):
+    left, right = _halves(topology)
+    return ImpairmentPlan(
+        seed=seed,
+        partitions=(Partition(
+            groups=(left, right),
+            start_round=IMPAIR_START, end_round=IMPAIR_START + 6,
+        ),),
+        start_round=IMPAIR_START,
+    )
+
+
+def _plan_flap_many(topology, seed, victim):
+    links = _controller_links(topology)
+    chosen = links[: FMAX + 1]
+    return ImpairmentPlan(
+        seed=seed,
+        flaps=tuple(
+            LinkFlap(a, b, start_round=IMPAIR_START + i, down_rounds=4)
+            for i, (a, b) in enumerate(chosen)
+        ),
+        start_round=IMPAIR_START,
+    )
+
+
+PLANS: Dict[str, PlanBuilder] = {
+    "none": _plan_none,
+    "dup": _plan_dup,
+    "reorder": _plan_reorder,
+    "dup+reorder": _plan_dup_reorder,
+    "drop-link": _plan_drop_link,
+    "corrupt-link": _plan_corrupt_link,
+    "delay-link": _plan_delay_link,
+    "flap-link": _plan_flap_link,
+    "drop-global": _plan_drop_global,
+    "corrupt-global": _plan_corrupt_global,
+    "delay-global": _plan_delay_global,
+    "storm-global": _plan_storm,
+    "partition": _plan_partition,
+    "flap-many": _plan_flap_many,
+}
+
+# -- cells ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One configuration of the sweep."""
+
+    topology: str
+    behavior: str
+    plan: str
+    seed: int
+    variant: str = "multi"
+    rounds: int = RUN_ROUNDS
+    #: explicit plan override used by the shrinker (None = build from name)
+    plan_override: Optional[ImpairmentPlan] = field(default=None, compare=False)
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.topology}/{self.behavior}/{self.plan}/s{self.seed}/{self.variant}"
+
+
+def smoke_cells() -> List[CampaignCell]:
+    """The CI-sized matrix: every behaviour and every plan at least once,
+    both budget classes, two seeds on the small topology, plus 20-node
+    grid spot checks."""
+    cells: List[CampaignCell] = []
+    er_pairs = [
+        ("none", "none"), ("none", "dup"), ("none", "reorder"),
+        ("none", "dup+reorder"), ("none", "drop-link"),
+        ("none", "corrupt-link"), ("none", "delay-link"),
+        ("none", "flap-link"),
+        ("crash", "none"), ("crash", "dup"), ("crash", "drop-link"),
+        ("silence", "reorder"), ("delay", "dup"), ("flood", "none"),
+        ("lfd-storm", "none"), ("equivocate", "dup"),
+        ("random-output", "reorder"),
+        # out-of-budget block
+        ("none", "drop-global"), ("none", "corrupt-global"),
+        ("none", "delay-global"), ("none", "storm-global"),
+        ("none", "partition"), ("none", "flap-many"),
+        ("crash", "drop-global"),
+    ]
+    for behavior, plan in er_pairs:
+        for seed in (0, 1):
+            cells.append(CampaignCell("er6", behavior, plan, seed))
+    cells.append(CampaignCell("grid4x5", "none", "none", 0))
+    cells.append(CampaignCell("grid4x5", "crash", "drop-link", 0))
+    cells.append(CampaignCell("grid4x5", "none", "partition", 0))
+    return cells
+
+
+def full_cells() -> List[CampaignCell]:
+    cells: List[CampaignCell] = []
+    for topology in ("er6", "er8", "plant", "grid4x5"):
+        for behavior in BEHAVIORS:
+            for plan in PLANS:
+                for seed in (0, 1, 2):
+                    cells.append(CampaignCell(topology, behavior, plan, seed))
+    return cells
+
+
+PRESETS: Dict[str, Callable[[], List[CampaignCell]]] = {
+    "smoke": smoke_cells,
+    "full": full_cells,
+}
+
+
+def known_issue_tag(cell: CampaignCell) -> Optional[str]:
+    """Configurations held open by the suite (strict-xfail pins) are
+    tagged, not failed, so the campaign stays green while they are open."""
+    if cell.behavior == "equivocate" and cell.variant == "multi":
+        return "known-equivocation-gap"
+    return None
+
+
+# -- execution -----------------------------------------------------------------
+
+
+def run_cell(cell: CampaignCell) -> Dict[str, Any]:
+    """Build, impair, run, and judge one cell."""
+    spec = BEHAVIORS[cell.behavior]
+    topology, workload = TOPOLOGIES[cell.topology](cell.seed)
+    victim = (
+        topology.controllers[cell.seed % len(topology.controllers)]
+        if spec.factory is not None
+        else None
+    )
+    plan = cell.plan_override
+    if plan is None:
+        plan = PLANS[cell.plan](topology, cell.seed, victim)
+    budget = FMAX - spec.fault_units
+    in_budget = plan.classify(budget) == IN_BUDGET
+    context = {
+        "topology": cell.topology,
+        "topology_seed": cell.seed,
+        "behavior": cell.behavior,
+        "victim": victim,
+        "variant": cell.variant,
+        "plan_name": cell.plan,
+        "plan": plan.as_dict(),
+        "rounds": cell.rounds,
+    }
+    # The Req. 1 deadline is armed for observable adversaries and for
+    # lossy in-budget impairments (a dropped heartbeat must surface as an
+    # LFD); dup/reorder-only plans leave nothing to detect.
+    monitor = BTRMonitor(
+        in_budget=in_budget,
+        require_detection=spec.observable or (in_budget and plan.is_lossy),
+        record_only=True,
+        context=context,
+    )
+    result: Dict[str, Any] = {
+        "cell": cell.cell_id,
+        "topology": cell.topology,
+        "behavior": cell.behavior,
+        "plan_name": cell.plan,
+        "plan": plan.as_dict(),
+        "seed": cell.seed,
+        "variant": cell.variant,
+        "in_budget": in_budget,
+        "budget_units": plan.budget_units(),
+    }
+    try:
+        config = ReboundConfig(
+            fmax=FMAX, fconc=1, variant=cell.variant, rsa_bits=256
+        )
+        system = ReboundSystem(
+            topology, workload, config, seed=cell.seed,
+            network_factory=lambda topo: ChaosRoundNetwork(
+                topo, plan, budget=budget
+            ),
+        )
+        system.run(WARMUP_ROUNDS)
+        system.attach_monitor(monitor)
+        if spec.factory is not None:
+            system.run(IMPAIR_START - WARMUP_ROUNDS - 1)
+            system.inject_now(victim, spec.factory())
+        remaining = cell.rounds - (system.round_no - 0)
+        system.run(max(0, remaining))
+    except Exception as exc:  # noqa: BLE001 -- "never crash" is the invariant
+        result["outcome"] = "crash"
+        result["crash"] = f"{type(exc).__name__}: {exc}"
+        result["violations"] = [v.as_dict() for v in monitor.violations]
+        result["violation_census"] = monitor.census()
+        return result
+
+    result["budget_exceeded"] = system.budget_exceeded
+    result["violations"] = [v.as_dict() for v in monitor.violations]
+    result["violation_census"] = monitor.census()
+    result["detection_round"] = monitor.detection_round
+    result["recovery_round"] = monitor.recovery_round
+    stats = getattr(system.network, "chaos_stats", None)
+    result["impairment_stats"] = stats.as_dict() if stats is not None else None
+    first_event = min(system.fault_rounds) if system.fault_rounds else (
+        stats.first_impact_round if stats is not None else None
+    )
+    if monitor.recovery_round is not None and first_event is not None:
+        result["rounds_to_recovery"] = monitor.recovery_round - first_event
+    else:
+        result["rounds_to_recovery"] = None
+
+    tag = known_issue_tag(cell)
+    hard_accuracy = [
+        v for v in monitor.violations
+        if v.kind == "accuracy" and v.repro.get("layer") == "evidence"
+    ]
+    if monitor.violations and tag is not None:
+        result["outcome"] = "tagged"
+        result["tag"] = tag
+    elif in_budget:
+        result["outcome"] = "fail" if monitor.violations else "pass"
+    else:
+        ok = system.budget_exceeded and not hard_accuracy
+        result["outcome"] = "pass" if ok else "fail"
+        if not system.budget_exceeded:
+            result["fail_reason"] = "budget_exceeded not reported"
+        elif hard_accuracy:
+            result["fail_reason"] = "verifiable evidence condemned a correct node"
+    return result
+
+
+# -- shrinking -----------------------------------------------------------------
+
+
+def shrink_cell(cell: CampaignCell, max_attempts: int = 16) -> Dict[str, Any]:
+    """Greedy minimization of a failing cell.
+
+    Re-runs simplified variants (drop one impairment component, drop the
+    adversary, halve the rounds) and keeps each simplification that still
+    fails.  Returns the minimal failing configuration's repro dict.
+    """
+    spec = BEHAVIORS[cell.behavior]
+    topology, _ = TOPOLOGIES[cell.topology](cell.seed)
+    victim = (
+        topology.controllers[cell.seed % len(topology.controllers)]
+        if spec.factory is not None
+        else None
+    )
+    base_plan = cell.plan_override or PLANS[cell.plan](topology, cell.seed, victim)
+    current = replace(cell, plan_override=base_plan)
+    attempts = 0
+
+    def fails(candidate: CampaignCell) -> bool:
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return False
+        attempts += 1
+        return run_cell(candidate)["outcome"] in ("fail", "crash")
+
+    changed = True
+    while changed and attempts < max_attempts:
+        changed = False
+        for component in current.plan_override.components():
+            candidate = replace(
+                current, plan_override=current.plan_override.without(component)
+            )
+            if fails(candidate):
+                current = candidate
+                changed = True
+                break
+        if not changed and current.behavior != "none":
+            candidate = replace(current, behavior="none")
+            if fails(candidate):
+                current = candidate
+                changed = True
+        if not changed and current.rounds > 8:
+            candidate = replace(current, rounds=current.rounds // 2)
+            if fails(candidate):
+                current = candidate
+                changed = True
+    return {
+        "cell": current.cell_id,
+        "topology": current.topology,
+        "seed": current.seed,
+        "behavior": current.behavior,
+        "variant": current.variant,
+        "rounds": current.rounds,
+        "plan": current.plan_override.as_dict(),
+        "shrink_attempts": attempts,
+    }
+
+
+# -- the no-op identity check --------------------------------------------------
+
+
+def noop_transcript_check(rounds: int = 16, crash_round: int = 8) -> bool:
+    """A no-op chaos network must be invisible: byte-identical transcripts
+    (per-node evidence digests + modes, every round) against the plain
+    network on the 20-node grid, across a crash fault."""
+    from repro.analysis.metrics import transcript_entry
+
+    def run(factory) -> List[Tuple]:
+        topology = grid_topology(4, 5)
+        workload = WorkloadGenerator(
+            seed=0, chain_length_range=(1, 2)
+        ).workload(target_utilization=1.5)
+        config = ReboundConfig(fmax=1, fconc=1, variant="multi", rsa_bits=256)
+        system = ReboundSystem(
+            topology, workload, config, seed=0, network_factory=factory
+        )
+        transcript = []
+        for r in range(1, rounds + 1):
+            if r == crash_round:
+                system.inject_now(max(topology.controllers), adv.CrashBehavior())
+            system.run_round()
+            transcript.append(transcript_entry(system))
+        return transcript
+
+    plain = run(RoundNetwork)
+    chaotic = run(lambda topo: ChaosRoundNetwork(topo, ImpairmentPlan()))
+    return plain == chaotic
+
+
+# -- campaign driver -----------------------------------------------------------
+
+
+def run_campaign(
+    preset: str = "smoke",
+    seeds: Optional[List[int]] = None,
+    max_cells: Optional[int] = None,
+    shrink: bool = True,
+    output_path: Optional[str] = "BENCH_chaos.json",
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run a preset's cells and write the BENCH report."""
+    if preset not in PRESETS:
+        raise ValueError(f"unknown preset {preset!r} (have {sorted(PRESETS)})")
+    cells = PRESETS[preset]()
+    if seeds is not None:
+        chosen = set(seeds)
+        cells = [c for c in cells if c.seed in chosen]
+    if max_cells is not None:
+        cells = cells[:max_cells]
+    t0 = time.perf_counter()
+    results: List[Dict[str, Any]] = []
+    failures: List[Dict[str, Any]] = []
+    for cell in cells:
+        outcome = run_cell(cell)
+        results.append(outcome)
+        if progress is not None:
+            progress(f"[{outcome['outcome']:>6}] {outcome['cell']}")
+        if outcome["outcome"] in ("fail", "crash") and shrink:
+            outcome["shrunk"] = shrink_cell(cell)
+            failures.append(outcome["shrunk"])
+    matrix = {"pass": 0, "fail": 0, "tagged": 0, "crash": 0}
+    census: Dict[str, int] = {}
+    recovery_rounds: List[int] = []
+    for outcome in results:
+        matrix[outcome["outcome"]] = matrix.get(outcome["outcome"], 0) + 1
+        for kind, count in outcome.get("violation_census", {}).items():
+            census[kind] = census.get(kind, 0) + count
+        if outcome.get("rounds_to_recovery") is not None:
+            recovery_rounds.append(outcome["rounds_to_recovery"])
+    noop_identical = noop_transcript_check()
+    report = {
+        "benchmark": "chaos",
+        "preset": preset,
+        "fmax": FMAX,
+        "cells": results,
+        "cell_count": len(results),
+        "matrix": matrix,
+        "violation_census": census,
+        "recovery_rounds": {
+            "values": sorted(recovery_rounds),
+            "mean": (
+                sum(recovery_rounds) / len(recovery_rounds)
+                if recovery_rounds else None
+            ),
+            "max": max(recovery_rounds) if recovery_rounds else None,
+        },
+        "failures": failures,
+        "noop_transcript_identical": noop_identical,
+        "elapsed_s": time.perf_counter() - t0,
+    }
+    if output_path is not None:
+        with open(output_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report

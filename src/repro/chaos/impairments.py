@@ -1,0 +1,488 @@
+"""Deterministic network impairments: the chaos layer's fault vocabulary.
+
+REBOUND's system model (paper S2.2) assumes the *infrastructure* is
+reliable -- unreliability comes only from faulty nodes and links.  The
+chaos layer deliberately stresses that assumption: a seeded, composable
+:class:`ImpairmentPlan` describes probabilistic message drop, duplication,
+within-round reordering, byte-level corruption, bounded delay, transient
+link flaps, and full partitions; :class:`ChaosRoundNetwork` applies the
+plan inside the round engine, between the bandwidth/adversary accounting
+and final delivery.
+
+Every impairment is classified against the deployment's fault budget:
+
+* **in-budget** -- the impairment is indistinguishable from a fault the
+  protocol was provisioned for (``fmax`` faulty nodes/links, or effects
+  the synchronous model never promised to exclude, like duplication of
+  signed messages and within-round delivery order).  The protocol must
+  still satisfy Reqs. 1-3 and converge within ``Rmax``.
+* **out-of-budget** -- the environment violates the model itself (lossy
+  links everywhere, partitions, more impaired elements than ``fmax``).
+  The protocol must degrade gracefully: the runtime raises its
+  ``budget_exceeded`` signal, never crashes, and its *verifiable evidence*
+  still never condemns a correct node.
+
+Determinism: every random decision is drawn from an RNG keyed by
+``(plan.seed, round, sender, destination, sequence)`` through an integer
+mixer (no ``hash()``), so a plan replays byte-identically regardless of
+Python hash randomization -- the property the campaign shrinker and the
+violation repro dicts rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.net.message import encode
+from repro.net.network import Delivery, RoundNetwork
+from repro.net.topology import Topology
+
+IN_BUDGET = "in_budget"
+OUT_OF_BUDGET = "out_of_budget"
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix(*parts: int) -> int:
+    """Deterministic 64-bit mixer (splitmix64-style) over integer parts."""
+    acc = 0x243F6A8885A308D3
+    for part in parts:
+        acc ^= (part + 0x9E3779B97F4A7C15) & _MASK
+        acc = (acc * 0xBF58476D1CE4E5B9) & _MASK
+        acc ^= acc >> 31
+    return acc
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """A transient link outage: ``link`` is down while the flap is active.
+
+    With ``period == 0`` the link is down for one window
+    ``[start_round, start_round + down_rounds)``; with ``period > 0`` the
+    outage repeats every ``period`` rounds.
+    """
+
+    a: int
+    b: int
+    start_round: int
+    down_rounds: int
+    period: int = 0
+
+    @property
+    def link(self) -> Tuple[int, int]:
+        return (min(self.a, self.b), max(self.a, self.b))
+
+    def down(self, round_no: int) -> bool:
+        if round_no < self.start_round:
+            return False
+        offset = round_no - self.start_round
+        if self.period <= 0:
+            return offset < self.down_rounds
+        return (offset % self.period) < self.down_rounds
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "a": self.a, "b": self.b, "start_round": self.start_round,
+            "down_rounds": self.down_rounds, "period": self.period,
+        }
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A full partition: messages between different groups are dropped
+    during ``[start_round, end_round)``.  Nodes absent from every group
+    are unaffected (devices can be left out)."""
+
+    groups: Tuple[FrozenSet[int], ...]
+    start_round: int
+    end_round: int
+
+    def active(self, round_no: int) -> bool:
+        return self.start_round <= round_no < self.end_round
+
+    def separates(self, a: int, b: int) -> bool:
+        ga = gb = None
+        for idx, group in enumerate(self.groups):
+            if a in group:
+                ga = idx
+            if b in group:
+                gb = idx
+        return ga is not None and gb is not None and ga != gb
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "groups": [sorted(g) for g in self.groups],
+            "start_round": self.start_round,
+            "end_round": self.end_round,
+        }
+
+
+@dataclass(frozen=True)
+class ImpairmentPlan:
+    """A seeded, composable description of environmental hostility.
+
+    Message-level probabilities apply independently per message while the
+    plan is active (``start_round <= round < end_round``); ``target_links``
+    / ``target_nodes`` confine them to specific links or senders (``None``
+    means everywhere -- which is out-of-budget for loss-like impairments).
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    reorder_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    delay_prob: float = 0.0
+    max_delay_rounds: int = 2
+    target_links: Optional[FrozenSet[Tuple[int, int]]] = None
+    target_nodes: Optional[FrozenSet[int]] = None
+    flaps: Tuple[LinkFlap, ...] = ()
+    partitions: Tuple[Partition, ...] = ()
+    start_round: int = 1
+    end_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "dup_prob", "reorder_prob",
+                     "corrupt_prob", "delay_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.max_delay_rounds < 1:
+            raise ValueError("max_delay_rounds must be >= 1")
+        if self.target_links is not None:
+            object.__setattr__(
+                self,
+                "target_links",
+                frozenset(tuple(sorted(l)) for l in self.target_links),
+            )
+
+    # -- composition / shrinking -------------------------------------------
+
+    def without(self, component: str) -> "ImpairmentPlan":
+        """A copy with one impairment component removed (shrinking)."""
+        zeroes = {
+            "drop": {"drop_prob": 0.0},
+            "dup": {"dup_prob": 0.0},
+            "reorder": {"reorder_prob": 0.0},
+            "corrupt": {"corrupt_prob": 0.0},
+            "delay": {"delay_prob": 0.0},
+            "flaps": {"flaps": ()},
+            "partitions": {"partitions": ()},
+        }
+        if component not in zeroes:
+            raise ValueError(f"unknown component {component!r}")
+        return replace(self, **zeroes[component])
+
+    def components(self) -> List[str]:
+        """The impairment components this plan actually exercises."""
+        out = []
+        if self.drop_prob > 0:
+            out.append("drop")
+        if self.dup_prob > 0:
+            out.append("dup")
+        if self.reorder_prob > 0:
+            out.append("reorder")
+        if self.corrupt_prob > 0:
+            out.append("corrupt")
+        if self.delay_prob > 0:
+            out.append("delay")
+        if self.flaps:
+            out.append("flaps")
+        if self.partitions:
+            out.append("partitions")
+        return out
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.components()
+
+    @property
+    def is_lossy(self) -> bool:
+        """Whether the plan can make an element *look* faulty (drop,
+        corrupt, delay, flap, partition) -- the impairments a correct
+        protocol is expected to detect, as opposed to duplication and
+        reordering, which the model never promised to exclude."""
+        return bool(
+            self.drop_prob > 0 or self.corrupt_prob > 0
+            or self.delay_prob > 0 or self.flaps or self.partitions
+        )
+
+    def active(self, round_no: int) -> bool:
+        if round_no < self.start_round:
+            return False
+        return self.end_round is None or round_no < self.end_round
+
+    # -- budget classification ---------------------------------------------
+
+    def budget_units(self) -> Optional[int]:
+        """How many of the deployment's ``fmax`` fault slots this plan's
+        loss-like impairments consume, or ``None`` when the plan cannot be
+        attributed to bounded elements (untargeted loss, partitions).
+
+        Duplication and reordering cost nothing: signed messages are
+        idempotent and within-round delivery order was never promised.
+        """
+        if self.partitions:
+            return None
+        units = 0
+        lossy = self.drop_prob > 0 or self.corrupt_prob > 0 or self.delay_prob > 0
+        if lossy:
+            if self.target_links is None and self.target_nodes is None:
+                return None
+            target_nodes = self.target_nodes or frozenset()
+            units += len(target_nodes)
+            for link in self.target_links or frozenset():
+                if not (set(link) & target_nodes):
+                    units += 1
+        flap_links = {f.link for f in self.flaps}
+        units += len(flap_links)
+        return units
+
+    def classify(self, budget: int) -> str:
+        """``IN_BUDGET`` if the protocol must still meet Reqs. 1-3 under
+        this plan given ``budget`` remaining fault slots, else
+        ``OUT_OF_BUDGET``."""
+        units = self.budget_units()
+        if units is None or units > budget:
+            return OUT_OF_BUDGET
+        return IN_BUDGET
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable description (campaign results, repro dicts)."""
+        return {
+            "seed": self.seed,
+            "drop_prob": self.drop_prob,
+            "dup_prob": self.dup_prob,
+            "reorder_prob": self.reorder_prob,
+            "corrupt_prob": self.corrupt_prob,
+            "delay_prob": self.delay_prob,
+            "max_delay_rounds": self.max_delay_rounds,
+            "target_links": sorted(self.target_links) if self.target_links else None,
+            "target_nodes": sorted(self.target_nodes) if self.target_nodes else None,
+            "flaps": [f.as_dict() for f in self.flaps],
+            "partitions": [p.as_dict() for p in self.partitions],
+            "start_round": self.start_round,
+            "end_round": self.end_round,
+        }
+
+
+NOOP_PLAN = ImpairmentPlan()
+
+
+@dataclass
+class ImpairmentStats:
+    """What the chaos layer actually did to the traffic."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+    delayed: int = 0
+    reordered_rounds: int = 0
+    flap_dropped: int = 0
+    partition_dropped: int = 0
+    first_impact_round: Optional[int] = None
+    impacted_links: Set[Tuple[int, int]] = field(default_factory=set)
+    impacted_nodes: Set[int] = field(default_factory=set)
+    #: link/node -> round of first applied impairment on that element
+    first_impact_by_element: Dict[Any, int] = field(default_factory=dict)
+
+    @property
+    def impacted(self) -> bool:
+        return self.first_impact_round is not None
+
+    def total_events(self) -> int:
+        return (
+            self.dropped + self.duplicated + self.corrupted + self.delayed
+            + self.reordered_rounds + self.flap_dropped + self.partition_dropped
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "corrupted": self.corrupted,
+            "delayed": self.delayed,
+            "reordered_rounds": self.reordered_rounds,
+            "flap_dropped": self.flap_dropped,
+            "partition_dropped": self.partition_dropped,
+            "first_impact_round": self.first_impact_round,
+            "impacted_links": sorted(self.impacted_links),
+            "impacted_nodes": sorted(self.impacted_nodes),
+            "total_events": self.total_events(),
+        }
+
+
+class ChaosRoundNetwork(RoundNetwork):
+    """A :class:`RoundNetwork` that subjects admitted traffic to an
+    :class:`ImpairmentPlan`.
+
+    Impairments act *after* bandwidth charging, adversary hooks, and
+    physical link-failure checks (the bytes were radiated; the environment
+    then loses, garbles, duplicates, or delays them) and *before* the
+    deterministic delivery sort.  With a no-op plan the transcript is
+    byte-identical to the base network: every override falls through to
+    the parent without drawing randomness.
+    """
+
+    def __init__(self, topology: Topology, plan: ImpairmentPlan = NOOP_PLAN,
+                 guardian_share: Optional[float] = None,
+                 budget: Optional[int] = None):
+        super().__init__(topology, guardian_share)
+        self.plan = plan
+        #: fault slots the environment may consume (``fmax`` minus whatever
+        #: the campaign's adversary already uses); ``None`` = unknown, in
+        #: which case only structurally unattributable plans count as
+        #: out-of-budget activity.
+        self.budget = budget
+        self.chaos_stats = ImpairmentStats()
+        #: (delivery_round, sender, destination, payload)
+        self._held_messages: List[Tuple[int, int, int, Any]] = []
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def out_of_budget_activity(self) -> bool:
+        """True once an out-of-budget plan has actually impaired traffic;
+        feeds ``ReboundSystem.budget_exceeded``."""
+        if not self.chaos_stats.impacted:
+            return False
+        units = self.plan.budget_units()
+        if units is None:
+            return True
+        return self.budget is not None and units > self.budget
+
+    # -- impairment mechanics ------------------------------------------------
+
+    def _eligible(self, sender: int, destination: int) -> bool:
+        """A message is subject to probabilistic impairment when it matches
+        the plan's targets (sender in ``target_nodes`` or its link in
+        ``target_links``); an untargeted plan impairs everything."""
+        plan = self.plan
+        if plan.target_nodes is None and plan.target_links is None:
+            return True
+        if plan.target_nodes is not None and sender in plan.target_nodes:
+            return True
+        if plan.target_links is not None:
+            link = (min(sender, destination), max(sender, destination))
+            return link in plan.target_links
+        return False
+
+    def _record_impact(self, sender: int, destination: int, lossy: bool = True) -> None:
+        """Track an applied impairment.  Only *lossy* impairments (drop,
+        corrupt, delay, flap, partition) mark elements as impacted -- the
+        protocol is expected to detect and route around those; duplication
+        and reordering leave no element looking faulty."""
+        stats = self.chaos_stats
+        if stats.first_impact_round is None:
+            stats.first_impact_round = self.round_no
+        if not lossy:
+            return
+        link = (min(sender, destination), max(sender, destination))
+        stats.impacted_links.add(link)
+        stats.first_impact_by_element.setdefault(link, self.round_no)
+        if self.plan.target_nodes is not None and sender in self.plan.target_nodes:
+            stats.impacted_nodes.add(sender)
+            stats.first_impact_by_element.setdefault(sender, self.round_no)
+
+    def _corrupt_payload(self, rng: random.Random, payload: Any) -> bytes:
+        """Byte-level corruption: garble the canonical encoding.
+
+        The corrupted message is delivered as raw bytes -- the same shape a
+        garbled frame has after failing deserialization, and the same shape
+        the garbage-flood adversary already exercises, so every receiver
+        treats it as an unverifiable message from that sender.
+        """
+        blob = bytearray(encode(payload))
+        flips = max(1, len(blob) // 64)
+        for _ in range(flips):
+            pos = rng.randrange(len(blob))
+            blob[pos] ^= 1 + rng.randrange(255)
+        return bytes(blob)
+
+    def _enqueue(self, sender: int, destination: int, payload: Any) -> None:
+        plan = self.plan
+        if plan.is_noop or not plan.active(self.round_no):
+            super()._enqueue(sender, destination, payload)
+            return
+        stats = self.chaos_stats
+        link = (min(sender, destination), max(sender, destination))
+        for partition in plan.partitions:
+            if partition.active(self.round_no) and partition.separates(sender, destination):
+                stats.partition_dropped += 1
+                self._record_impact(sender, destination)
+                return
+        for flap in plan.flaps:
+            if flap.link == link and flap.down(self.round_no):
+                stats.flap_dropped += 1
+                self._record_impact(sender, destination)
+                return
+        if not self._eligible(sender, destination):
+            super()._enqueue(sender, destination, payload)
+            return
+        rng = random.Random(
+            _mix(plan.seed, self.round_no, sender, destination, self._seq)
+        )
+        if plan.drop_prob > 0 and rng.random() < plan.drop_prob:
+            stats.dropped += 1
+            self._record_impact(sender, destination)
+            return
+        if plan.corrupt_prob > 0 and rng.random() < plan.corrupt_prob:
+            payload = self._corrupt_payload(rng, payload)
+            stats.corrupted += 1
+            self._record_impact(sender, destination)
+        if plan.delay_prob > 0 and rng.random() < plan.delay_prob:
+            extra = rng.randint(1, plan.max_delay_rounds)
+            # Normal delivery happens at round_no + 1; hold for `extra` more.
+            self._held_messages.append(
+                (self.round_no + 1 + extra, sender, destination, payload)
+            )
+            stats.delayed += 1
+            self._record_impact(sender, destination)
+            return
+        super()._enqueue(sender, destination, payload)
+        if plan.dup_prob > 0 and rng.random() < plan.dup_prob:
+            stats.duplicated += 1
+            self._record_impact(sender, destination, lossy=False)
+            super()._enqueue(sender, destination, payload)
+
+    def _begin_round(self) -> None:
+        """Release held (delayed) messages due this round.
+
+        Releases bypass the impairment pipeline (the message was already
+        impaired once) but still honor the physical state at release time:
+        a sender crashed or a link cut while the message was in flight
+        silences it, exactly as the base network would have.
+        """
+        if not self._held_messages:
+            return
+        due = [h for h in self._held_messages if h[0] <= self.round_no]
+        if not due:
+            return
+        self._held_messages = [h for h in self._held_messages if h[0] > self.round_no]
+        for _due_round, sender, destination, payload in due:
+            if sender in self._crashed:
+                continue
+            if frozenset((sender, destination)) in self._failed_links:
+                continue
+            self._outbox.append((sender, destination, payload, self._seq))
+            self._seq += 1
+
+    def _collect_deliveries(self) -> List[Delivery]:
+        deliveries = super()._collect_deliveries()
+        plan = self.plan
+        if (
+            plan.reorder_prob <= 0
+            or not plan.active(self.round_no)
+            or len(deliveries) < 2
+        ):
+            return deliveries
+        rng = random.Random(_mix(plan.seed, self.round_no, 0x5EC0_0D3B))
+        if rng.random() >= plan.reorder_prob:
+            return deliveries
+        self.chaos_stats.reordered_rounds += 1
+        if self.chaos_stats.first_impact_round is None:
+            self.chaos_stats.first_impact_round = self.round_no
+        rng.shuffle(deliveries)
+        return deliveries

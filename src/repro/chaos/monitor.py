@@ -1,0 +1,358 @@
+"""The BTR invariant monitor: the paper's requirements as a per-round oracle.
+
+:class:`BTRMonitor` attaches to :meth:`ReboundSystem.run_round` (via
+``system.attach_monitor``) and checks, every round:
+
+* **Req. 1 -- bounded detection.**  Every observable fault activation
+  (an injected adversary, a cut link, or an applied lossy impairment) is
+  reflected in some correct node's failure pattern within ``d_max`` rounds
+  of activation.
+* **Req. 2 -- bounded recovery.**  Within ``r_max`` rounds of the *last*
+  fault activation, all correct controllers agree on a mode whose
+  placements exclude every faulty (or environment-silenced) node.
+* **Req. 3 -- accuracy.**  Two layers:
+
+  - *hard* (checked in every environment, however hostile): the verifiable
+    evidence set -- proofs of misbehavior -- never accuses a correct node;
+  - *inference* (checked only in-budget): no correct node's normalized
+    failure pattern condemns a correct controller.  Out of budget, the
+    LFD fault-budget inference may legitimately overflow; the runtime's
+    ``budget_exceeded`` signal covers that case instead.
+
+* **Structural invariants.**  Each node's current mode is exactly its mode
+  tree's answer for its local evidence (no desync between evidence and
+  schedule), and once recovered, correct nodes never diverge again without
+  a new fault event.
+
+Violations are typed :class:`InvariantViolation`\\ s carrying a minimized
+repro dict (topology seed, scenario, impairment plan, round) so a failing
+campaign cell can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+
+class InvariantViolation(AssertionError):
+    """Base class; ``repro`` holds everything needed to replay the run."""
+
+    kind = "invariant"
+
+    def __init__(self, message: str, repro: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.repro = dict(repro or {})
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "message": str(self), "repro": self.repro}
+
+
+class AccuracyViolation(InvariantViolation):
+    """Req. 3: evidence (or in-budget inference) condemned a correct node."""
+
+    kind = "accuracy"
+
+
+class DetectionTimeoutViolation(InvariantViolation):
+    """Req. 1: an observable fault went undetected past ``d_max``."""
+
+    kind = "detection"
+
+
+class RecoveryTimeoutViolation(InvariantViolation):
+    """Req. 2: the system failed to converge within ``r_max``."""
+
+    kind = "recovery"
+
+
+class StructuralViolation(InvariantViolation):
+    """Mode census inconsistent with local evidence, or post-convergence
+    divergence without a new fault event."""
+
+    kind = "structural"
+
+
+class BTRMonitor:
+    """Per-round checker of the BTR requirements (see module docstring).
+
+    Args:
+        d_max: detection bound in rounds; defaults to the system's
+            resolved ``config.d_max``.
+        r_max: recovery bound in rounds after the last fault activation;
+            defaults to ``2 * d_max + 4``.
+        in_budget: whether the environment (adversary + impairments) fits
+            the deployment's fault budget.  Out-of-budget runs only arm
+            the hard-accuracy and structural-lookup checks.
+        require_detection: arm the Req. 1 deadline.  Disable for faults
+            with no observable effect (paper Req. 1 explicitly excludes
+            those) -- e.g. a corrupted output nobody consumes.
+        record_only: collect violations in :attr:`violations` instead of
+            raising them (campaign mode).
+        context: merged into every violation's repro dict (topology seed,
+            scenario name, impairment plan, ...).
+    """
+
+    def __init__(
+        self,
+        d_max: Optional[int] = None,
+        r_max: Optional[int] = None,
+        in_budget: bool = True,
+        require_detection: bool = True,
+        record_only: bool = False,
+        context: Optional[Dict[str, Any]] = None,
+    ):
+        self.d_max = d_max
+        self.r_max = r_max
+        self.in_budget = in_budget
+        self.require_detection = require_detection
+        self.record_only = record_only
+        self.context = dict(context or {})
+        self.violations: List[InvariantViolation] = []
+        # Fault-activation tracking (element -> activation round).
+        self._activations: Dict[Any, int] = {}
+        self._known_faulty: Set[int] = set()
+        self._known_links: Set[Tuple[int, int]] = set()
+        self._reported: Set[Tuple[str, Any]] = set()
+        self.detection_round: Optional[int] = None
+        self.recovery_round: Optional[int] = None
+        self._event_count = 0
+        self._cycle_converged: Optional[int] = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _emit(self, violation: InvariantViolation, key: Tuple[str, Any]) -> None:
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.violations.append(violation)
+        if not self.record_only:
+            raise violation
+
+    def _repro(self, system, **extra: Any) -> Dict[str, Any]:
+        repro = dict(self.context)
+        repro["round"] = system.round_no
+        network = system.network
+        plan = getattr(network, "plan", None)
+        if plan is not None and "plan" not in repro:
+            repro["plan"] = plan.as_dict()
+        repro.update(extra)
+        return repro
+
+    # -- fault bookkeeping -----------------------------------------------------
+
+    def _refresh_activations(self, system) -> None:
+        r = system.round_no
+        for node in system.true_faulty_nodes - self._known_faulty:
+            self._activations[("node", node)] = r
+            self._known_faulty.add(node)
+        for link in set(system.true_failed_links) - self._known_links:
+            self._activations[("link", tuple(link))] = r
+            self._known_links.add(tuple(link))
+        stats = getattr(system.network, "chaos_stats", None)
+        if stats is not None:
+            for element, first in stats.first_impact_by_element.items():
+                if isinstance(element, tuple):
+                    key = ("env-link", element)
+                else:
+                    key = ("env-node", element)
+                self._activations.setdefault(key, first)
+
+    def _env_faulted_nodes(self, system) -> Set[int]:
+        stats = getattr(system.network, "chaos_stats", None)
+        if stats is None:
+            return set()
+        return set(stats.impacted_nodes)
+
+    def _correct_set(self, system) -> Set[int]:
+        return (
+            set(system.topology.controllers)
+            - system.true_faulty_nodes
+            - self._env_faulted_nodes(system)
+        )
+
+    def _resolve_bounds(self, system) -> Tuple[int, int]:
+        d_max = self.d_max if self.d_max is not None else system.config.d_max
+        r_max = self.r_max if self.r_max is not None else 2 * d_max + 4
+        return d_max, r_max
+
+    # -- the oracle ------------------------------------------------------------
+
+    def observe(self, system) -> None:
+        """Run every armed invariant check against the round that just
+        executed.  Called by ``ReboundSystem.run_round``."""
+        self._refresh_activations(system)
+        correct = self._correct_set(system)
+        self._check_hard_accuracy(system, correct)
+        self._check_structural_lookup(system, correct)
+        if not self.in_budget:
+            return
+        self._check_inference_accuracy(system, correct)
+        d_max, r_max = self._resolve_bounds(system)
+        if self.require_detection:
+            self._check_detection(system, correct, d_max)
+        self._check_recovery(system, correct, r_max)
+
+    # Req. 3, hard layer: PoMs never accuse a correct node.
+    def _check_hard_accuracy(self, system, correct: Set[int]) -> None:
+        for node_id in correct:
+            accused = system.nodes[node_id].forwarding.evidence.accused_nodes()
+            bad = accused & correct
+            if bad:
+                self._emit(
+                    AccuracyViolation(
+                        f"evidence at node {node_id} accuses correct "
+                        f"node(s) {sorted(bad)} via PoM",
+                        self._repro(system, observer=node_id,
+                                    condemned=sorted(bad), layer="evidence"),
+                    ),
+                    ("accuracy-evidence", (node_id, tuple(sorted(bad)))),
+                )
+
+    # Req. 3, inference layer: normalized patterns stay clean in-budget.
+    def _check_inference_accuracy(self, system, correct: Set[int]) -> None:
+        for node_id in correct:
+            pattern = system.nodes[node_id].fault_pattern
+            bad = pattern.nodes & correct
+            if bad:
+                self._emit(
+                    AccuracyViolation(
+                        f"failure pattern at node {node_id} condemns correct "
+                        f"node(s) {sorted(bad)} (fault-budget inference)",
+                        self._repro(system, observer=node_id,
+                                    condemned=sorted(bad), layer="inference"),
+                    ),
+                    ("accuracy-inference", (node_id, tuple(sorted(bad)))),
+                )
+
+    def _detected(self, system, correct: Set[int], element) -> bool:
+        kind, target = element
+        for node_id in correct:
+            pattern = system.nodes[node_id].fault_pattern
+            if kind in ("node", "env-node"):
+                if target in pattern.nodes:
+                    return True
+                if any(target in link for link in pattern.links):
+                    return True
+            else:
+                link = tuple(target)
+                if link in pattern.links:
+                    return True
+                if set(link) & pattern.nodes:
+                    return True
+        return False
+
+    # Req. 1: bounded detection of every observable activation.
+    def _check_detection(self, system, correct: Set[int], d_max: int) -> None:
+        r = system.round_no
+        for element, activated in self._activations.items():
+            key = ("detection", element)
+            if key in self._reported:
+                continue
+            if ("detected", element) in self._reported:
+                continue
+            if self._detected(system, correct, element):
+                self._reported.add(("detected", element))
+                if self.detection_round is None:
+                    self.detection_round = r
+                continue
+            if r > activated + d_max:
+                self._emit(
+                    DetectionTimeoutViolation(
+                        f"{element[0]} fault {element[1]} activated at round "
+                        f"{activated} still undetected at round {r} "
+                        f"(d_max={d_max})",
+                        self._repro(system, element=list(map(str, element)),
+                                    activated=activated, d_max=d_max),
+                    ),
+                    key,
+                )
+
+    # Req. 2: bounded recovery after the last activation.  Recovered means:
+    # every observable activation is reflected in the evidence, all correct
+    # nodes agree on the mode, and the agreed schedules place no task on a
+    # controller they themselves declare failed.  Transient divergence
+    # *inside* the r_max window (evidence still in flight) is legal; past
+    # the deadline, never-converged is a recovery timeout and
+    # converged-then-regressed (with no new fault event) is structural.
+    def _check_recovery(self, system, correct: Set[int], r_max: int) -> None:
+        if not self._activations:
+            return
+        r = system.round_no
+        last_event = max(self._activations.values())
+        if self._event_count != len(self._activations):
+            # A new fault event opens a fresh convergence cycle.
+            self._event_count = len(self._activations)
+            self._cycle_converged = None
+        agreed = system.schedules_agree()
+        detected_all = (not self.require_detection) or all(
+            ("detected", element) in self._reported
+            for element in self._activations
+        )
+        placements_clean = True
+        for node_id in correct:
+            schedule = system.nodes[node_id].current_schedule
+            if schedule is None or any(
+                host in schedule.failed_nodes
+                for host in schedule.placements.values()
+            ):
+                placements_clean = False
+                break
+        recovered = agreed and detected_all and placements_clean
+        if recovered:
+            if self.recovery_round is None:
+                self.recovery_round = r
+            if self._cycle_converged is None:
+                self._cycle_converged = r
+        if r <= last_event + r_max or recovered:
+            return
+        if self._cycle_converged is not None:
+            self._emit(
+                StructuralViolation(
+                    f"schedules diverged at round {r} after convergence at "
+                    f"round {self._cycle_converged} with no new fault event",
+                    self._repro(system, converged_at=self._cycle_converged,
+                                last_event=last_event),
+                ),
+                ("stability", last_event),
+            )
+            return
+        detail = []
+        if not agreed:
+            detail.append("correct nodes disagree on the mode")
+        if not detected_all:
+            detail.append("an activation is still unreflected in evidence")
+        if not placements_clean:
+            detail.append("placements include declared-failed nodes")
+        self._emit(
+            RecoveryTimeoutViolation(
+                f"not recovered by round {r} (last fault event at "
+                f"{last_event}, r_max={r_max}): " + "; ".join(detail),
+                self._repro(system, last_event=last_event, r_max=r_max,
+                            agreed=agreed, detected_all=detected_all,
+                            placements_clean=placements_clean),
+            ),
+            ("recovery", last_event),
+        )
+
+    # Structural: each node's mode is exactly its evidence's mode-tree answer.
+    def _check_structural_lookup(self, system, correct: Set[int]) -> None:
+        for node_id in correct:
+            node = system.nodes[node_id]
+            expected = system.mode_tree.schedule_for(node.fault_pattern)
+            if node.current_schedule != expected:
+                self._emit(
+                    StructuralViolation(
+                        f"node {node_id} runs a mode inconsistent with its "
+                        f"own evidence (pattern {node.fault_pattern})",
+                        self._repro(system, observer=node_id),
+                    ),
+                    ("lookup", node_id),
+                )
+
+    # -- reporting -------------------------------------------------------------
+
+    def census(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.kind] = out.get(violation.kind, 0) + 1
+        return out

@@ -13,6 +13,7 @@ Usage::
     python -m repro report --out results.md [--scale full]
     python -m repro bench-fastpath [--rounds 30] [--out BENCH_fastpath.json]
     python -m repro bench-modegen [--workers 2] [--quick] [--out BENCH_modegen.json]
+    python -m repro chaos [--preset smoke|full] [--seeds 0,1] [--out BENCH_chaos.json]
 
 Each command prints the regenerated rows and the paper's qualitative shape
 checks.  The same drivers back the pytest benchmarks.
@@ -21,6 +22,7 @@ checks.  The same drivers back the pytest benchmarks.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -144,6 +146,38 @@ def cmd_bench_modegen(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos import run_campaign
+
+    report = run_campaign(
+        preset=args.preset,
+        seeds=args.seeds,
+        max_cells=args.max_cells,
+        shrink=not args.no_shrink,
+        output_path=args.out,
+        progress=print if args.verbose else None,
+    )
+    matrix = report["matrix"]
+    print(
+        f"chaos[{args.preset}]: {report['cell_count']} cells -- "
+        f"{matrix.get('pass', 0)} pass, {matrix.get('fail', 0)} fail, "
+        f"{matrix.get('tagged', 0)} tagged, {matrix.get('crash', 0)} crash "
+        f"({report['elapsed_s']:.1f}s)"
+    )
+    print(f"violation census: {report['violation_census'] or 'none'}")
+    print(f"noop transcript identical: {report['noop_transcript_identical']}")
+    for shrunk in report["failures"]:
+        print(f"minimal repro: {json.dumps(shrunk, sort_keys=True)}")
+    if args.out:
+        print(f"wrote {args.out}")
+    ok = (
+        matrix.get("fail", 0) == 0
+        and matrix.get("crash", 0) == 0
+        and report["noop_transcript_identical"]
+    )
+    return 0 if ok else 1
+
+
 def cmd_fig11(_args) -> int:
     results = fig11_testbed.run_all()
     for name, r in results.items():
@@ -224,6 +258,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     benchm.add_argument("--out", default="BENCH_modegen.json")
     benchm.set_defaults(func=cmd_bench_modegen)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos campaign: adversaries x impairment plans x topologies "
+        "under the BTR invariant monitor (writes BENCH_chaos.json)",
+    )
+    chaos.add_argument(
+        "--preset", choices=["smoke", "full"], default="smoke",
+        help="cell matrix size (smoke is CI-sized, <60s)",
+    )
+    chaos.add_argument(
+        "--seeds", type=_int_list, default=None,
+        help="restrict to these topology seeds (e.g. 0,1)",
+    )
+    chaos.add_argument("--max-cells", type=int, default=None)
+    chaos.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip minimizing failing cells",
+    )
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print one line per cell")
+    chaos.add_argument("--out", default="BENCH_chaos.json")
+    chaos.set_defaults(func=cmd_chaos)
 
     rep = sub.add_parser("report", help="run everything, write a markdown report")
     rep.add_argument("--out", default="results.md")

@@ -63,6 +63,7 @@ class ReboundSystem:
         actuator_applies: Optional[Dict[int, Callable[[int, bytes, int], None]]] = None,
         seed: int = 0,
         pin_primaries: Optional[Dict[int, int]] = None,
+        network_factory: Optional[Callable[[Topology], RoundNetwork]] = None,
     ):
         self.topology = topology
         self.workload = workload
@@ -92,7 +93,7 @@ class ReboundSystem:
         self.mode_tree = mode_tree
         self.path_cache = PathCache(PathComputer(topology, workload, config.fconc))
 
-        self.network = RoundNetwork(topology)
+        self.network = (network_factory or RoundNetwork)(topology)
         self.nodes: Dict[int, ReboundNode] = {}
         self.sensors: Dict[int, SensorDevice] = {}
         self.actuators: Dict[int, ActuatorDevice] = {}
@@ -148,6 +149,8 @@ class ReboundSystem:
         self.true_failed_links: Set[Tuple[int, int]] = set()
         self.fault_rounds: List[int] = []
         self._bless_epochs: Dict[int, int] = {}
+        self.monitor = None
+        self.budget_exceeded = False
 
     def _resolve_d_max(self) -> int:
         controllers = set(self.topology.controllers)
@@ -207,6 +210,9 @@ class ReboundSystem:
         self.network.set_tamper_hook(node_id, None)
         self.network.revive_node(node_id)
         self.true_faulty_nodes.discard(node_id)
+        for behavior in self._active_behaviors:
+            if behavior.node_id == node_id:
+                behavior.detach()
         self._active_behaviors = [
             b for b in self._active_behaviors if b.node_id != node_id
         ]
@@ -254,6 +260,39 @@ class ReboundSystem:
         self.true_failed_links.add((min(a, b), max(a, b)))
         self.fault_rounds.append(self.round_no)
 
+    # -- monitoring -------------------------------------------------------------------
+
+    def attach_monitor(self, monitor) -> None:
+        """Observe every round with a :class:`~repro.chaos.monitor.BTRMonitor`
+        (or anything exposing ``observe(system)``)."""
+        self.monitor = monitor
+
+    def _update_budget_signal(self) -> None:
+        """Degraded-environment signal (never an exception): the deployment
+        is operating outside the fault budget it was provisioned for.
+
+        Set when (a) the chaos layer reports applied out-of-budget
+        impairments -- the simulator stands in for the link-quality
+        telemetry a real deployment would have; (b) the injected ground
+        truth exceeds ``fmax``; or (c) a correct node's normalized failure
+        pattern overflows the budget (possible when verifiable PoMs alone
+        accuse more than ``fmax`` nodes).  Once raised it stays up; the
+        protocol keeps running in whatever mode its evidence supports.
+        """
+        if self.budget_exceeded:
+            return
+        if getattr(self.network, "out_of_budget_activity", False):
+            self.budget_exceeded = True
+            return
+        fmax = self.config.fmax
+        if len(self.true_faulty_nodes) + len(self.true_failed_links) > fmax:
+            self.budget_exceeded = True
+            return
+        for node_id in self.correct_controllers():
+            if self.nodes[node_id].fault_pattern.fault_count > fmax:
+                self.budget_exceeded = True
+                return
+
     # -- execution --------------------------------------------------------------------
 
     def run_round(self) -> None:
@@ -266,6 +305,9 @@ class ReboundSystem:
         for behavior in self._active_behaviors:
             behavior.on_round(next_round)
         self.network.run_round()
+        self._update_budget_signal()
+        if self.monitor is not None:
+            self.monitor.observe(self)
 
     def run(self, rounds: int) -> None:
         for _ in range(rounds):

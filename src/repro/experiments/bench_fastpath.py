@@ -20,7 +20,11 @@ import json
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.analysis.metrics import fastpath_stats, reset_fastpath_stats
+from repro.analysis.metrics import (
+    fastpath_stats,
+    reset_fastpath_stats,
+    transcript_entry as _transcript_entry,
+)
 from repro.core.config import ReboundConfig
 from repro.core.runtime import ReboundSystem
 from repro.crypto import rsa, verify_cache
@@ -34,21 +38,6 @@ DEFAULT_ROWS = 4
 DEFAULT_COLS = 5
 DEFAULT_ROUNDS = 30
 DEFAULT_CRASH_ROUND = 10
-
-
-def _transcript_entry(system: ReboundSystem) -> Tuple:
-    """One round's observable state: per-node evidence digest + mode."""
-    digests = []
-    for node_id in sorted(system.nodes):
-        node = system.nodes[node_id]
-        schedule = node.current_schedule
-        mode = (
-            (tuple(sorted(schedule.failed_nodes)), tuple(sorted(schedule.failed_links)))
-            if schedule
-            else None
-        )
-        digests.append((node_id, node.forwarding.evidence.digest().hex(), mode))
-    return tuple(digests)
 
 
 def _run_once(

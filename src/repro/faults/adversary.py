@@ -24,10 +24,17 @@ class AdversaryBehavior:
     def __init__(self) -> None:
         self.system = None
         self.node_id: Optional[int] = None
+        self.detached = False
 
     def activate(self, system, node_id: int) -> None:
         self.system = system
         self.node_id = node_id
+        self.detached = False
+
+    def detach(self) -> None:
+        """Evict the adversary (operator repair): after this, the behaviour
+        must never act again, even if a stale reference to it survives."""
+        self.detached = True
 
     def on_round(self, round_no: int) -> None:
         """Per-round adversarial action (default: none)."""
@@ -254,10 +261,22 @@ class DelayBehavior(AdversaryBehavior):
         self._held.append((round_no + self.delay_rounds, destination, payload))
         return None  # held back now...
 
+    def detach(self) -> None:
+        super().detach()
+        self._held.clear()
+
     def on_round(self, round_no: int) -> None:
         # ...and released late, straight into the network (bypassing the
         # tamper hook would loop, so send via a one-shot re-entry guard).
         if self.system is None:
+            return
+        if self.detached:
+            self._held.clear()
+            return
+        if self.system.network.is_crashed(self.node_id):
+            # A crashed node radiates nothing; holding the queue across the
+            # crash would let a later repair-and-bless emit stale rounds.
+            self._held.clear()
             return
         due = [h for h in self._held if h[0] <= round_no]
         self._held = [h for h in self._held if h[0] > round_no]
@@ -276,12 +295,33 @@ class DelayBehavior(AdversaryBehavior):
 
 class GarbageFloodBehavior(AdversaryBehavior):
     """Send huge garbage messages to distract correct nodes; the bandwidth
-    guardian (paper S2.2) bounds the damage."""
+    guardian (paper S2.2) bounds the damage.
 
-    def __init__(self, size: int = 50_000):
+    Payloads are drawn in one ``randbytes`` call and memoized per
+    (round, destination): a node broadcasting on several buses tampers the
+    same (round, destination) pair repeatedly, and regenerating 50 kB a
+    byte at a time dominated the flood scenarios.  The bytes are a pure
+    function of (seed, round, destination), pinned by a golden test so
+    transcripts stay identical across refactors.
+    """
+
+    def __init__(self, size: int = 50_000, seed: int = 0):
         super().__init__()
         self.size = size
+        self.seed = seed
+        self._memo_round: Optional[int] = None
+        self._memo: dict = {}
 
     def tamper(self, round_no, sender, destination, payload):
-        rng = random.Random(hash((round_no, destination)))
-        return bytes(rng.getrandbits(8) for _ in range(self.size))
+        if round_no != self._memo_round:
+            self._memo_round = round_no
+            self._memo.clear()
+        blob = self._memo.get(destination)
+        if blob is None:
+            rng = random.Random(
+                (self.seed * 0x9E3779B1 + round_no * 1_000_003 + destination)
+                & 0xFFFFFFFFFFFFFFFF
+            )
+            blob = rng.randbytes(self.size)
+            self._memo[destination] = blob
+        return blob

@@ -114,19 +114,31 @@ class RoundNetwork:
 
     # -- adversary / fault controls ------------------------------------------
 
+    def _check_endpoints(self, *node_ids: int) -> None:
+        """Fault injections must name real nodes; a typo'd id would
+        otherwise record a silent no-op fault and skew every downstream
+        detection/recovery measurement."""
+        for node_id in node_ids:
+            if not self.topology.has_node(node_id):
+                raise ValueError(f"unknown node {node_id}")
+
     def fail_link(self, a: int, b: int) -> None:
         """Cut the direct connection between two nodes (link fault)."""
+        self._check_endpoints(a, b)
         self._failed_links.add(frozenset((a, b)))
 
     def heal_link(self, a: int, b: int) -> None:
+        self._check_endpoints(a, b)
         self._failed_links.discard(frozenset((a, b)))
 
     def crash_node(self, node_id: int) -> None:
         """Silence a node entirely (crash fault)."""
+        self._check_endpoints(node_id)
         self._crashed.add(node_id)
 
     def revive_node(self, node_id: int) -> None:
         """Bring a crashed node back (operator repair)."""
+        self._check_endpoints(node_id)
         self._crashed.discard(node_id)
 
     def set_tamper_hook(self, node_id: int, hook: Optional[TamperHook]) -> None:
@@ -163,8 +175,7 @@ class RoundNetwork:
             return
         if frozenset((sender, destination)) in self._failed_links:
             return  # the link is physically dead; bytes were still radiated
-        self._outbox.append((sender, destination, payload, self._seq))
-        self._seq += 1
+        self._enqueue(sender, destination, payload)
 
     def broadcast(self, sender: int, bus_id: int, payload: Any) -> None:
         """Broadcast on a bus: one transmission, delivered to every member.
@@ -192,8 +203,18 @@ class RoundNetwork:
                     return
             if frozenset((sender, member)) in self._failed_links:
                 continue
-            self._outbox.append((sender, member, delivered, self._seq))
-            self._seq += 1
+            self._enqueue(sender, member, delivered)
+
+    def _enqueue(self, sender: int, destination: int, payload: Any) -> None:
+        """Final admission of a message into next round's deliveries.
+
+        Both :meth:`send` and :meth:`broadcast` funnel through here after
+        guardian charging, adversary hooks, and link-failure checks; the
+        chaos layer (:mod:`repro.chaos.impairments`) overrides this single
+        point to impair traffic without touching the accounting above.
+        """
+        self._outbox.append((sender, destination, payload, self._seq))
+        self._seq += 1
 
     def _apply_adversary(self, sender: int, destination: int, payload: Any) -> Optional[Any]:
         hook = self._tamper_hooks.get(sender)
@@ -223,10 +244,24 @@ class RoundNetwork:
 
     # -- execution -------------------------------------------------------------
 
+    def _begin_round(self) -> None:
+        """Hook called after the round counter advances, before delivery.
+
+        The chaos layer uses it to release delayed messages and advance
+        link-flap/partition schedules; the base network does nothing.
+        """
+
+    def _collect_deliveries(self) -> List[Delivery]:
+        """The round's deliveries in their final order (deterministic:
+        sorted by sender, destination, sequence).  The chaos layer
+        overrides this to apply within-round reordering."""
+        return sorted(self._inbox, key=lambda d: (d[0], d[1], d[3]))
+
     def run_round(self) -> None:
         """Execute one full round."""
         self.round_no += 1
         self._guardian_usage.clear()
+        self._begin_round()
         self._inbox, self._outbox = self._outbox, []
         for node_id in self.topology.nodes:
             if node_id in self._crashed:
@@ -234,9 +269,7 @@ class RoundNetwork:
             proto = self._protocols.get(node_id)
             if proto is not None:
                 proto.on_round_start(self.round_no)
-        for sender, destination, payload, _seq in sorted(
-            self._inbox, key=lambda d: (d[0], d[1], d[3])
-        ):
+        for sender, destination, payload, _seq in self._collect_deliveries():
             if destination in self._crashed:
                 continue
             proto = self._protocols.get(destination)

@@ -113,6 +113,9 @@ class Topology:
     def actuators(self) -> List[int]:
         return [n for n in self.nodes if self._roles[n] == ROLE_ACTUATOR]
 
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._roles
+
     def role(self, node_id: int) -> str:
         return self._roles[node_id]
 

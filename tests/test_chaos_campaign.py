@@ -1,0 +1,141 @@
+"""Tests for the chaos campaign runner, shrinker, and report."""
+
+import json
+
+import pytest
+
+from repro.chaos import campaign
+from repro.chaos import (
+    BEHAVIORS,
+    PLANS,
+    CampaignCell,
+    ImpairmentPlan,
+    known_issue_tag,
+    run_campaign,
+    run_cell,
+    shrink_cell,
+)
+
+
+class TestMatrix:
+    def test_smoke_preset_covers_everything(self):
+        cells = campaign.smoke_cells()
+        assert {c.behavior for c in cells} == set(BEHAVIORS)
+        assert {c.plan for c in cells} == set(PLANS)
+        ids = [c.cell_id for c in cells]
+        assert len(ids) == len(set(ids))
+
+    def test_smoke_preset_has_both_budget_classes(self):
+        cells = campaign.smoke_cells()
+        oob = {"drop-global", "corrupt-global", "delay-global",
+               "storm-global", "partition", "flap-many"}
+        assert any(c.plan in oob for c in cells)
+        assert any(c.plan not in oob for c in cells)
+
+    def test_known_issue_tagging_rule(self):
+        assert known_issue_tag(
+            CampaignCell("er6", "equivocate", "dup", 0, variant="multi")
+        ) == "known-equivocation-gap"
+        assert known_issue_tag(
+            CampaignCell("er6", "crash", "dup", 0, variant="multi")
+        ) is None
+
+
+class TestCells:
+    def test_in_budget_cell_passes_clean(self):
+        result = run_cell(CampaignCell("er6", "none", "drop-link", 0))
+        assert result["outcome"] == "pass"
+        assert result["in_budget"]
+        assert result["violations"] == []
+        assert not result["budget_exceeded"]
+        assert result["detection_round"] is not None
+        assert result["rounds_to_recovery"] is not None
+
+    def test_out_of_budget_cell_degrades_gracefully(self):
+        result = run_cell(CampaignCell("er6", "none", "drop-global", 0))
+        assert result["outcome"] == "pass"
+        assert not result["in_budget"]
+        assert result["budget_exceeded"]
+        # graceful: no crash, no hard-accuracy violation
+        assert "crash" not in result
+        assert not any(
+            v["repro"].get("layer") == "evidence" for v in result["violations"]
+        )
+
+    def test_adversary_plus_impairment_cell(self):
+        result = run_cell(CampaignCell("er6", "crash", "dup", 0))
+        assert result["outcome"] == "pass"
+        assert result["in_budget"]
+        assert result["rounds_to_recovery"] is not None
+
+    def test_known_gap_cell_is_tagged_not_failed(self):
+        result = run_cell(CampaignCell("er6", "equivocate", "dup", 0))
+        assert result["outcome"] in ("tagged", "pass")
+        if result["outcome"] == "tagged":
+            assert result["tag"] == "known-equivocation-gap"
+            assert result["violations"]
+
+
+class TestShrinker:
+    def test_shrinks_plan_and_adversary_and_rounds(self, monkeypatch):
+        """Greedy shrink against a fake oracle: failure iff drop_prob > 0.
+        The minimal repro must lose the other components, the adversary,
+        and most of the rounds."""
+
+        def fake_run_cell(cell):
+            plan = cell.plan_override
+            failing = plan is not None and plan.drop_prob > 0
+            return {"outcome": "fail" if failing else "pass"}
+
+        monkeypatch.setattr(campaign, "run_cell", fake_run_cell)
+        cell = CampaignCell(
+            "er6", "crash", "storm-global", 0,
+            plan_override=ImpairmentPlan(
+                seed=0, drop_prob=0.1, dup_prob=0.2, corrupt_prob=0.1,
+                delay_prob=0.15, reorder_prob=0.5,
+            ),
+        )
+        shrunk = shrink_cell(cell)
+        assert shrunk["behavior"] == "none"
+        assert shrunk["rounds"] <= cell.rounds // 2
+        plan = shrunk["plan"]
+        assert plan["drop_prob"] > 0
+        assert plan["dup_prob"] == 0
+        assert plan["corrupt_prob"] == 0
+        assert plan["delay_prob"] == 0
+        assert plan["reorder_prob"] == 0
+
+    def test_shrink_attempt_budget(self, monkeypatch):
+        calls = []
+
+        def fake_run_cell(cell):
+            calls.append(cell)
+            return {"outcome": "fail"}
+
+        monkeypatch.setattr(campaign, "run_cell", fake_run_cell)
+        shrink_cell(
+            CampaignCell("er6", "none", "storm-global", 0),
+            max_attempts=5,
+        )
+        assert len(calls) <= 5
+
+
+class TestReport:
+    def test_report_shape_and_output_file(self, tmp_path):
+        out = tmp_path / "BENCH_chaos.json"
+        report = run_campaign(
+            preset="smoke", max_cells=3, shrink=False, output_path=str(out)
+        )
+        assert out.exists()
+        on_disk = json.loads(out.read_text())
+        assert on_disk["benchmark"] == "chaos"
+        assert on_disk["cell_count"] == 3
+        assert set(on_disk["matrix"]) >= {"pass", "fail", "tagged", "crash"}
+        assert "violation_census" in on_disk
+        assert "recovery_rounds" in on_disk
+        assert on_disk["noop_transcript_identical"] is True
+        assert report["matrix"]["fail"] == 0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(preset="nope", output_path=None)

@@ -1,0 +1,252 @@
+"""Unit tests for the chaos layer's impairment vocabulary and network."""
+
+import pytest
+
+from repro.chaos import (
+    IN_BUDGET,
+    OUT_OF_BUDGET,
+    NOOP_PLAN,
+    ChaosRoundNetwork,
+    ImpairmentPlan,
+    LinkFlap,
+    Partition,
+    noop_transcript_check,
+)
+from repro.chaos.impairments import _mix
+from repro.core import ReboundConfig, ReboundSystem
+from repro.net.topology import erdos_renyi_topology
+from repro.sched.workload import WorkloadGenerator
+
+
+def _system(plan, seed=0, n=6, budget=None, rounds=0):
+    topology = erdos_renyi_topology(n, seed=seed)
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=1.5
+    )
+    config = ReboundConfig(fmax=2, fconc=1, variant="multi", rsa_bits=256)
+    system = ReboundSystem(
+        topology, workload, config, seed=seed,
+        network_factory=lambda t: ChaosRoundNetwork(t, plan, budget=budget),
+    )
+    if rounds:
+        system.run(rounds)
+    return system
+
+
+def _a_link(topology):
+    controllers = set(topology.controllers)
+    return min(
+        tuple(sorted(link))
+        for link in topology.p2p_links
+        if set(link) <= controllers
+    )
+
+
+class TestPlanValidation:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            ImpairmentPlan(drop_prob=1.5)
+        with pytest.raises(ValueError):
+            ImpairmentPlan(dup_prob=-0.1)
+
+    def test_rejects_bad_delay(self):
+        with pytest.raises(ValueError):
+            ImpairmentPlan(max_delay_rounds=0)
+
+    def test_target_links_normalized(self):
+        plan = ImpairmentPlan(drop_prob=0.5, target_links=frozenset([(3, 1)]))
+        assert plan.target_links == frozenset([(1, 3)])
+
+
+class TestPlanComposition:
+    def test_components_and_noop(self):
+        assert NOOP_PLAN.is_noop
+        plan = ImpairmentPlan(drop_prob=0.1, dup_prob=0.1, reorder_prob=0.1)
+        assert plan.components() == ["drop", "dup", "reorder"]
+        assert not plan.is_noop
+
+    def test_without_removes_one_component(self):
+        plan = ImpairmentPlan(
+            drop_prob=0.1,
+            flaps=(LinkFlap(0, 1, start_round=5, down_rounds=2),),
+        )
+        assert plan.without("drop").components() == ["flaps"]
+        assert plan.without("flaps").components() == ["drop"]
+        with pytest.raises(ValueError):
+            plan.without("gremlins")
+
+    def test_activity_window(self):
+        plan = ImpairmentPlan(drop_prob=0.5, start_round=5, end_round=8)
+        assert not plan.active(4)
+        assert plan.active(5) and plan.active(7)
+        assert not plan.active(8)
+
+    def test_is_lossy(self):
+        assert not ImpairmentPlan(dup_prob=0.5, reorder_prob=0.5).is_lossy
+        assert ImpairmentPlan(drop_prob=0.1, target_nodes=frozenset([1])).is_lossy
+        assert ImpairmentPlan(
+            partitions=(Partition((frozenset([0]), frozenset([1])), 1, 2),)
+        ).is_lossy
+
+
+class TestBudgetClassification:
+    def test_dup_reorder_cost_nothing(self):
+        plan = ImpairmentPlan(dup_prob=0.5, reorder_prob=0.9)
+        assert plan.budget_units() == 0
+        assert plan.classify(0) == IN_BUDGET
+
+    def test_targeted_lossy_counts_elements(self):
+        plan = ImpairmentPlan(
+            drop_prob=0.5, target_links=frozenset([(0, 1), (2, 3)])
+        )
+        assert plan.budget_units() == 2
+        assert plan.classify(2) == IN_BUDGET
+        assert plan.classify(1) == OUT_OF_BUDGET
+
+    def test_node_target_absorbs_incident_links(self):
+        plan = ImpairmentPlan(
+            drop_prob=0.5,
+            target_nodes=frozenset([0]),
+            target_links=frozenset([(0, 1), (2, 3)]),
+        )
+        # node 0 (1 unit) absorbs link (0,1); link (2,3) adds one more.
+        assert plan.budget_units() == 2
+
+    def test_untargeted_loss_unbounded(self):
+        assert ImpairmentPlan(drop_prob=0.01).budget_units() is None
+        assert ImpairmentPlan(corrupt_prob=0.01).classify(99) == OUT_OF_BUDGET
+
+    def test_partition_unbounded(self):
+        plan = ImpairmentPlan(
+            partitions=(Partition((frozenset([0]), frozenset([1])), 1, 9),)
+        )
+        assert plan.budget_units() is None
+        assert plan.classify(99) == OUT_OF_BUDGET
+
+    def test_flaps_count_distinct_links(self):
+        plan = ImpairmentPlan(
+            flaps=(
+                LinkFlap(0, 1, 5, 2),
+                LinkFlap(1, 0, 9, 2),  # same physical link
+                LinkFlap(2, 3, 5, 2),
+            )
+        )
+        assert plan.budget_units() == 2
+
+
+class TestFlapAndPartition:
+    def test_flap_windows(self):
+        flap = LinkFlap(0, 1, start_round=10, down_rounds=3)
+        assert not flap.down(9)
+        assert flap.down(10) and flap.down(12)
+        assert not flap.down(13)
+
+    def test_periodic_flap(self):
+        flap = LinkFlap(0, 1, start_round=10, down_rounds=2, period=5)
+        assert flap.down(10) and flap.down(11)
+        assert not flap.down(12)
+        assert flap.down(15) and not flap.down(17)
+
+    def test_partition_separates(self):
+        part = Partition((frozenset([0, 1]), frozenset([2, 3])), 5, 9)
+        assert part.separates(0, 2)
+        assert not part.separates(0, 1)
+        assert not part.separates(0, 9)  # node 9 in no group: unaffected
+
+
+class TestDeterminism:
+    def test_mix_is_stable(self):
+        assert _mix(1, 2, 3) == _mix(1, 2, 3)
+        assert _mix(1, 2, 3) != _mix(1, 2, 4)
+
+    def test_same_plan_same_impairment_trace(self):
+        plan = ImpairmentPlan(seed=7, drop_prob=0.2, dup_prob=0.2)
+        a = _system(plan, rounds=8).network.chaos_stats.as_dict()
+        b = _system(plan, rounds=8).network.chaos_stats.as_dict()
+        assert a == b
+        assert a["total_events"] > 0
+
+    def test_different_seed_different_trace(self):
+        base = dict(drop_prob=0.2, dup_prob=0.2)
+        a = _system(ImpairmentPlan(seed=1, **base), rounds=8)
+        b = _system(ImpairmentPlan(seed=2, **base), rounds=8)
+        assert (
+            a.network.chaos_stats.as_dict() != b.network.chaos_stats.as_dict()
+        )
+
+
+class TestChaosNetworkMechanics:
+    def test_noop_plan_transcript_identical_20_node_grid(self):
+        """Acceptance: impairments disabled => byte-identical transcripts
+        against the un-instrumented network on a 20-node grid."""
+        assert noop_transcript_check()
+
+    def test_drop_link_only_impairs_target(self):
+        system = _system(NOOP_PLAN, rounds=0)
+        link = _a_link(system.topology)
+        plan = ImpairmentPlan(
+            seed=0, drop_prob=1.0, target_links=frozenset([link]), start_round=1
+        )
+        system = _system(plan, rounds=6)
+        stats = system.network.chaos_stats
+        assert stats.dropped > 0
+        assert stats.impacted_links == {link}
+        assert stats.impacted_nodes == set()
+
+    def test_node_target_marks_node_impacted(self):
+        plan = ImpairmentPlan(
+            seed=0, drop_prob=1.0, target_nodes=frozenset([0]), start_round=1
+        )
+        system = _system(plan, rounds=4)
+        assert system.network.chaos_stats.impacted_nodes == {0}
+
+    def test_duplication_does_not_mark_elements_faulty(self):
+        plan = ImpairmentPlan(seed=0, dup_prob=1.0, start_round=1)
+        system = _system(plan, rounds=4)
+        stats = system.network.chaos_stats
+        assert stats.duplicated > 0
+        assert stats.impacted_links == set()
+        assert stats.impacted_nodes == set()
+
+    def test_delay_holds_then_releases(self):
+        link = None
+        topology = erdos_renyi_topology(6, seed=0)
+        link = _a_link(topology)
+        plan = ImpairmentPlan(
+            seed=0, delay_prob=1.0, max_delay_rounds=2,
+            target_links=frozenset([link]), start_round=2, end_round=3,
+        )
+        system = _system(plan, rounds=6)
+        stats = system.network.chaos_stats
+        assert stats.delayed > 0
+        # everything held in the one-round window was released again
+        assert not system.network._held_messages
+
+    def test_out_of_budget_activity_untargeted(self):
+        plan = ImpairmentPlan(seed=0, drop_prob=0.5, start_round=1)
+        system = _system(plan, rounds=4, budget=2)
+        assert system.network.out_of_budget_activity
+        assert system.budget_exceeded
+
+    def test_out_of_budget_activity_targeted_overflow(self):
+        topology = erdos_renyi_topology(6, seed=0)
+        controllers = set(topology.controllers)
+        links = sorted(
+            tuple(sorted(l)) for l in topology.p2p_links
+            if set(l) <= controllers
+        )[:3]
+        plan = ImpairmentPlan(
+            seed=0, drop_prob=1.0, target_links=frozenset(links), start_round=1
+        )
+        system = _system(plan, rounds=4, budget=2)
+        assert system.network.out_of_budget_activity
+
+    def test_in_budget_plan_never_flags(self):
+        topology = erdos_renyi_topology(6, seed=0)
+        plan = ImpairmentPlan(
+            seed=0, drop_prob=1.0,
+            target_links=frozenset([_a_link(topology)]), start_round=1,
+        )
+        system = _system(plan, rounds=6, budget=2)
+        assert not system.network.out_of_budget_activity
+        assert not system.budget_exceeded

@@ -1,0 +1,127 @@
+"""Adversary x environment interaction tests (the cross-terms the chaos
+campaign sweeps): delaying nodes losing their links or crashing mid-hold,
+equivocation under duplication, and crash-then-revive under impairment.
+"""
+
+from repro.chaos import BTRMonitor, ChaosRoundNetwork, ImpairmentPlan
+from repro.core import ReboundConfig, ReboundSystem
+from repro.faults.adversary import (
+    CrashBehavior,
+    DelayBehavior,
+    EquivocateBehavior,
+)
+from repro.net.topology import erdos_renyi_topology
+from repro.sched.workload import WorkloadGenerator
+
+
+def _build(seed=0, n=6, plan=None, budget=2, fmax=2):
+    topology = erdos_renyi_topology(n, seed=seed)
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=1.5
+    )
+    config = ReboundConfig(fmax=fmax, fconc=1, variant="multi", rsa_bits=256)
+    factory = None
+    if plan is not None:
+        factory = lambda t: ChaosRoundNetwork(t, plan, budget=budget)
+    system = ReboundSystem(
+        topology, workload, config, seed=seed, network_factory=factory
+    )
+    system.run(10)
+    return system
+
+
+class TestDelayUnderEnvironmentFaults:
+    def test_delaying_node_with_failed_links_does_not_crash(self):
+        """Releasing held messages over links that failed mid-hold must be
+        a silent no-op, not an error."""
+        system = _build()
+        victim = system.topology.controllers[0]
+        behavior = DelayBehavior(delay_rounds=3)
+        system.inject_now(victim, behavior)
+        system.run(2)  # victim accumulates held messages
+        for neighbor in list(system.topology.neighbors(victim)):
+            if neighbor in system.topology.controllers:
+                system.network.fail_link(victim, neighbor)
+        system.run(8)  # releases fall due with every link cut
+        assert system.schedules_agree()
+
+    def test_crashed_delayer_drops_its_queue(self):
+        """A crash silences the node entirely; messages held from before
+        the crash must never surface afterwards."""
+        system = _build()
+        victim = system.topology.controllers[0]
+        behavior = DelayBehavior(delay_rounds=4)
+        system.inject_now(victim, behavior)
+        system.run(2)
+        assert behavior._held  # queue built up
+        system.network.crash_node(victim)
+        system.run(2)
+        assert behavior._held == []
+        system.run(6)
+        assert behavior._held == []
+
+    def test_repaired_delayer_never_replays_stale_rounds(self):
+        """repair-and-bless detaches the behaviour: the held queue is
+        cleared and the stale reference can never send again, so the
+        blessed node is not re-accused by its own past."""
+        system = _build()
+        victim = system.topology.controllers[0]
+        behavior = DelayBehavior(delay_rounds=5)
+        system.inject_now(victim, behavior)
+        system.run(3)
+        system.repair_and_bless(victim)
+        assert behavior.detached
+        assert behavior._held == []
+        behavior.on_round(system.round_no + 1)  # stale callback: must no-op
+        assert behavior._held == []
+        system.run(12)
+        for node_id in system.correct_controllers():
+            assert victim not in system.nodes[node_id].fault_pattern.nodes
+
+
+class TestEquivocationUnderDuplication:
+    def test_duplication_creates_no_false_poms(self):
+        """Duplicated copies of an equivocator's messages are identical --
+        receivers must only ever assemble PoMs against the equivocator,
+        never against a correct relay."""
+        plan = ImpairmentPlan(seed=0, dup_prob=0.5, start_round=11)
+        system = _build(plan=plan)
+        victim = system.topology.controllers[0]
+        system.inject_now(victim, EquivocateBehavior())
+        system.run(12)
+        assert system.network.chaos_stats.duplicated > 0
+        correct = set(system.correct_controllers())
+        for node_id in correct:
+            accused = system.nodes[node_id].evidence.accused_nodes()
+            assert accused <= {victim}
+
+
+class TestCrashReviveMidCampaign:
+    def test_crash_then_revive_under_duplication(self):
+        """A full fault lifecycle inside an active (in-budget) impairment:
+        crash, convergence away from the victim, repair+bless, and
+        re-admission -- with the monitor's hard-accuracy check armed the
+        whole time."""
+        plan = ImpairmentPlan(seed=0, dup_prob=0.3, reorder_prob=0.4,
+                              start_round=11)
+        system = _build(plan=plan)
+        victim = system.topology.controllers[0]
+        monitor = BTRMonitor(record_only=True, require_detection=True)
+        system.attach_monitor(monitor)
+        system.inject_now(victim, CrashBehavior())
+        system.run(12)
+        assert monitor.violations == []
+        assert monitor.recovery_round is not None
+        system.repair_and_bless(victim)
+        for _ in range(18):
+            system.run_round()
+            if system.schedules_agree() and all(
+                victim not in system.nodes[n].fault_pattern.nodes
+                for n in system.correct_controllers()
+            ):
+                break
+        else:
+            raise AssertionError("revived node never re-admitted")
+        hard = [v for v in monitor.violations
+                if v.repro.get("layer") == "evidence"]
+        assert hard == []

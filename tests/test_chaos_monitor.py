@@ -1,0 +1,161 @@
+"""Unit tests for the BTR invariant monitor."""
+
+import pytest
+
+from repro.chaos import (
+    BTRMonitor,
+    ChaosRoundNetwork,
+    DetectionTimeoutViolation,
+    ImpairmentPlan,
+    RecoveryTimeoutViolation,
+)
+from repro.core import ReboundConfig, ReboundSystem
+from repro.faults.adversary import CrashBehavior, EquivocateBehavior
+from repro.net.topology import erdos_renyi_topology
+from repro.sched.workload import WorkloadGenerator
+
+
+def _build(seed=0, n=6, variant="multi", plan=None, budget=None):
+    topology = erdos_renyi_topology(n, seed=seed)
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=1.5
+    )
+    config = ReboundConfig(fmax=2, fconc=1, variant=variant, rsa_bits=256)
+    factory = None
+    if plan is not None:
+        factory = lambda t: ChaosRoundNetwork(t, plan, budget=budget)
+    system = ReboundSystem(
+        topology, workload, config, seed=seed, network_factory=factory
+    )
+    system.run(10)
+    return system
+
+
+class TestCleanRuns:
+    def test_fault_free_run_is_silent(self):
+        system = _build()
+        system.attach_monitor(BTRMonitor())
+        system.run(8)
+        assert system.monitor.violations == []
+        assert system.monitor.detection_round is None
+        assert system.monitor.recovery_round is None
+
+    def test_crash_within_bounds_is_silent(self):
+        """A crash inside the budget must satisfy all three requirements --
+        the monitor raising anything here is itself the test failure."""
+        system = _build()
+        monitor = BTRMonitor()
+        system.attach_monitor(monitor)
+        system.inject_now(system.topology.controllers[0], CrashBehavior())
+        system.run(14)
+        assert monitor.violations == []
+        assert monitor.detection_round is not None
+        assert monitor.recovery_round is not None
+        assert monitor.recovery_round >= monitor.detection_round
+
+
+class TestViolations:
+    def test_detection_timeout_raises_typed_violation(self):
+        """An activation that never surfaces in any correct pattern trips
+        the Req. 1 deadline with a typed, replayable violation."""
+        system = _build()
+        monitor = BTRMonitor(d_max=2, r_max=50)
+        system.attach_monitor(monitor)
+        # Synthetic undetectable element: nothing ever blames node 999.
+        monitor._activations[("node", 999)] = system.round_no
+        with pytest.raises(DetectionTimeoutViolation) as err:
+            system.run(6)
+        assert err.value.kind == "detection"
+        assert err.value.repro["round"] > 0
+        assert err.value.repro["d_max"] == 2
+
+    def test_recovery_timeout_raises_typed_violation(self):
+        system = _build()
+        system.attach_monitor(BTRMonitor(r_max=0))
+        system.inject_now(system.topology.controllers[0], CrashBehavior())
+        with pytest.raises(RecoveryTimeoutViolation) as err:
+            system.run(6)
+        assert err.value.kind == "recovery"
+        assert err.value.repro["r_max"] == 0
+
+    def test_record_only_collects_instead_of_raising(self):
+        system = _build()
+        monitor = BTRMonitor(d_max=0, r_max=0, record_only=True,
+                             context={"scenario": "unit-test"})
+        system.attach_monitor(monitor)
+        system.inject_now(system.topology.controllers[0], CrashBehavior())
+        system.run(8)
+        assert monitor.violations
+        kinds = {v.kind for v in monitor.violations}
+        assert "detection" in kinds or "recovery" in kinds
+        census = monitor.census()
+        assert sum(census.values()) == len(monitor.violations)
+        # context is merged into every repro dict
+        assert all(
+            v.repro["scenario"] == "unit-test" for v in monitor.violations
+        )
+
+    def test_known_equivocation_gap_recorded_as_accuracy(self):
+        """The pinned open item (ROADMAP): the equivocation storm gets
+        correct nodes condemned via the LFD fault-budget inference.  The
+        monitor must classify that as an in-budget accuracy violation with
+        a replayable repro."""
+        system = _build(seed=0, n=6, variant="multi")
+        monitor = BTRMonitor(record_only=True, require_detection=False)
+        system.attach_monitor(monitor)
+        system.inject_now(0, EquivocateBehavior())
+        system.run(16)
+        accuracy = [v for v in monitor.violations if v.kind == "accuracy"]
+        assert accuracy, "pinned equivocation gap no longer reproduces"
+        assert all(v.repro["layer"] == "inference" for v in accuracy)
+        assert all(v.repro["condemned"] for v in accuracy)
+
+    def test_violations_deduplicate(self):
+        system = _build()
+        monitor = BTRMonitor(d_max=0, record_only=True)
+        system.attach_monitor(monitor)
+        system.inject_now(system.topology.controllers[0], CrashBehavior())
+        system.run(10)
+        keys = [
+            (v.kind, str(v)) for v in monitor.violations
+        ]
+        assert len(keys) == len(set(keys))
+
+
+class TestBudgetArming:
+    def test_out_of_budget_disarms_inference_checks(self):
+        """Out of budget, only hard accuracy + structural lookup stay armed:
+        a global-drop environment must not produce detection/recovery/
+        inference violations."""
+        plan = ImpairmentPlan(seed=0, drop_prob=0.15, start_round=11)
+        system = _build(plan=plan, budget=2)
+        monitor = BTRMonitor(in_budget=False, record_only=True)
+        system.attach_monitor(monitor)
+        system.run(14)
+        assert system.budget_exceeded
+        kinds = {v.kind for v in monitor.violations}
+        assert "detection" not in kinds
+        assert "recovery" not in kinds
+        assert not any(
+            v.repro.get("layer") == "inference" for v in monitor.violations
+        )
+
+    def test_in_budget_link_impairment_meets_all_requirements(self):
+        topology = erdos_renyi_topology(6, seed=0)
+        controllers = set(topology.controllers)
+        link = min(
+            tuple(sorted(l)) for l in topology.p2p_links
+            if set(l) <= controllers
+        )
+        plan = ImpairmentPlan(
+            seed=0, drop_prob=0.8, target_links=frozenset([link]),
+            start_round=12,
+        )
+        system = _build(plan=plan, budget=2)
+        monitor = BTRMonitor(in_budget=True, require_detection=True)
+        system.attach_monitor(monitor)
+        system.run(16)  # raises on any violation
+        assert monitor.violations == []
+        assert monitor.detection_round is not None
+        assert monitor.recovery_round is not None
+        assert not system.budget_exceeded

@@ -1,0 +1,152 @@
+"""Property-based chaos tests: Hypothesis draws ImpairmentPlans and asserts
+that *in-budget* plans preserve the BTR requirements (Reqs. 1-3), while
+structurally unbounded plans always classify out-of-budget.
+
+Runs with ``derandomize=True`` like the other property suites so CI is
+deterministic; the monitor is attached in raising mode, so any violation
+fails the example with a typed exception carrying its repro dict.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.chaos import (
+    IN_BUDGET,
+    OUT_OF_BUDGET,
+    BTRMonitor,
+    ChaosRoundNetwork,
+    ImpairmentPlan,
+    LinkFlap,
+    Partition,
+)
+from repro.core import ReboundConfig, ReboundSystem
+from repro.net.topology import erdos_renyi_topology
+from repro.sched.workload import WorkloadGenerator
+
+FMAX = 2
+IMPAIR_START = 12
+SETTLE_ROUNDS = 18
+
+
+def _controller_links(topology):
+    controllers = set(topology.controllers)
+    return sorted(
+        tuple(sorted(link))
+        for link in topology.p2p_links
+        if set(link) <= controllers
+    )
+
+
+@st.composite
+def in_budget_plans(draw, topology):
+    """An ImpairmentPlan guaranteed to fit a budget of FMAX fault slots:
+    free impairments (dup/reorder) at any intensity, plus lossy impairments
+    confined to at most FMAX links."""
+    links = _controller_links(topology)
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    dup = draw(st.sampled_from([0.0, 0.2, 0.5]))
+    reorder = draw(st.sampled_from([0.0, 0.4, 0.8]))
+    kind = draw(st.sampled_from(["free", "drop", "corrupt", "delay", "flap"]))
+    drop = corrupt = delay = 0.0
+    flaps = ()
+    target_links = None
+    if kind != "free":
+        count = draw(st.integers(min_value=1, max_value=min(FMAX, len(links))))
+        start = draw(st.integers(min_value=0, max_value=len(links) - count))
+        chosen = links[start:start + count]
+        if kind == "drop":
+            drop = draw(st.sampled_from([0.5, 0.8, 1.0]))
+            target_links = frozenset(chosen)
+        elif kind == "corrupt":
+            corrupt = draw(st.sampled_from([0.5, 0.8]))
+            target_links = frozenset(chosen)
+        elif kind == "delay":
+            delay = draw(st.sampled_from([0.5, 0.8]))
+            target_links = frozenset(chosen)
+        else:
+            flaps = tuple(
+                LinkFlap(a, b, start_round=IMPAIR_START,
+                         down_rounds=draw(st.integers(2, 4)))
+                for a, b in chosen
+            )
+    return ImpairmentPlan(
+        seed=seed, drop_prob=drop, dup_prob=dup, reorder_prob=reorder,
+        corrupt_prob=corrupt, delay_prob=delay, max_delay_rounds=2,
+        target_links=target_links, flaps=flaps, start_round=IMPAIR_START,
+    )
+
+
+@settings(
+    derandomize=True,
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(data=st.data(), topo_seed=st.integers(min_value=0, max_value=20))
+def test_in_budget_plans_preserve_reqs_1_2_3(data, topo_seed):
+    """Whatever in-budget environment Hypothesis draws, the protocol must
+    detect within d_max, recover within r_max, and never condemn a correct
+    node -- the monitor raises a typed InvariantViolation otherwise."""
+    topology = erdos_renyi_topology(6, seed=topo_seed)
+    plan = data.draw(in_budget_plans(topology))
+    assert plan.classify(FMAX) == IN_BUDGET
+    workload = WorkloadGenerator(
+        seed=topo_seed, chain_length_range=(1, 2)
+    ).workload(target_utilization=1.5)
+    config = ReboundConfig(fmax=FMAX, fconc=1, variant="multi", rsa_bits=256)
+    system = ReboundSystem(
+        topology, workload, config, seed=topo_seed,
+        network_factory=lambda t: ChaosRoundNetwork(t, plan, budget=FMAX),
+    )
+    system.run(10)
+    monitor = BTRMonitor(
+        in_budget=True, require_detection=plan.is_lossy
+    )
+    system.attach_monitor(monitor)
+    system.run(SETTLE_ROUNDS)  # raises on any violation
+    assert monitor.violations == []
+    assert not system.budget_exceeded
+    if plan.is_lossy:
+        assert monitor.detection_round is not None
+        assert monitor.recovery_round is not None
+
+
+@settings(derandomize=True, max_examples=25, deadline=None)
+@given(
+    prob=st.floats(min_value=0.01, max_value=1.0),
+    kind=st.sampled_from(["drop", "corrupt", "delay"]),
+    budget=st.integers(min_value=0, max_value=10),
+)
+def test_untargeted_loss_is_always_out_of_budget(prob, kind, budget):
+    plan = ImpairmentPlan(**{f"{kind}_prob": prob})
+    assert plan.classify(budget) == OUT_OF_BUDGET
+
+
+@settings(derandomize=True, max_examples=25, deadline=None)
+@given(
+    n_links=st.integers(min_value=0, max_value=6),
+    budget=st.integers(min_value=0, max_value=4),
+)
+def test_targeted_classification_matches_element_count(n_links, budget):
+    links = frozenset((i, i + 10) for i in range(n_links))
+    plan = ImpairmentPlan(
+        drop_prob=0.5, target_links=links if n_links else frozenset()
+    )
+    if n_links == 0:
+        # lossy with an empty target set impairs nothing: zero units
+        assert plan.budget_units() == 0
+        return
+    expected = IN_BUDGET if n_links <= budget else OUT_OF_BUDGET
+    assert plan.classify(budget) == expected
+
+
+@settings(derandomize=True, max_examples=25, deadline=None)
+@given(
+    groups=st.integers(min_value=2, max_value=4),
+    budget=st.integers(min_value=0, max_value=10),
+)
+def test_partitions_are_always_out_of_budget(groups, budget):
+    parts = (Partition(
+        groups=tuple(frozenset([i]) for i in range(groups)),
+        start_round=1, end_round=5,
+    ),)
+    assert ImpairmentPlan(partitions=parts).classify(budget) == OUT_OF_BUDGET

@@ -99,3 +99,36 @@ class TestGarbageFlood:
     def test_garbage_varies_by_destination(self):
         behavior = GarbageFloodBehavior(size=64)
         assert behavior.tamper(5, 0, 1, "x") != behavior.tamper(5, 0, 2, "x")
+
+    def test_golden_bytes_seed_zero(self):
+        """Payload bytes are a pure function of (seed, round, destination);
+        this pin keeps flood transcripts identical across refactors."""
+        behavior = GarbageFloodBehavior(size=16, seed=0)
+        assert behavior.tamper(5, 0, 1, "x").hex() == (
+            "a28eda1db51ecbb627785b79ded839d8"
+        )
+        assert behavior.tamper(5, 0, 2, "x").hex() == (
+            "4b28adc21ba88d65165fddd91b6f2ce7"
+        )
+        assert behavior.tamper(6, 0, 1, "x").hex() == (
+            "761b98ea02654370257a1e6aa511302e"
+        )
+
+    def test_memo_reuses_blob_within_round(self):
+        """Re-tampering the same (round, destination) -- a node broadcasting
+        on several buses -- returns the identical object, no regeneration."""
+        behavior = GarbageFloodBehavior(size=256)
+        first = behavior.tamper(5, 0, 1, "x")
+        assert behavior.tamper(5, 0, 1, "y") is first
+        # A new round invalidates the memo (bounded memory, fresh bytes).
+        fresh = behavior.tamper(6, 0, 1, "x")
+        assert fresh is not first
+        assert behavior.tamper(5, 0, 1, "x") is not first
+
+    def test_flood_detected_end_to_end(self):
+        """The flooding node's unverifiable blobs get its links declared."""
+        system = _plant()
+        victim = system.topology.node_by_name("N1")
+        system.inject_now(victim, GarbageFloodBehavior(size=2_000))
+        system.run(10)
+        assert system.detected()

@@ -120,6 +120,23 @@ class TestBus:
 
 
 class TestFaults:
+    def test_fail_link_unknown_endpoint_rejected(self):
+        net, _ = _wire(line_topology(2))
+        with pytest.raises(ValueError, match="unknown node 7"):
+            net.fail_link(0, 7)
+        with pytest.raises(ValueError, match="unknown node 9"):
+            net.heal_link(9, 0)
+
+    def test_crash_unknown_node_rejected(self):
+        net, _ = _wire(line_topology(2))
+        with pytest.raises(ValueError, match="unknown node 5"):
+            net.crash_node(5)
+        with pytest.raises(ValueError, match="unknown node 5"):
+            net.revive_node(5)
+        # a typo'd fault injection must not have half-applied
+        net.send(0, 1, _Ping(b"x"))
+        net.run_round()
+
     def test_failed_link_drops_messages(self):
         net, protos = _wire(line_topology(2))
         net.fail_link(0, 1)
