@@ -24,11 +24,14 @@ class CostSnapshot:
     """Costs accumulated during one round, averaged per node / per link.
 
     Attributes:
-        round_no: the round this snapshot covers.
-        bytes_per_link: mean bytes transmitted per channel this round.
+        round_no: the last round this snapshot covers.
+        bytes_per_link: mean bytes transmitted per channel per round.
         storage_per_node: mean retained protocol state in bytes.
-        forwarding_ops: mean forwarding-layer crypto ops per node.
-        auditing_ops: mean auditing-layer crypto ops per node.
+        forwarding_ops: mean forwarding-layer crypto ops per node per round.
+        auditing_ops: mean auditing-layer crypto ops per node per round.
+        rounds_covered: how many rounds elapsed since the previous sample;
+            all per-round means are normalized by it, so sampling every
+            k-th round still yields true per-round figures.
     """
 
     round_no: int
@@ -36,6 +39,7 @@ class CostSnapshot:
     storage_per_node: float
     forwarding_ops: CryptoCounters
     auditing_ops: CryptoCounters
+    rounds_covered: int = 1
 
     def ops_per_node(self) -> float:
         total = CryptoCounters()
@@ -60,6 +64,7 @@ class MetricsCollector:
         self.snapshots: List[CostSnapshot] = []
         self._prev_fwd: Dict[int, CryptoCounters] = {}
         self._prev_aud: Dict[int, CryptoCounters] = {}
+        self._last_round = system.round_no
         self._prime()
 
     def _prime(self) -> None:
@@ -68,9 +73,18 @@ class MetricsCollector:
             self._prev_aud[node_id] = node.crypto.counters[DOMAIN_AUDITING].copy()
 
     def sample(self) -> CostSnapshot:
-        """Record the costs of the round that just executed."""
+        """Record the costs of every round since the previous sample.
+
+        Counter deltas accumulate across skipped rounds, so when a caller
+        samples every k-th round each snapshot covers k rounds and all
+        per-round means are divided by the covered span -- a sparse series
+        and a dense one report the same per-round costs.
+        """
         system = self.system
         r = system.round_no
+        span = max(1, r - self._last_round)
+        covered = range(self._last_round + 1, r + 1) if r > self._last_round else [r]
+        self._last_round = r
         n = max(1, len(system.nodes))
         fwd_delta = CryptoCounters()
         aud_delta = CryptoCounters()
@@ -81,14 +95,17 @@ class MetricsCollector:
             aud_delta.merge(current_aud.diff(self._prev_aud[node_id]))
             self._prev_fwd[node_id] = current_fwd.copy()
             self._prev_aud[node_id] = current_aud.copy()
-        mean_fwd = _scale(fwd_delta, 1.0 / n)
-        mean_aud = _scale(aud_delta, 1.0 / n)
+        mean_fwd = _scale(fwd_delta, 1.0 / (n * span))
+        mean_aud = _scale(aud_delta, 1.0 / (n * span))
         snapshot = CostSnapshot(
             round_no=r,
-            bytes_per_link=system.mean_link_bytes_in_round(r),
+            bytes_per_link=sum(
+                system.mean_link_bytes_in_round(cr) for cr in covered
+            ) / span,
             storage_per_node=system.mean_storage_bytes(),
             forwarding_ops=mean_fwd,
             auditing_ops=mean_aud,
+            rounds_covered=span,
         )
         self.snapshots.append(snapshot)
         return snapshot
@@ -151,41 +168,23 @@ def fastpath_stats() -> Dict[str, Dict[str, Any]]:
     outcomes, tripped budgets), ``place_memo`` (placement-subproblem memo
     in the schedule builder), ``edf_memo`` (schedulability-test memo),
     ``modegen_lookup`` (mode-tree ``schedule_for`` memo).
-    """
-    from repro.core import forwarding
-    from repro.crypto import multisig, rsa, verify_cache
-    from repro.net import message
-    from repro.sched import assign, edf, ilp, modegen
 
-    return {
-        "rsa_sign": rsa.sign_stats(),
-        "verify_cache": verify_cache.stats(),
-        "multisig_batch": multisig.batch_stats(),
-        "codec_memo": message.codec_memo_stats(),
-        "coverage_cache": forwarding.coverage_cache_stats(),
-        "ilp_solver": ilp.solver_stats(),
-        "place_memo": assign.place_memo_stats(),
-        "edf_memo": edf.edf_memo_stats(),
-        "modegen_lookup": modegen.lookup_memo_stats(),
-    }
+    Each component module registers itself with
+    :mod:`repro.obs.registry` at import time; this is a thin view over
+    that registry, kept for callers that predate it.
+    """
+    from repro.obs import registry
+
+    registry.ensure_default_components()
+    return registry.stats_snapshot()
 
 
 def reset_fastpath_stats() -> None:
     """Zero every fast-path counter (caches keep their contents)."""
-    from repro.core import forwarding
-    from repro.crypto import multisig, rsa, verify_cache
-    from repro.net import message
-    from repro.sched import assign, edf, ilp, modegen
+    from repro.obs import registry
 
-    rsa.reset_sign_stats()
-    verify_cache.GLOBAL.reset_stats()
-    multisig.reset_batch_stats()
-    message.reset_codec_memo_stats()
-    forwarding.reset_coverage_cache_stats()
-    ilp.reset_solver_stats()
-    assign.reset_place_memo_stats()
-    edf.reset_edf_memo()
-    modegen.reset_lookup_memo_stats()
+    registry.ensure_default_components()
+    registry.reset_all()
 
 
 def _scale(counters: CryptoCounters, factor: float) -> CryptoCounters:

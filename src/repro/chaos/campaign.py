@@ -49,6 +49,7 @@ from repro.net.topology import (
     erdos_renyi_topology,
     grid_topology,
 )
+from repro.obs.recorder import FlightRecorder
 from repro.sched.task import chemical_plant_workload
 from repro.sched.workload import WorkloadGenerator
 
@@ -393,6 +394,11 @@ def run_cell(cell: CampaignCell) -> Dict[str, Any]:
         "in_budget": in_budget,
         "budget_units": plan.budget_units(),
     }
+    # A per-cell flight recorder: violation repro dicts (and crash results)
+    # carry the trailing event window.  The recorder only observes, so the
+    # cell's transcript is unchanged (see noop_transcript_check).
+    recorder = FlightRecorder(capacity=4096)
+    recorder.install()
     try:
         config = ReboundConfig(
             fmax=FMAX, fconc=1, variant=cell.variant, rsa_bits=256
@@ -415,7 +421,10 @@ def run_cell(cell: CampaignCell) -> Dict[str, Any]:
         result["crash"] = f"{type(exc).__name__}: {exc}"
         result["violations"] = [v.as_dict() for v in monitor.violations]
         result["violation_census"] = monitor.census()
+        result["trace_tail"] = recorder.tail(64)
         return result
+    finally:
+        recorder.uninstall()
 
     result["budget_exceeded"] = system.budget_exceeded
     result["violations"] = [v.as_dict() for v in monitor.violations]

@@ -38,6 +38,8 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.net.message import encode
 from repro.net.network import Delivery, RoundNetwork
 from repro.net.topology import Topology
+from repro.obs import recorder as _flight
+from repro.obs.events import EV_CHAOS_IMPAIRMENT
 
 IN_BUDGET = "in_budget"
 OUT_OF_BUDGET = "out_of_budget"
@@ -386,6 +388,21 @@ class ChaosRoundNetwork(RoundNetwork):
             stats.impacted_nodes.add(sender)
             stats.first_impact_by_element.setdefault(sender, self.round_no)
 
+    def _emit_impairment(
+        self, kind: str, sender: int, destination: int,
+        delay: Optional[int] = None,
+    ) -> None:
+        flight = _flight.active
+        if flight is None:
+            return
+        data: Dict[str, Any] = {
+            "type": kind,
+            "link": [min(sender, destination), max(sender, destination)],
+        }
+        if delay is not None:
+            data["delay"] = delay
+        flight.emit(EV_CHAOS_IMPAIRMENT, sender, data, round_no=self.round_no)
+
     def _corrupt_payload(self, rng: random.Random, payload: Any) -> bytes:
         """Byte-level corruption: garble the canonical encoding.
 
@@ -412,11 +429,13 @@ class ChaosRoundNetwork(RoundNetwork):
             if partition.active(self.round_no) and partition.separates(sender, destination):
                 stats.partition_dropped += 1
                 self._record_impact(sender, destination)
+                self._emit_impairment("partition", sender, destination)
                 return
         for flap in plan.flaps:
             if flap.link == link and flap.down(self.round_no):
                 stats.flap_dropped += 1
                 self._record_impact(sender, destination)
+                self._emit_impairment("flap", sender, destination)
                 return
         if not self._eligible(sender, destination):
             super()._enqueue(sender, destination, payload)
@@ -427,11 +446,13 @@ class ChaosRoundNetwork(RoundNetwork):
         if plan.drop_prob > 0 and rng.random() < plan.drop_prob:
             stats.dropped += 1
             self._record_impact(sender, destination)
+            self._emit_impairment("drop", sender, destination)
             return
         if plan.corrupt_prob > 0 and rng.random() < plan.corrupt_prob:
             payload = self._corrupt_payload(rng, payload)
             stats.corrupted += 1
             self._record_impact(sender, destination)
+            self._emit_impairment("corrupt", sender, destination)
         if plan.delay_prob > 0 and rng.random() < plan.delay_prob:
             extra = rng.randint(1, plan.max_delay_rounds)
             # Normal delivery happens at round_no + 1; hold for `extra` more.
@@ -440,11 +461,13 @@ class ChaosRoundNetwork(RoundNetwork):
             )
             stats.delayed += 1
             self._record_impact(sender, destination)
+            self._emit_impairment("delay", sender, destination, delay=extra)
             return
         super()._enqueue(sender, destination, payload)
         if plan.dup_prob > 0 and rng.random() < plan.dup_prob:
             stats.duplicated += 1
             self._record_impact(sender, destination, lossy=False)
+            self._emit_impairment("dup", sender, destination)
             super()._enqueue(sender, destination, payload)
 
     def _begin_round(self) -> None:
@@ -484,5 +507,12 @@ class ChaosRoundNetwork(RoundNetwork):
         self.chaos_stats.reordered_rounds += 1
         if self.chaos_stats.first_impact_round is None:
             self.chaos_stats.first_impact_round = self.round_no
+        flight = _flight.active
+        if flight is not None:
+            # Whole-round impairment; attributed to the network observer (-1).
+            flight.emit(
+                EV_CHAOS_IMPAIRMENT, -1, {"type": "reorder"},
+                round_no=self.round_no,
+            )
         rng.shuffle(deliveries)
         return deliveries

@@ -33,6 +33,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.obs import recorder as _flight
+
+#: trailing-window size embedded in violation repro dicts.  Bounded so a
+#: campaign's BENCH report stays small even when every equivocate cell
+#: carries its (tagged) violations.
+TRACE_TAIL_EVENTS = 96
+
 
 class InvariantViolation(AssertionError):
     """Base class; ``repro`` holds everything needed to replay the run."""
@@ -135,6 +142,11 @@ class BTRMonitor:
         plan = getattr(network, "plan", None)
         if plan is not None and "plan" not in repro:
             repro["plan"] = plan.as_dict()
+        flight = _flight.active
+        if flight is not None:
+            # The trailing event window: what the protocol was doing when
+            # the invariant broke, replayable through repro.obs.timeline.
+            repro["trace_tail"] = flight.tail(TRACE_TAIL_EVENTS)
         repro.update(extra)
         return repro
 

@@ -14,6 +14,7 @@ Usage::
     python -m repro bench-fastpath [--rounds 30] [--out BENCH_fastpath.json]
     python -m repro bench-modegen [--workers 2] [--quick] [--out BENCH_modegen.json]
     python -m repro chaos [--preset smoke|full] [--seeds 0,1] [--out BENCH_chaos.json]
+    python -m repro trace [--preset smoke|equivocation-gap] [--rounds 30]
 
 Each command prints the regenerated rows and the paper's qualitative shape
 checks.  The same drivers back the pytest benchmarks.
@@ -178,6 +179,18 @@ def cmd_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_trace(args) -> int:
+    from repro.experiments import trace_run
+
+    return trace_run.main(
+        preset=args.preset,
+        rounds=args.rounds,
+        seed=args.seed,
+        jsonl_path=args.jsonl,
+        chrome_path=args.chrome,
+    )
+
+
 def cmd_fig11(_args) -> int:
     results = fig11_testbed.run_all()
     for name, r in results.items():
@@ -281,6 +294,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print one line per cell")
     chaos.add_argument("--out", default="BENCH_chaos.json")
     chaos.set_defaults(func=cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace",
+        help="flight-recorder run: record a seeded fault, reconstruct the "
+        "recovery timeline, export JSONL + Chrome-trace files",
+    )
+    trace.add_argument(
+        "--preset", choices=["smoke", "equivocation-gap"], default="smoke",
+        help="smoke = seeded crash on a 4x5 grid; equivocation-gap = the "
+        "ROADMAP open item as a diagnosis aid (always exits 0)",
+    )
+    trace.add_argument("--rounds", type=int, default=None,
+                       help="override the preset's round count")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--jsonl", default=None,
+                       help="JSONL event log path (default TRACE_<preset>.jsonl)")
+    trace.add_argument(
+        "--chrome", default=None,
+        help="Chrome-trace path (default TRACE_<preset>.chrome.json)",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     rep = sub.add_parser("report", help="run everything, write a markdown report")
     rep.add_argument("--out", default="results.md")

@@ -39,6 +39,12 @@ from repro.core.paths import (
 )
 from repro.crypto.hashing import hash_bytes
 from repro.net.message import decode, encode
+from repro.obs import recorder as _flight
+from repro.obs.events import (
+    EV_AUDIT_CHALLENGE,
+    EV_AUDIT_RESPONSE,
+    EV_POM_CREATED,
+)
 from repro.sched.assign import ModeSchedule
 from repro.sched.task import Workload
 
@@ -466,6 +472,42 @@ class AuditingLayer:
         bundle_payload: bytes,
         bundle_sig: bytes,
     ) -> None:
+        flight = _flight.active
+        poms_before = self.poms_emitted
+        if flight is not None:
+            flight.emit(
+                EV_AUDIT_CHALLENGE,
+                self.node_id,
+                {"task": task_id, "copy": copy_idx, "exec_round": exec_round},
+            )
+        try:
+            self._audit_one_inner(
+                task_id, copy_idx, replica, logic, exec_round,
+                bundle_payload, bundle_sig,
+            )
+        finally:
+            if flight is not None:
+                flight.emit(
+                    EV_AUDIT_RESPONSE,
+                    self.node_id,
+                    {
+                        "task": task_id,
+                        "copy": copy_idx,
+                        "exec_round": exec_round,
+                        "poms": self.poms_emitted - poms_before,
+                    },
+                )
+
+    def _audit_one_inner(
+        self,
+        task_id: int,
+        copy_idx: int,
+        replica: _ReplicaState,
+        logic: TaskLogic,
+        exec_round: int,
+        bundle_payload: bytes,
+        bundle_sig: bytes,
+    ) -> None:
         try:
             decoded = decode(bundle_payload)
         except (ValueError, TypeError):
@@ -495,6 +537,7 @@ class AuditingLayer:
                     input_path_id=input_path.path_id,
                 )
                 self.poms_emitted += 1
+                self._emit_pom_event(primary, "state-chain", task_id)
                 self.submit_evidence(pom)
         try:
             pairs = sorted((e[1], e[3]) for e in inputs)
@@ -541,4 +584,14 @@ class AuditingLayer:
                 output_path_id=out_path_id,
             )
             self.poms_emitted += 1
+            self._emit_pom_event(primary, "bad-computation", task_id)
             self.submit_evidence(pom)
+
+    def _emit_pom_event(self, accused: int, pom_kind: str, task_id: int) -> None:
+        flight = _flight.active
+        if flight is not None:
+            flight.emit(
+                EV_POM_CREATED,
+                self.node_id,
+                {"accused": accused, "pom": pom_kind, "task": task_id},
+            )

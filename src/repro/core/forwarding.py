@@ -65,6 +65,15 @@ from repro.core.paths import Path, PathSet
 from repro.crypto.hashing import hash_bytes
 from repro.net.message import encode, register_message
 from repro.net.topology import Topology
+from repro.obs import recorder as _flight
+from repro.obs.events import (
+    EV_EPOCH_ADVANCE,
+    EV_EVIDENCE_APPLIED,
+    EV_HEARTBEAT_SEND,
+    EV_HEARTBEAT_VERIFY,
+    EV_LFD_ISSUED,
+    EV_POM_CREATED,
+)
 from repro.sched.modegen import FailureScenario
 
 # Process-wide LRU cache of coverage calculators, keyed by the canonical
@@ -102,6 +111,23 @@ def coverage_cache_stats() -> Dict[str, int]:
 
 def reset_coverage_cache_stats() -> None:
     _coverage_cache_stats.update(hits=0, misses=0, evictions=0)
+
+
+def _evidence_event_data(item: Any) -> Dict[str, Any]:
+    """Kind-specific flight-recorder fields for one evidence item."""
+    from repro.core.blessing import Blessing
+
+    data: Dict[str, Any] = {"item": type(item).__name__}
+    if isinstance(item, LFD):
+        data["link"] = list(item.link)
+        data["issuer"] = item.issuer
+    elif isinstance(item, Blessing):
+        data["blessed"] = item.node_id
+    else:
+        accused = getattr(item, "accused", None)
+        if accused is not None:
+            data["accused"] = accused
+    return data
 
 
 def configure_coverage_cache(capacity: int) -> None:
@@ -233,6 +259,7 @@ class ForwardingLayer:
         self.store = BasicHeartbeatStore(
             window=self.window, expiry=config.expiry_optimization
         )
+        self.store.owner = node_id
         # MULTI aggregate state per origin round.
         self._aggregates: Dict[int, _AggregateState] = {}
         # Rule B bookkeeping: neighbor -> origin round -> delivered origins.
@@ -320,6 +347,14 @@ class ForwardingLayer:
         if link in self._lfds_issued:
             return
         self._lfds_issued.add(link)
+        flight = _flight.active
+        if flight is not None:
+            flight.emit(
+                EV_LFD_ISSUED,
+                self.node_id,
+                {"link": list(link)},
+                round_no=self._round,
+            )
         body = lfd_body(self.node_id, other, self._round)
         lfd = LFD(
             a=link[0],
@@ -358,6 +393,29 @@ class ForwardingLayer:
             self.last_evidence_change = self._round
             self._new_evidence_outbox.extend(added)
             self._refresh_pattern()
+            flight = _flight.active
+            if flight is not None:
+                for item in added:
+                    flight.emit(
+                        EV_EVIDENCE_APPLIED,
+                        self.node_id,
+                        _evidence_event_data(item),
+                        round_no=self._round,
+                    )
+                pattern = self._fault_pattern
+                flight.emit(
+                    EV_EPOCH_ADVANCE,
+                    self.node_id,
+                    {
+                        "digest": self.evidence.digest().hex()[:16],
+                        "items": len(self.evidence),
+                        "pattern_nodes": sorted(pattern.nodes),
+                        "pattern_links": [
+                            list(link) for link in sorted(pattern.links)
+                        ],
+                    },
+                    round_no=self._round,
+                )
             self.on_new_evidence(added)
         return added
 
@@ -433,6 +491,14 @@ class ForwardingLayer:
                     body_b=rec.body(),
                     sig_b=rec.signature,
                 )
+                flight = _flight.active
+                if flight is not None:
+                    flight.emit(
+                        EV_POM_CREATED,
+                        self.node_id,
+                        {"accused": rec.origin, "pom": "equivocation"},
+                        round_no=self._round,
+                    )
                 self._admit_evidence([pom], verified=True)
         return ok
 
@@ -444,13 +510,23 @@ class ForwardingLayer:
                 value = int.from_bytes(rec.signature, "big")
             except (TypeError, ValueError):
                 return False
-            return self.crypto.ms_verify_value(
+            ok = self.crypto.ms_verify_value(
                 rec.body(),
                 value,
                 Counter({rec.origin: 1}),
                 cache_key=("single", rec.origin),
             )
-        return self.crypto.verify(rec.origin, rec.body(), rec.signature)
+        else:
+            ok = self.crypto.verify(rec.origin, rec.body(), rec.signature)
+        flight = _flight.active
+        if flight is not None:
+            flight.emit(
+                EV_HEARTBEAT_VERIFY,
+                self.node_id,
+                {"origin": rec.origin, "hb_round": rec.round_no, "ok": ok},
+                round_no=self._round,
+            )
+        return ok
 
     def _spot_check_skip(self, sender: int, rec: HeartbeatRecord) -> bool:
         """Bus spot-checking (S3.5): only fmax+1 members verify a broadcast.
@@ -684,6 +760,11 @@ class ForwardingLayer:
         own_record = HeartbeatRecord(
             origin=self.node_id, round_no=r, delta_count=delta, signature=own_sig
         )
+        flight = _flight.active
+        if flight is not None:
+            flight.emit(
+                EV_HEARTBEAT_SEND, self.node_id, {"delta": delta}, round_no=r
+            )
         self.store.add(own_record)
         # Evidence halves: sigma_i(r, e) for each new item (S3.6's split).
         if delta and self.config.variant == VARIANT_MULTI:
@@ -806,3 +887,7 @@ class ForwardingLayer:
             element = self.crypto.directory.group.element_size
             size += len(self._aggregates) * (element + 16)
         return size
+
+from repro.obs import registry as _telemetry
+
+_telemetry.register("coverage_cache", coverage_cache_stats, reset_coverage_cache_stats)

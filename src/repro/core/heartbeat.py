@@ -34,6 +34,8 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tupl
 
 from repro.core.evidence import heartbeat_body
 from repro.net.message import encode, register_message
+from repro.obs import recorder as _flight
+from repro.obs.events import EV_HEARTBEAT_STORED
 
 
 @register_message
@@ -176,6 +178,9 @@ class BasicHeartbeatStore:
     def __init__(self, window: int, expiry: bool = True):
         self.window = window
         self.expiry = expiry
+        #: the node this store belongs to (set by the forwarding layer);
+        #: flight-recorder events are only attributable when it is known.
+        self.owner: Optional[int] = None
         self._records: Dict[Tuple[int, int], HeartbeatRecord] = {}
         self._new_this_round: List[HeartbeatRecord] = []
 
@@ -189,12 +194,27 @@ class BasicHeartbeatStore:
         key = (record.origin, record.round_no)
         existing = self._records.get(key)
         if existing is not None:
-            if existing.delta_count == record.delta_count:
-                return ("dup", None)
-            return ("conflict", existing)
-        self._records[key] = record
-        self._new_this_round.append(record)
-        return ("new", None)
+            status: Tuple[str, Optional[HeartbeatRecord]] = (
+                ("dup", None)
+                if existing.delta_count == record.delta_count
+                else ("conflict", existing)
+            )
+        else:
+            self._records[key] = record
+            self._new_this_round.append(record)
+            status = ("new", None)
+        flight = _flight.active
+        if flight is not None and self.owner is not None:
+            flight.emit(
+                EV_HEARTBEAT_STORED,
+                self.owner,
+                {
+                    "origin": record.origin,
+                    "hb_round": record.round_no,
+                    "status": status[0],
+                },
+            )
+        return status
 
     def get(self, origin: int, round_no: int) -> Optional[HeartbeatRecord]:
         return self._records.get((origin, round_no))

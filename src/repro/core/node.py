@@ -20,6 +20,8 @@ from repro.core.paths import PATH_DATA, PathComputer, PathSet
 from repro.net.message import encoded_size
 from repro.net.network import NodeProtocol
 from repro.net.topology import ROLE_CONTROLLER, Topology
+from repro.obs import recorder as _flight
+from repro.obs.events import EV_MODE_SELECTED
 from repro.sched.assign import ModeSchedule
 from repro.sched.modegen import EMPTY_SCENARIO, FailureScenario, ModeTree
 from repro.sched.task import Workload
@@ -125,6 +127,20 @@ class ReboundNode(NodeProtocol):
         self.forwarding.set_paths(paths, stable_since=round_no)
         self.auditing.set_mode(schedule, paths, round_no)
         self.mode_switches.append((round_no, scenario))
+        rec = _flight.active
+        if rec is not None:
+            rec.emit(
+                EV_MODE_SELECTED,
+                self.node_id,
+                {
+                    "failed_nodes": sorted(schedule.failed_nodes),
+                    "failed_links": [
+                        list(link) for link in sorted(schedule.failed_links)
+                    ],
+                    "placement_hosts": sorted(set(schedule.placements.values())),
+                },
+                round_no=round_no,
+            )
 
     # -- layer callbacks -----------------------------------------------------------
 

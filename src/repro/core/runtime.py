@@ -23,6 +23,8 @@ from repro.core.paths import PathComputer
 from repro.faults.scenarios import FaultScenario
 from repro.net.network import RoundNetwork
 from repro.net.topology import Topology
+from repro.obs import recorder as _flight
+from repro.obs.events import EV_FAULT_INJECTED
 from repro.sched.modegen import FailureScenario, ModeTree, ModeTreeGenerator
 from repro.sched.task import Workload
 
@@ -186,6 +188,16 @@ class ReboundSystem:
 
     def inject_now(self, node_id: int, behavior) -> None:
         """Immediately compromise a controller with ``behavior``."""
+        rec = _flight.active
+        if rec is not None:
+            # The behavior is first active in the round about to run, not
+            # the one that just finished -- stamp it there.
+            rec.emit(
+                EV_FAULT_INJECTED,
+                node_id,
+                {"target": node_id, "behavior": type(behavior).__name__},
+                round_no=self.round_no + 1,
+            )
         behavior.activate(self, node_id)
         self.network.set_tamper_hook(node_id, behavior.tamper)
         self._active_behaviors.append(behavior)
@@ -256,6 +268,14 @@ class ReboundSystem:
             self.nodes[reference].forwarding.submit_evidence(blessing)
 
     def cut_link_now(self, a: int, b: int) -> None:
+        rec = _flight.active
+        if rec is not None:
+            rec.emit(
+                EV_FAULT_INJECTED,
+                min(a, b),
+                {"link": [min(a, b), max(a, b)]},
+                round_no=self.round_no + 1,
+            )
         self.network.fail_link(a, b)
         self.true_failed_links.add((min(a, b), max(a, b)))
         self.fault_rounds.append(self.round_no)
@@ -297,6 +317,9 @@ class ReboundSystem:
 
     def run_round(self) -> None:
         next_round = self.round_no + 1
+        rec = _flight.active
+        if rec is not None:
+            rec.begin_round(next_round)
         for event in self.scenario.due(next_round):
             if event.node is not None and event.behavior is not None:
                 self.inject_now(event.node, event.behavior)

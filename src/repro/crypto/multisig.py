@@ -291,3 +291,7 @@ class AggregateKeyTree:
             if self._included[self._index[node]]
         )
         return MultisigPublicKey(value=self._tree[1] % self.group.q, signers=signers)
+
+from repro.obs import registry as _telemetry
+
+_telemetry.register("multisig_batch", batch_stats, reset_batch_stats)

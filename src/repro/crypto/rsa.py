@@ -209,3 +209,7 @@ class RSAKeyPair:
         _SIGN_STATS["plain_signs"] += 1
         _SIGN_STATS["sign_time_s"] += time.perf_counter() - t0
         return RSASignature(value=value, key_bits=self._bits)
+
+from repro.obs import registry as _telemetry
+
+_telemetry.register("rsa_sign", sign_stats, reset_sign_stats)

@@ -134,3 +134,12 @@ def cached_check(key: Tuple, compute) -> bool:
 
 def stats() -> Dict[str, float]:
     return GLOBAL.stats()
+
+def reset_stats() -> None:
+    """Zero the process-wide cache's counters (keeps its contents)."""
+    GLOBAL.reset_stats()
+
+
+from repro.obs import registry as _telemetry
+
+_telemetry.register("verify_cache", stats, reset_stats)

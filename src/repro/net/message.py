@@ -294,3 +294,7 @@ def decode(data: bytes) -> Any:
     if decoder.pos != len(data):
         raise ValueError("trailing bytes after message")
     return value
+
+from repro.obs import registry as _telemetry
+
+_telemetry.register("codec_memo", codec_memo_stats, reset_codec_memo_stats)

@@ -40,16 +40,40 @@ TamperHook = Callable[[int, int, int, Any], Optional[Any]]
 
 @dataclass
 class ChannelStats:
-    """Per-channel byte/message accounting."""
+    """Per-channel byte/message accounting.
+
+    Long campaigns can :meth:`trim` old rounds to bound memory; trimmed
+    rounds stay included in the running totals, so ``total_bytes()`` /
+    ``total_messages()`` are invariant under trimming.
+    """
 
     bytes_by_round: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     messages_by_round: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    _trimmed_bytes: int = 0
+    _trimmed_messages: int = 0
 
     def bytes_in_round(self, round_no: int) -> int:
         return self.bytes_by_round.get(round_no, 0)
 
+    def messages_in_round(self, round_no: int) -> int:
+        return self.messages_by_round.get(round_no, 0)
+
     def total_bytes(self) -> int:
-        return sum(self.bytes_by_round.values())
+        return self._trimmed_bytes + sum(self.bytes_by_round.values())
+
+    def total_messages(self) -> int:
+        return self._trimmed_messages + sum(self.messages_by_round.values())
+
+    def trim(self, before_round: int) -> int:
+        """Drop per-round entries older than ``before_round``; returns how
+        many rounds were dropped.  Totals are preserved."""
+        stale = [r for r in self.bytes_by_round if r < before_round]
+        for r in stale:
+            self._trimmed_bytes += self.bytes_by_round.pop(r)
+        stale_msgs = [r for r in self.messages_by_round if r < before_round]
+        for r in stale_msgs:
+            self._trimmed_messages += self.messages_by_round.pop(r)
+        return len(set(stale) | set(stale_msgs))
 
 
 class NodeProtocol:

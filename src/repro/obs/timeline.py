@@ -1,0 +1,389 @@
+"""Recovery-timeline reconstruction from a flight-recorder trace.
+
+The paper's central claims are temporal (Fig. 6): a fault is *detected*
+within ``d_max`` rounds, its evidence floods the partition, and every
+correct node *switches mode* within ``Rmax``.  The runtime can only say
+*whether* those things happened (``detected()`` / ``converged()``); this
+module says *where the rounds went*, per node and per fault, from the
+recorded events alone:
+
+    fault ──(detection)──► first pattern hit ──(evidence settling)──►
+    last evidence change ──(switch lag)──► clean mode adopted
+
+The three phases are defined as *adjacent spans* -- each starts where the
+previous one ends -- so per node they sum exactly to the node's total
+recovery rounds; no double counting, no gaps.  Phase boundaries come from:
+
+* ``EV_FAULT_INJECTED`` -- ground truth: what failed and when;
+* ``EV_EPOCH_ADVANCE`` -- the node's evidence digest and normalized
+  failure pattern after each change (detection = first pattern covering
+  the fault; evidence-settled = last change at or before the switch);
+* ``EV_MODE_SELECTED`` -- the adopted mode and its placement hosts
+  (recovered = placements exclude every truly faulty node, the same
+  predicate as ``ReboundSystem.converged()``).
+
+``crosscheck`` compares the trace-derived rounds against a
+:class:`~repro.chaos.monitor.BTRMonitor`'s verdicts; ``divergence_report``
+summarizes per-node final evidence digests (the diagnosis aid for the
+known equivocation gap -- see ROADMAP.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.obs.events import (
+    EV_EPOCH_ADVANCE,
+    EV_FAULT_INJECTED,
+    EV_MODE_SELECTED,
+    TraceEvent,
+)
+
+Link = Tuple[int, int]
+
+
+@dataclass
+class FaultGroundTruth:
+    """What the trace says actually failed (from ``EV_FAULT_INJECTED``)."""
+
+    nodes: Dict[int, int] = field(default_factory=dict)  # node -> round
+    links: Dict[Link, int] = field(default_factory=dict)  # link -> round
+
+    @property
+    def empty(self) -> bool:
+        return not self.nodes and not self.links
+
+    @property
+    def first_round(self) -> Optional[int]:
+        rounds = list(self.nodes.values()) + list(self.links.values())
+        return min(rounds) if rounds else None
+
+    @property
+    def last_round(self) -> Optional[int]:
+        rounds = list(self.nodes.values()) + list(self.links.values())
+        return max(rounds) if rounds else None
+
+
+@dataclass
+class NodeRecovery:
+    """One node's recovery decomposition for one fault episode.
+
+    The phase widths are adjacent spans, so
+    ``detection_rounds + evidence_rounds + switch_rounds == total_rounds``
+    whenever the node recovered (a node whose initial mode already excluded
+    the faulty elements has all-zero phases).
+    """
+
+    node: int
+    fault_round: int
+    detection_round: Optional[int] = None
+    evidence_round: Optional[int] = None
+    switch_round: Optional[int] = None
+
+    @property
+    def recovered(self) -> bool:
+        return self.switch_round is not None
+
+    @property
+    def detection_rounds(self) -> Optional[int]:
+        if self.detection_round is None:
+            return None
+        return self.detection_round - self.fault_round
+
+    @property
+    def evidence_rounds(self) -> Optional[int]:
+        if self.evidence_round is None or self.detection_round is None:
+            return None
+        return self.evidence_round - self.detection_round
+
+    @property
+    def switch_rounds(self) -> Optional[int]:
+        if self.switch_round is None or self.evidence_round is None:
+            return None
+        return self.switch_round - self.evidence_round
+
+    @property
+    def total_rounds(self) -> Optional[int]:
+        if self.switch_round is None:
+            return None
+        return self.switch_round - self.fault_round
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "node": self.node,
+            "fault_round": self.fault_round,
+            "detection_round": self.detection_round,
+            "evidence_round": self.evidence_round,
+            "switch_round": self.switch_round,
+            "detection_rounds": self.detection_rounds,
+            "evidence_rounds": self.evidence_rounds,
+            "switch_rounds": self.switch_rounds,
+            "total_rounds": self.total_rounds,
+        }
+
+
+@dataclass
+class RecoveryDecomposition:
+    """The full per-node timeline for the trace's fault episode."""
+
+    truth: FaultGroundTruth
+    per_node: Dict[int, NodeRecovery]
+    #: first round at which any analyzed node's pattern covered a fault.
+    detection_round: Optional[int]
+    #: first round at which *every* analyzed node ran a clean mode.
+    convergence_round: Optional[int]
+
+    @property
+    def recovery_rounds(self) -> Optional[int]:
+        """Rounds from the last fault activation to full convergence."""
+        last = self.truth.last_round
+        if last is None or self.convergence_round is None:
+            return None
+        return self.convergence_round - last
+
+    def max_node_total(self) -> Optional[int]:
+        totals = [
+            nr.total_rounds for nr in self.per_node.values() if nr.recovered
+        ]
+        return max(totals) if totals else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "faulty_nodes": {str(k): v for k, v in self.truth.nodes.items()},
+            "failed_links": {
+                f"{a}-{b}": r for (a, b), r in self.truth.links.items()
+            },
+            "detection_round": self.detection_round,
+            "convergence_round": self.convergence_round,
+            "recovery_rounds": self.recovery_rounds,
+            "per_node": {
+                str(n): nr.as_dict() for n, nr in sorted(self.per_node.items())
+            },
+        }
+
+
+def _ordered(events: Iterable[TraceEvent]) -> List[TraceEvent]:
+    return sorted(events, key=lambda e: (e.round_no, e.seq, e.node))
+
+
+def extract_ground_truth(events: Iterable[TraceEvent]) -> FaultGroundTruth:
+    truth = FaultGroundTruth()
+    for event in events:
+        if event.kind != EV_FAULT_INJECTED:
+            continue
+        target = event.data.get("target")
+        link = event.data.get("link")
+        if target is not None:
+            truth.nodes.setdefault(int(target), event.round_no)
+        elif link is not None:
+            key = (min(link[0], link[1]), max(link[0], link[1]))
+            truth.links.setdefault(key, event.round_no)
+    return truth
+
+
+def _pattern_covers(
+    pattern_nodes: Set[int], pattern_links: Set[Link], truth: FaultGroundTruth
+) -> bool:
+    """The same predicate as ``ReboundSystem.detected()``, per node."""
+    for node in truth.nodes:
+        if node in pattern_nodes:
+            return True
+        if any(node in link for link in pattern_links):
+            return True
+    for link in truth.links:
+        if link in pattern_links:
+            return True
+        if set(link) & set(truth.nodes):
+            return True
+    return False
+
+
+def reconstruct(
+    events: Iterable[TraceEvent],
+    truth: Optional[FaultGroundTruth] = None,
+    analyzed_nodes: Optional[Iterable[int]] = None,
+) -> RecoveryDecomposition:
+    """Rebuild the per-node recovery decomposition from a trace.
+
+    Args:
+        events: recorded events (any order; re-sorted internally).
+        truth: override the fault ground truth (defaults to the trace's
+            ``EV_FAULT_INJECTED`` events).
+        analyzed_nodes: the correct controllers to analyze; defaults to
+            every node that ever selected a mode, minus the faulty ones.
+    """
+    ordered = _ordered(events)
+    if truth is None:
+        truth = extract_ground_truth(ordered)
+    fault_round = truth.first_round if truth.first_round is not None else 0
+
+    mode_nodes = {e.node for e in ordered if e.kind == EV_MODE_SELECTED}
+    if analyzed_nodes is None:
+        nodes = sorted(mode_nodes - set(truth.nodes))
+    else:
+        nodes = sorted(set(analyzed_nodes))
+
+    per_node = {n: NodeRecovery(node=n, fault_round=fault_round) for n in nodes}
+    # A node whose pre-fault mode already excludes every faulty element has
+    # recovered "for free": all phases zero.
+    clean_before_fault: Dict[int, bool] = {n: False for n in nodes}
+    last_epoch_round: Dict[int, int] = {}
+
+    for event in ordered:
+        n = event.node
+        nr = per_node.get(n)
+        if nr is None:
+            continue
+        if event.kind == EV_EPOCH_ADVANCE:
+            if event.round_no >= fault_round and nr.switch_round is None:
+                last_epoch_round[n] = event.round_no
+            if nr.detection_round is None and event.round_no >= fault_round:
+                pattern_nodes = set(event.data.get("pattern_nodes", ()))
+                pattern_links = {
+                    (min(a, b), max(a, b))
+                    for a, b in event.data.get("pattern_links", ())
+                }
+                if _pattern_covers(pattern_nodes, pattern_links, truth):
+                    nr.detection_round = event.round_no
+        elif event.kind == EV_MODE_SELECTED:
+            hosts = set(event.data.get("placement_hosts", ()))
+            clean = not (hosts & set(truth.nodes))
+            if event.round_no < fault_round:
+                clean_before_fault[n] = clean
+            elif clean and nr.switch_round is None:
+                nr.switch_round = event.round_no
+                nr.evidence_round = last_epoch_round.get(
+                    n, nr.detection_round
+                    if nr.detection_round is not None
+                    else event.round_no
+                )
+            elif not clean:
+                # Regressed to a dirty mode: the episode is not over.
+                nr.switch_round = None
+                nr.evidence_round = None
+
+    for n, nr in per_node.items():
+        if nr.switch_round is None and clean_before_fault[n]:
+            # Never needed to move: already clean when the fault hit.
+            nr.switch_round = fault_round
+            nr.evidence_round = fault_round
+            if nr.detection_round is None:
+                nr.detection_round = fault_round
+        if nr.recovered:
+            # The spans must be adjacent and non-negative even when the
+            # final evidence change and the switch landed in one round.
+            if nr.detection_round is None:
+                nr.detection_round = nr.switch_round
+            if nr.evidence_round is None or nr.evidence_round < nr.detection_round:
+                nr.evidence_round = nr.detection_round
+            if nr.evidence_round > nr.switch_round:
+                nr.evidence_round = nr.switch_round
+
+    detection_candidates = [
+        nr.detection_round
+        for nr in per_node.values()
+        if nr.detection_round is not None and nr.detection_round > fault_round
+        or (nr.detection_round == fault_round and not clean_before_fault[nr.node])
+    ]
+    detection_round = min(detection_candidates) if detection_candidates else None
+    if all(nr.recovered for nr in per_node.values()) and per_node:
+        convergence_round = max(nr.switch_round for nr in per_node.values())
+    else:
+        convergence_round = None
+    return RecoveryDecomposition(
+        truth=truth,
+        per_node=per_node,
+        detection_round=detection_round,
+        convergence_round=convergence_round,
+    )
+
+
+# -- monitor cross-check ---------------------------------------------------------
+
+
+def crosscheck(decomposition: RecoveryDecomposition, monitor) -> Dict[str, Any]:
+    """Compare trace-derived rounds against a ``BTRMonitor``'s verdicts.
+
+    The monitor observes the live system; the decomposition only reads the
+    trace.  Agreement (both rounds equal) is the end-to-end validation that
+    the instrumentation reports what the protocol actually did.
+    """
+    return {
+        "trace_detection_round": decomposition.detection_round,
+        "monitor_detection_round": monitor.detection_round,
+        "detection_agrees": (
+            decomposition.detection_round == monitor.detection_round
+        ),
+        "trace_convergence_round": decomposition.convergence_round,
+        "monitor_recovery_round": monitor.recovery_round,
+        "violations": [v.as_dict() for v in monitor.violations],
+    }
+
+
+# -- evidence-divergence diagnosis ----------------------------------------------
+
+
+def divergence_report(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    """Group nodes by their *final* evidence digest.
+
+    Under the known equivocation gap (ROADMAP open item) correct nodes'
+    evidence sets diverge while LFDs storm; this report shows the divergent
+    digest groups and each node's last normalized pattern -- the raw
+    material for diagnosing which evidence subset condemned whom.
+    """
+    final: Dict[int, TraceEvent] = {}
+    for event in _ordered(events):
+        if event.kind == EV_EPOCH_ADVANCE:
+            final[event.node] = event
+    groups: Dict[str, List[int]] = {}
+    patterns: Dict[str, Any] = {}
+    for node, event in sorted(final.items()):
+        digest = str(event.data.get("digest"))
+        groups.setdefault(digest, []).append(node)
+        patterns[str(node)] = {
+            "digest": digest,
+            "items": event.data.get("items"),
+            "pattern_nodes": event.data.get("pattern_nodes"),
+            "pattern_links": event.data.get("pattern_links"),
+            "round": event.round_no,
+        }
+    return {
+        "divergent": len(groups) > 1,
+        "digest_groups": {d: nodes for d, nodes in sorted(groups.items())},
+        "per_node": patterns,
+    }
+
+
+# -- Perfetto phase spans --------------------------------------------------------
+
+
+def phase_spans(
+    decomposition: RecoveryDecomposition, round_us: int = 1000
+) -> List[Dict[str, Any]]:
+    """Duration events rendering each node's phases in a Chrome trace."""
+    spans: List[Dict[str, Any]] = []
+    for node, nr in sorted(decomposition.per_node.items()):
+        if not nr.recovered:
+            continue
+        segments = (
+            ("detection", nr.fault_round, nr.detection_round),
+            ("evidence", nr.detection_round, nr.evidence_round),
+            ("switch", nr.evidence_round, nr.switch_round),
+        )
+        for name, start, end in segments:
+            if start is None or end is None or end <= start:
+                continue
+            spans.append(
+                {
+                    "ph": "X",
+                    "name": f"phase:{name}",
+                    "cat": "recovery",
+                    "pid": node,
+                    "tid": 2,
+                    "ts": start * round_us,
+                    "dur": (end - start) * round_us,
+                    "args": {"rounds": end - start},
+                }
+            )
+    return spans

@@ -551,3 +551,7 @@ class ScheduleBuilder:
             if solution.assignment.get(name) == 1:
                 placements[copy] = node
         return placements
+
+from repro.obs import registry as _telemetry
+
+_telemetry.register("place_memo", place_memo_stats, reset_place_memo_stats)

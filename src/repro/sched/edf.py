@@ -237,3 +237,7 @@ class EDFSimulator:
                 now = finish_at
                 record.finish_us = now
         return EDFResult(jobs=jobs, preemptions=preemptions)
+
+from repro.obs import registry as _telemetry
+
+_telemetry.register("edf_memo", edf_memo_stats, reset_edf_memo)

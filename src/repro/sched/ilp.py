@@ -385,3 +385,7 @@ class ZeroOneILP:
             nodes_explored=nodes,
             stopped_by=stopped,
         )
+
+from repro.obs import registry as _telemetry
+
+_telemetry.register("ilp_solver", solver_stats, reset_solver_stats)

@@ -781,3 +781,7 @@ class ModeTreeGenerator:
         )
         self.last_stats = stats
         return stats
+
+from repro.obs import registry as _telemetry
+
+_telemetry.register("modegen_lookup", lookup_memo_stats, reset_lookup_memo_stats)

@@ -48,3 +48,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 7" in out
         assert code == 0
+
+class TestTraceCommand:
+    def test_trace_subcommand_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["trace"])
+        assert args.preset == "smoke"
+        assert args.rounds is None
+        args = parser.parse_args(
+            ["trace", "--preset", "equivocation-gap", "--rounds", "20",
+             "--jsonl", "x.jsonl", "--chrome", "x.json"]
+        )
+        assert args.preset == "equivocation-gap"
+        assert args.rounds == 20
+
+    def test_trace_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--preset", "nope"])
+
+    def test_trace_presets_are_runnable_specs(self):
+        from repro.experiments.trace_run import PRESETS
+
+        assert set(PRESETS) == {"smoke", "equivocation-gap"}
+        for preset in PRESETS.values():
+            assert preset.fault_round < preset.rounds
+            assert callable(preset.behavior_factory)
+            assert callable(preset.topology_factory)

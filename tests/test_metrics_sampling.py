@@ -1,0 +1,127 @@
+"""Channel accounting and sparse metrics sampling.
+
+Pins two observability fixes: ``ChannelStats`` message counting with
+memory-bounded trimming (totals invariant), and ``MetricsCollector.sample``
+attribution when rounds are skipped between samples (a sparse series must
+report the same per-round costs as a dense one).
+"""
+
+import pytest
+
+from repro.analysis.metrics import MetricsCollector
+from repro.core import ReboundConfig, ReboundSystem
+from repro.net.network import ChannelStats
+from repro.net.topology import grid_topology
+from repro.sched.workload import WorkloadGenerator
+
+
+def _build_system(seed=0):
+    topology = grid_topology(2, 3)
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=1.5
+    )
+    config = ReboundConfig(fmax=1, fconc=1, variant="basic", rsa_bits=256)
+    return ReboundSystem(topology, workload, config, seed=seed)
+
+
+class TestChannelStats:
+    def test_message_counting(self):
+        stats = ChannelStats()
+        stats.bytes_by_round[1] += 100
+        stats.messages_by_round[1] += 2
+        stats.bytes_by_round[2] += 50
+        stats.messages_by_round[2] += 1
+        assert stats.messages_in_round(1) == 2
+        assert stats.messages_in_round(3) == 0
+        assert stats.total_messages() == 3
+        assert stats.total_bytes() == 150
+
+    def test_trim_preserves_totals(self):
+        stats = ChannelStats()
+        for r in range(1, 11):
+            stats.bytes_by_round[r] += 10 * r
+            stats.messages_by_round[r] += r
+        bytes_before = stats.total_bytes()
+        messages_before = stats.total_messages()
+        dropped = stats.trim(before_round=6)
+        assert dropped == 5
+        # Old per-round entries are gone, recent ones intact.
+        assert stats.bytes_in_round(3) == 0
+        assert stats.bytes_in_round(7) == 70
+        assert stats.messages_in_round(7) == 7
+        # Totals are invariant under trimming.
+        assert stats.total_bytes() == bytes_before
+        assert stats.total_messages() == messages_before
+        # Trimming again is a no-op.
+        assert stats.trim(before_round=6) == 0
+        assert stats.total_bytes() == bytes_before
+
+    def test_live_network_counts_bytes_and_messages(self):
+        system = _build_system()
+        system.run(4)
+        channel_stats = system.network.channel_stats.values()
+        assert sum(s.total_messages() for s in channel_stats) > 0
+        assert sum(s.total_bytes() for s in channel_stats) > 0
+
+    def test_mean_link_bytes_survives_trim(self):
+        """Regression pin: mean_link_bytes_in_round for recent rounds is
+        unchanged by trimming older rounds away."""
+        system = _build_system()
+        system.run(6)
+        r = system.round_no
+        before = system.mean_link_bytes_in_round(r)
+        assert before > 0
+        for stats in system.network.channel_stats.values():
+            stats.trim(before_round=r)
+        assert system.mean_link_bytes_in_round(r) == before
+        assert system.mean_link_bytes_in_round(r - 2) == 0.0
+
+
+class TestSparseSampling:
+    def test_every_third_round_matches_dense_series(self):
+        """Sampling every 3rd round must report the same per-round means as
+        sampling every round on an identical run."""
+        dense_sys = _build_system()
+        sparse_sys = _build_system()
+        dense = MetricsCollector(dense_sys)
+        sparse = MetricsCollector(sparse_sys)
+
+        rounds = 9
+        for r in range(1, rounds + 1):
+            dense_sys.run_round()
+            dense.sample()
+            sparse_sys.run_round()
+            if r % 3 == 0:
+                sparse.sample()
+
+        assert [s.rounds_covered for s in dense.snapshots] == [1] * rounds
+        assert [s.rounds_covered for s in sparse.snapshots] == [3, 3, 3]
+        for i, snap in enumerate(sparse.snapshots):
+            window = dense.snapshots[3 * i: 3 * i + 3]
+            assert snap.round_no == window[-1].round_no
+            # Per-round bandwidth: the sparse sample equals the window mean.
+            expected_bytes = sum(w.bytes_per_link for w in window) / 3
+            assert snap.bytes_per_link == pytest.approx(expected_bytes)
+            # Per-round crypto ops likewise (the old code attributed three
+            # rounds of counter deltas to a single round).
+            expected_ops = sum(w.ops_per_node() for w in window) / 3
+            assert snap.ops_per_node() == pytest.approx(expected_ops)
+
+    def test_dense_sampling_unchanged(self):
+        """rounds_covered defaults to 1 and dense behavior is identical."""
+        system = _build_system()
+        collector = MetricsCollector(system)
+        collector.run_and_sample(4)
+        assert all(s.rounds_covered == 1 for s in collector.snapshots)
+        assert [s.round_no for s in collector.snapshots] == [1, 2, 3, 4]
+
+    def test_sample_without_new_round(self):
+        """Sampling twice in the same round must not divide by zero."""
+        system = _build_system()
+        collector = MetricsCollector(system)
+        system.run_round()
+        first = collector.sample()
+        second = collector.sample()
+        assert first.rounds_covered == 1
+        assert second.rounds_covered == 1
+        assert second.ops_per_node() == 0.0

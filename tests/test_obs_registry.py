@@ -1,0 +1,95 @@
+"""Telemetry registry: self-registered components back fastpath_stats()."""
+
+import pytest
+
+from repro.analysis.metrics import fastpath_stats, reset_fastpath_stats
+from repro.obs import registry
+
+#: every fast-path component the system ships; the canonical key set used
+#: by benchmarks and BENCH json diffs.
+EXPECTED_COMPONENTS = {
+    "rsa_sign",
+    "verify_cache",
+    "multisig_batch",
+    "codec_memo",
+    "coverage_cache",
+    "ilp_solver",
+    "place_memo",
+    "edf_memo",
+    "modegen_lookup",
+}
+
+
+class TestDefaultComponents:
+    def test_all_components_registered(self):
+        registry.ensure_default_components()
+        assert EXPECTED_COMPONENTS <= set(registry.components())
+
+    def test_every_component_exposes_stats_and_reset(self):
+        """The registry contract: each component has working callables."""
+        registry.ensure_default_components()
+        for name, component in registry.components().items():
+            assert callable(component.stats), name
+            assert callable(component.reset), name
+            snapshot = component.stats()
+            assert isinstance(snapshot, dict), name
+            component.reset()  # must not raise
+            # After a reset, every numeric *counter* reads zero.  Bools are
+            # configuration flags (verify_cache.enabled); capacity/entries
+            # describe the cache itself, which a stats reset keeps.
+            for key, value in component.stats().items():
+                if key in ("capacity", "entries") or isinstance(value, bool):
+                    continue
+                if isinstance(value, (int, float)):
+                    assert value == 0, f"{name}.{key} survived reset"
+
+    def test_stats_snapshot_keys_match_components(self):
+        registry.ensure_default_components()
+        assert set(registry.stats_snapshot()) == set(registry.components())
+
+    def test_reset_all_returns_names(self):
+        registry.ensure_default_components()
+        names = registry.reset_all()
+        assert EXPECTED_COMPONENTS <= set(names)
+
+
+class TestFastpathWrappers:
+    def test_fastpath_stats_covers_all_components(self):
+        stats = fastpath_stats()
+        assert EXPECTED_COMPONENTS <= set(stats)
+        for name, counters in stats.items():
+            assert isinstance(counters, dict), name
+
+    def test_reset_zeroes_counters(self):
+        from repro.crypto import rsa
+
+        pair = rsa.RSAKeyPair(bits=256, seed=7)
+        pair.sign(b"count me")
+        assert fastpath_stats()["rsa_sign"]["crt_signs"] >= 1
+        reset_fastpath_stats()
+        assert fastpath_stats()["rsa_sign"]["crt_signs"] == 0
+
+
+class TestRegisterApi:
+    def test_register_and_unregister(self):
+        calls = []
+        registry.register("test_component", lambda: {"x": 1}, lambda: calls.append(1))
+        try:
+            assert "test_component" in registry.components()
+            assert fastpath_stats()["test_component"] == {"x": 1}
+            registry.reset_all()
+            assert calls == [1]
+        finally:
+            registry.unregister("test_component")
+        assert "test_component" not in registry.components()
+        assert "test_component" not in fastpath_stats()
+
+    def test_register_rejects_non_callables(self):
+        with pytest.raises(TypeError):
+            registry.register("bad", {"not": "callable"}, lambda: None)
+        with pytest.raises(TypeError):
+            registry.register("bad", lambda: {}, "nope")
+        assert "bad" not in registry.components()
+
+    def test_unregister_missing_is_noop(self):
+        registry.unregister("never_registered")

@@ -1,0 +1,162 @@
+"""Recovery-timeline reconstruction vs the runtime's own ground truth.
+
+The decomposition is derived *only* from recorded events; these tests pin
+it against ``ReboundSystem.detected()`` / ``converged()`` sampled live, and
+against the BTR monitor's verdicts.
+"""
+
+import pytest
+
+from repro.chaos.monitor import BTRMonitor
+from repro.core import ReboundConfig, ReboundSystem
+from repro.faults.adversary import CrashBehavior
+from repro.net.topology import erdos_renyi_topology, grid_topology
+from repro.obs import recorder as flight
+from repro.obs.recorder import FlightRecorder
+from repro.obs.timeline import (
+    crosscheck,
+    divergence_report,
+    extract_ground_truth,
+    phase_spans,
+    reconstruct,
+)
+from repro.sched.workload import WorkloadGenerator
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_recorder():
+    assert flight.active is None
+    yield
+    assert flight.active is None
+
+
+def _pick_victim(system):
+    """A controller hosting a placement, so the crash forces recovery."""
+    controllers = set(system.topology.controllers)
+    schedule = system.nodes[min(system.nodes)].current_schedule
+    hosts = set(schedule.placements.values()) if schedule else set()
+    candidates = sorted(hosts & controllers)
+    return candidates[-1] if candidates else max(controllers)
+
+
+def _run_crash_episode(topology, rounds=20, fault_round=8, seed=0):
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=1.5
+    )
+    config = ReboundConfig(fmax=1, fconc=1, variant="basic", rsa_bits=256)
+    recorder = FlightRecorder()
+    recorder.install()
+    observed_detection = observed_convergence = None
+    try:
+        system = ReboundSystem(topology, workload, config, seed=seed)
+        monitor = BTRMonitor(record_only=True)
+        system.attach_monitor(monitor)
+        victim = _pick_victim(system)
+        for r in range(1, rounds + 1):
+            if r == fault_round:
+                system.inject_now(victim, CrashBehavior())
+            system.run_round()
+            if r >= fault_round:
+                if observed_detection is None and system.detected():
+                    observed_detection = r
+                if observed_convergence is None and system.converged():
+                    observed_convergence = r
+    finally:
+        recorder.uninstall()
+    return recorder, monitor, victim, observed_detection, observed_convergence
+
+
+class TestCrashDecomposition:
+    @pytest.mark.parametrize(
+        "topology_factory",
+        [lambda: grid_topology(2, 3), lambda: erdos_renyi_topology(6, seed=3)],
+        ids=["grid", "erdos_renyi"],
+    )
+    def test_trace_matches_runtime_ground_truth(self, topology_factory):
+        recorder, monitor, victim, det, conv = _run_crash_episode(
+            topology_factory()
+        )
+        assert det is not None and conv is not None
+        decomposition = reconstruct(recorder.events())
+        # Ground truth from the trace alone names the injected fault.
+        assert set(decomposition.truth.nodes) == {victim}
+        # Trace-derived rounds equal the live-sampled ones exactly.
+        assert decomposition.detection_round == det
+        assert decomposition.convergence_round == conv
+        # And the monitor, which watched the live system, agrees too.
+        check = crosscheck(decomposition, monitor)
+        assert check["detection_agrees"]
+        assert check["violations"] == []
+
+    @pytest.mark.parametrize(
+        "topology_factory",
+        [lambda: grid_topology(2, 3), lambda: erdos_renyi_topology(6, seed=3)],
+        ids=["grid", "erdos_renyi"],
+    )
+    def test_phases_sum_exactly_per_node(self, topology_factory):
+        recorder, _, _, _, conv = _run_crash_episode(topology_factory())
+        decomposition = reconstruct(recorder.events())
+        assert decomposition.per_node
+        for nr in decomposition.per_node.values():
+            assert nr.recovered
+            assert (
+                nr.detection_rounds + nr.evidence_rounds + nr.switch_rounds
+                == nr.total_rounds
+            )
+            assert nr.detection_rounds >= 0
+            assert nr.evidence_rounds >= 0
+            assert nr.switch_rounds >= 0
+        # The slowest node's total is the system recovery time (within the
+        # 1-round attribution tolerance of the acceptance criterion).
+        fault_round = decomposition.truth.first_round
+        assert abs(decomposition.max_node_total() - (conv - fault_round)) <= 1
+
+    def test_phase_spans_render_decomposition(self):
+        recorder, _, _, _, _ = _run_crash_episode(grid_topology(2, 3))
+        decomposition = reconstruct(recorder.events())
+        spans = phase_spans(decomposition, round_us=1000)
+        assert spans
+        for span in spans:
+            assert span["ph"] == "X"
+            assert span["cat"] == "recovery"
+            assert span["dur"] == span["args"]["rounds"] * 1000
+        # Per node, the rendered spans cover exactly the node's total.
+        by_node = {}
+        for span in spans:
+            by_node.setdefault(span["pid"], 0)
+            by_node[span["pid"]] += span["args"]["rounds"]
+        for node, total in by_node.items():
+            assert total == decomposition.per_node[node].total_rounds
+
+    def test_ground_truth_extraction(self):
+        recorder, _, victim, _, _ = _run_crash_episode(grid_topology(2, 3))
+        truth = extract_ground_truth(recorder.events())
+        assert list(truth.nodes) == [victim]
+        assert truth.first_round == truth.last_round
+        assert not truth.empty
+
+
+class TestEquivocationDivergence:
+    def test_gap_preset_shows_divergent_evidence(self):
+        """The ROADMAP's known equivocation gap, made visible: under
+        heartbeat equivocation on REBOUND-MULTI, correct nodes end on
+        different evidence digests.  The divergence report is the
+        diagnosis aid, not a pass/fail gate."""
+        from repro.experiments.trace_run import run_trace
+
+        result = run_trace(
+            preset="equivocation-gap", jsonl_path="", chrome_path=""
+        )
+        divergence = result["divergence"]
+        assert divergence["divergent"]
+        assert len(divergence["digest_groups"]) > 1
+        # Every analyzed node reports a final digest + normalized pattern.
+        for info in divergence["per_node"].values():
+            assert info["digest"]
+            assert info["pattern_nodes"] is not None
+
+    def test_no_divergence_on_clean_crash(self):
+        recorder, _, _, _, _ = _run_crash_episode(grid_topology(2, 3))
+        report = divergence_report(recorder.events())
+        assert not report["divergent"]
+        assert len(report["digest_groups"]) == 1
