@@ -31,6 +31,7 @@ from repro.chaos.monitor import (
     BTRMonitor,
     DetectionTimeoutViolation,
     InvariantViolation,
+    MemoryBoundViolation,
     RecoveryTimeoutViolation,
     StructuralViolation,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "BTRMonitor",
     "DetectionTimeoutViolation",
     "InvariantViolation",
+    "MemoryBoundViolation",
     "RecoveryTimeoutViolation",
     "StructuralViolation",
     "BEHAVIORS",

@@ -18,10 +18,12 @@ halved, keeping every simplification that still fails.  Results are
 written to ``BENCH_chaos.json`` (pass/fail matrix, rounds-to-recovery
 distribution, violation census) -- the ``smoke`` preset is CI-sized.
 
-The known equivocation accuracy gap (ROADMAP "Open items", pinned by
-``tests/test_regression_equivocation.py``) is *tagged*, not failed: cells
-running ``equivocate`` under the ``multi`` variant report their violations
-under ``tagged`` so the campaign stays green while the gap is open.
+The ``storm`` preset concentrates on the evidence layer: equivocation
+(plain and epoch-split) and evidence floods, with the monitor additionally
+asserting the admission-quota memory bounds every round.  The equivocation
+accuracy gap these cells used to trip is closed (see
+``tests/test_regression_equivocation.py``), so storm cells are judged like
+any other -- zero violations in budget.
 """
 
 from __future__ import annotations
@@ -112,6 +114,14 @@ BEHAVIORS: Dict[str, BehaviorSpec] = {
         BehaviorSpec("delay", lambda: adv.DelayBehavior(delay_rounds=2), 1, True),
         BehaviorSpec("flood", lambda: adv.GarbageFloodBehavior(size=2_000), 1, True),
         BehaviorSpec("equivocate", adv.EquivocateBehavior, 1, True),
+        BehaviorSpec("epoch-split", adv.EpochSplitEquivocateBehavior, 1, True),
+        # The flood's self-incriminating PoMs make the attacker observable.
+        BehaviorSpec(
+            "evidence-flood",
+            lambda: adv.EvidenceFloodBehavior(rate=100),
+            1,
+            True,
+        ),
         BehaviorSpec("lfd-storm", adv.LFDStormBehavior, 1, True),
         # Observability of a corrupted output depends on the drawn workload
         # (paper Req. 1 excludes faults with no visible effect), so the
@@ -333,17 +343,33 @@ def full_cells() -> List[CampaignCell]:
     return cells
 
 
+def storm_cells() -> List[CampaignCell]:
+    """The evidence-layer stress matrix: equivocation storms (plain and
+    epoch-split) and 100x evidence floods, on the small graph and the
+    20-node grid, with the memory-bound checks armed."""
+    cells: List[CampaignCell] = []
+    for behavior in ("equivocate", "epoch-split", "evidence-flood"):
+        for seed in (0, 1):
+            cells.append(CampaignCell("er6", behavior, "none", seed))
+    cells.append(CampaignCell("er6", "equivocate", "dup", 0))
+    cells.append(CampaignCell("er6", "evidence-flood", "reorder", 0))
+    cells.append(CampaignCell("grid4x5", "evidence-flood", "none", 0))
+    cells.append(CampaignCell("grid4x5", "equivocate", "none", 0))
+    return cells
+
+
 PRESETS: Dict[str, Callable[[], List[CampaignCell]]] = {
     "smoke": smoke_cells,
     "full": full_cells,
+    "storm": storm_cells,
 }
 
 
 def known_issue_tag(cell: CampaignCell) -> Optional[str]:
     """Configurations held open by the suite (strict-xfail pins) are
-    tagged, not failed, so the campaign stays green while they are open."""
-    if cell.behavior == "equivocate" and cell.variant == "multi":
-        return "known-equivocation-gap"
+    tagged, not failed, so the campaign stays green while they are open.
+    Currently empty: the equivocation accuracy gap that used to live here
+    is fixed and pinned green by ``tests/test_regression_equivocation.py``."""
     return None
 
 

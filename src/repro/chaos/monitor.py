@@ -79,6 +79,14 @@ class StructuralViolation(InvariantViolation):
     kind = "structural"
 
 
+class MemoryBoundViolation(InvariantViolation):
+    """A correct node's adversary-growable state exceeded its admission
+    cap (evidence store, heartbeat store, Rule B suspicions, or pending
+    audit buffers) -- the quota layer failed to bound memory."""
+
+    kind = "memory"
+
+
 class BTRMonitor:
     """Per-round checker of the BTR requirements (see module docstring).
 
@@ -196,6 +204,7 @@ class BTRMonitor:
         correct = self._correct_set(system)
         self._check_hard_accuracy(system, correct)
         self._check_structural_lookup(system, correct)
+        self._check_memory_bounds(system, correct)
         if not self.in_budget:
             return
         self._check_inference_accuracy(system, correct)
@@ -345,6 +354,58 @@ class BTRMonitor:
             ),
             ("recovery", last_event),
         )
+
+    # Memory: adversary-growable state at every correct node stays under
+    # its cap, every round, whatever the environment does.  Armed whenever
+    # the quota layer is on (in- and out-of-budget alike: memory bounds,
+    # like hard accuracy, must survive arbitrarily hostile environments).
+    def _check_memory_bounds(self, system, correct: Set[int]) -> None:
+        config = system.config
+        if not getattr(config, "quotas_enabled", False):
+            return
+        from repro.core.quotas import (
+            evidence_item_cap,
+            heartbeat_record_cap,
+        )
+
+        d_max = config.d_max
+        if d_max is None:
+            return
+        n = len(system.topology.controllers)
+        ev_cap = evidence_item_cap(n, d_max)
+        hb_cap = heartbeat_record_cap(n, d_max)
+        for node_id in correct:
+            fwd = system.nodes[node_id].forwarding
+            checks = [("evidence", len(fwd.evidence), ev_cap)]
+            if config.expiry_optimization:
+                checks.append(("heartbeat-store", len(fwd.store), hb_cap))
+            checks.append(
+                ("rule-b-pending", len(fwd._pending_rule_b), n)
+            )
+            auditing = system.nodes[node_id].auditing
+            if auditing.pending_cap is not None:
+                for (task_id, copy_idx), rep in auditing._replicas.items():
+                    for name, buf in (
+                        ("bundles", rep.bundles),
+                        ("auths", rep.auths),
+                        ("xrep-digests", rep.peer_digests),
+                    ):
+                        checks.append((
+                            f"audit-{name}[{task_id},{copy_idx}]",
+                            len(buf),
+                            auditing.pending_cap,
+                        ))
+            for store, size, cap in checks:
+                if size > cap:
+                    self._emit(
+                        MemoryBoundViolation(
+                            f"{store} at node {node_id} holds {size} "
+                            f"entries, cap {cap}",
+                            self._repro(system, observer=node_id,
+                                        store=store, size=size, cap=cap),
+                        ),
+                        ("memory", (node_id, store)),
+                    )
 
     # Structural: each node's mode is exactly its evidence's mode-tree answer.
     def _check_structural_lookup(self, system, correct: Set[int]) -> None:

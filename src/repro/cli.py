@@ -13,7 +13,7 @@ Usage::
     python -m repro report --out results.md [--scale full]
     python -m repro bench-fastpath [--rounds 30] [--out BENCH_fastpath.json]
     python -m repro bench-modegen [--workers 2] [--quick] [--out BENCH_modegen.json]
-    python -m repro chaos [--preset smoke|full] [--seeds 0,1] [--out BENCH_chaos.json]
+    python -m repro chaos [--preset smoke|full|storm] [--seeds 0,1] [--out BENCH_chaos.json]
     python -m repro trace [--preset smoke|equivocation-gap] [--rounds 30]
 
 Each command prints the regenerated rows and the paper's qualitative shape
@@ -278,8 +278,9 @@ def build_parser() -> argparse.ArgumentParser:
         "under the BTR invariant monitor (writes BENCH_chaos.json)",
     )
     chaos.add_argument(
-        "--preset", choices=["smoke", "full"], default="smoke",
-        help="cell matrix size (smoke is CI-sized, <60s)",
+        "--preset", choices=["smoke", "full", "storm"], default="smoke",
+        help="cell matrix (smoke is CI-sized, <60s; storm stresses the "
+        "evidence layer: equivocation + floods with memory-bound checks)",
     )
     chaos.add_argument(
         "--seeds", type=_int_list, default=None,
@@ -303,7 +304,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--preset", choices=["smoke", "equivocation-gap"], default="smoke",
         help="smoke = seeded crash on a 4x5 grid; equivocation-gap = the "
-        "ROADMAP open item as a diagnosis aid (always exits 0)",
+        "(closed) equivocation storm, gated: exits non-zero if the "
+        "decomposition or monitor cross-check regresses",
     )
     trace.add_argument("--rounds", type=int, default=None,
                        help="override the preset's round count")

@@ -167,6 +167,7 @@ class AuditingLayer:
         crypto: NodeCrypto,
         submit_evidence: Callable[[Any], None],
         send_on_path: Callable[[Path, bytes], None],
+        pending_cap: Optional[int] = None,
     ):
         self.node_id = node_id
         self.workload = workload
@@ -174,6 +175,13 @@ class AuditingLayer:
         self.crypto = crypto
         self.submit_evidence = submit_evidence
         self.send_on_path = send_on_path
+        # Max buffered bundle/auth/xrep rounds per replica (None = unbounded,
+        # ablations only).  An honest primary streams in round order and the
+        # audit loop drains after a short wait, so honest traffic never
+        # reaches the cap; a gap that would stall the window is the
+        # primary's fault and rounds past it are never audited anyway.
+        self.pending_cap = pending_cap
+        self.pending_drops = 0
 
         self.schedule: Optional[ModeSchedule] = None
         self.paths: PathSet = PathSet([])
@@ -342,6 +350,8 @@ class AuditingLayer:
         replica = self._replicas.get((path.task_to, path.copy_to))
         if replica is None:
             return
+        if not self._admit_pending(replica, origin_round, replica.bundles):
+            return
         replica.bundles[origin_round] = (payload, signature)
         if replica.next_audit_round < 0:
             replica.next_audit_round = origin_round
@@ -373,7 +383,13 @@ class AuditingLayer:
             for v, t in zip(decoded, (int, int, bytes, bytes))
         ):
             return
-        replica.auths.setdefault(out_round, []).append((out_path_id, digest, sig))
+        if not self._admit_pending(replica, out_round, replica.auths):
+            return
+        entries = replica.auths.setdefault(out_round, [])
+        if self.pending_cap is not None and len(entries) >= self.pending_cap:
+            self.pending_drops += 1
+            return
+        entries.append((out_path_id, digest, sig))
 
     def _on_xrep_packet(
         self, path: Path, origin_round: int, payload: bytes, origin: int
@@ -390,7 +406,31 @@ class AuditingLayer:
         exec_round, digest = decoded
         if not isinstance(exec_round, int) or not isinstance(digest, bytes):
             return
-        replica.peer_digests.setdefault(exec_round, []).append(digest)
+        if not self._admit_pending(replica, exec_round, replica.peer_digests):
+            return
+        digests = replica.peer_digests.setdefault(exec_round, [])
+        if self.pending_cap is not None and len(digests) >= self.pending_cap:
+            self.pending_drops += 1
+            return
+        digests.append(digest)
+
+    def _admit_pending(
+        self, replica: _ReplicaState, round_no: int, buffer: Dict[int, Any]
+    ) -> bool:
+        """Admission check for per-replica pending buffers: the round must
+        sit inside the audit window [next - 2, next + pending_cap), and a
+        *new* round key must not grow the buffer past the cap."""
+        if self.pending_cap is None:
+            return True
+        nxt = replica.next_audit_round
+        if nxt >= 0:
+            if round_no < nxt - 2 or round_no >= nxt + self.pending_cap:
+                self.pending_drops += 1
+                return False
+        if round_no not in buffer and len(buffer) >= self.pending_cap:
+            self.pending_drops += 1
+            return False
+        return True
 
     # -- round execution -----------------------------------------------------------
 

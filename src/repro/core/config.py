@@ -48,6 +48,11 @@ class ReboundConfig:
             cache (:mod:`repro.crypto.verify_cache`).  A pure simulator
             fast path; disabling it yields byte-identical transcripts
             and operation counts, just slower (see benchmarks).
+        quotas_enabled: admission control + bounded evidence/challenge
+            stores (:mod:`repro.core.quotas`).  Transcript-preserving
+            whenever no quota fires -- i.e. in any run where every sender
+            stays within what a correct node could legitimately originate
+            per round.  Disabled only for ablations.
     """
 
     fmax: int = 1
@@ -66,6 +71,7 @@ class ReboundConfig:
     audit_lag_rounds: int = 1
     protocol_enabled: bool = True
     verify_cache: bool = True
+    quotas_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.fmax < 0 or self.fconc < 0:

@@ -59,14 +59,20 @@ class _DeviceBase(NodeProtocol):
             replay_state=registry.replay_state,
             verify_operator=crypto.verify_operator,
         )
-        self.evidence = EvidenceSet()
+        self.evidence = EvidenceSet(bounded=config.quotas_enabled)
         self.schedule: Optional[ModeSchedule] = None
         self.paths: PathSet = PathSet([])
         self._round = 0
         self.adopt_mode()
 
     def adopt_mode(self) -> None:
-        pattern = self.evidence.failure_pattern(self.config.fmax)
+        from repro.core.quotas import pom_lfd_slack
+
+        # Same explained-LFD window as the controllers' forwarding layers:
+        # a device deriving a different pattern from the same evidence would
+        # adopt a divergent mode.
+        slack = None if self.config.d_max is None else pom_lfd_slack(self.config.d_max)
+        pattern = self.evidence.failure_pattern(self.config.fmax, pom_lfd_slack=slack)
         schedule = self.mode_tree.schedule_for(pattern)
         if schedule != self.schedule:
             self.schedule = schedule

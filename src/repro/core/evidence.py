@@ -243,6 +243,12 @@ class EvidenceVerifier:
             None, deterministically re-executing a task; None when the
             verifier lacks the task code (it must then distrust the PoM).
             ``inputs`` is the tuple of 5-tuples from the PoM bundle.
+        verify_record_signature: optional fallback with the same shape as
+            ``verify_signature`` for signatures heartbeat records carry under
+            the multisignature variant (a partial-multisig value rather than
+            a plain RSA signature).  An equivocation PoM embeds the two
+            conflicting records' signatures verbatim, so the verifier must be
+            able to check whichever scheme the accused actually signed with.
     """
 
     def __init__(
@@ -251,11 +257,21 @@ class EvidenceVerifier:
         replay_task: Optional[Callable[[int, bytes, Tuple, int], Optional[bytes]]] = None,
         replay_state: Optional[Callable[[int, bytes, Tuple, int], Optional[bytes]]] = None,
         verify_operator: Optional[Callable[[bytes, bytes], bool]] = None,
+        verify_record_signature: Optional[Callable[[int, bytes, bytes], bool]] = None,
     ):
         self._verify_signature = verify_signature
         self._replay_task = replay_task
         self._replay_state = replay_state
         self._verify_operator = verify_operator
+        self._verify_record_signature = verify_record_signature
+
+    def _accused_signed(self, accused: int, body: bytes, signature: bytes) -> bool:
+        """True if ``signature`` binds ``accused`` to ``body`` under either
+        signing scheme the accused could have used for a record."""
+        if self._verify_signature(accused, body, signature):
+            return True
+        fallback = self._verify_record_signature
+        return fallback is not None and fallback(accused, body, signature)
 
     def verify_blessing(self, blessing) -> bool:
         if self._verify_operator is None:
@@ -290,9 +306,9 @@ class EvidenceVerifier:
         slot_a, slot_b = slot_of(pom.body_a), slot_of(pom.body_b)
         if slot_a is None or slot_a != slot_b:
             return False
-        return self._verify_signature(
+        return self._accused_signed(
             pom.accused, pom.body_a, pom.sig_a
-        ) and self._verify_signature(pom.accused, pom.body_b, pom.sig_b)
+        ) and self._accused_signed(pom.accused, pom.body_b, pom.sig_b)
 
     def verify_bad_computation(self, pom: BadComputationPoM) -> bool:
         if self._replay_task is None:
@@ -376,12 +392,54 @@ class EvidenceVerifier:
 # -- evidence sets ---------------------------------------------------------------
 
 
-class EvidenceSet:
-    """A monotonic, canonically-digestible set of evidence items."""
+def _accusation_round_of(item: EvidenceItem) -> Optional[int]:
+    """The round an evidence item accuses (None if not attributable).
 
-    def __init__(self) -> None:
+    Mirrors :func:`repro.core.blessing.accusation_round` without importing
+    it (blessing imports this module); kept here so the bounded-store
+    ordering and the PoM-explains-LFD window are pure functions of the item.
+    """
+    if isinstance(item, LFD):
+        return item.declared_round
+    if isinstance(item, (BadComputationPoM, StateChainPoM)):
+        return item.round_no
+    if isinstance(item, EquivocationPoM):
+        slot = slot_of(item.body_a)
+        if slot is None:
+            return None
+        return slot[1] if slot[0] == KIND_HEARTBEAT else slot[2]
+    return None
+
+
+# How many items a bounded EvidenceSet keeps per bucket: the earliest and
+# the latest by accusation round.  This is pattern-equivalent to keeping
+# everything: a rejected middle item is bracketed by a kept item with a
+# round >= its own, so whenever the middle item would be unabsolved (its
+# round exceeds every blessing's as_of_round) the kept maximum is too, and
+# the same link/node stays declared.  Crucially the *maximum* survives, so
+# a genuine post-blessing accusation (necessarily the newest) is always
+# admitted no matter how much stale material an adversary pre-flooded.
+_BUCKET_KEEP = 2
+
+
+class EvidenceSet:
+    """A monotonic, canonically-digestible set of evidence items.
+
+    With ``bounded=True`` (the quota layer), attributable items are grouped
+    into buckets -- LFDs per (link, issuer), PoMs per (kind, accused) --
+    and each bucket retains only its extremes by (accusation round, digest).
+    Total attributable storage is then O(n^2) regardless of how fast an
+    adversary manufactures validly signed evidence, while the derived
+    failure pattern is identical to the unbounded set's (see _BUCKET_KEEP).
+    Blessings are operator-minted and idempotent, so they stay unbounded.
+    """
+
+    def __init__(self, bounded: bool = False) -> None:
         self._items: Dict[bytes, EvidenceItem] = {}
         self._digest_cache: Optional[bytes] = None
+        self._bounded = bounded
+        self._buckets: Dict[Tuple, List[Tuple[Tuple[int, bytes], bytes]]] = {}
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -392,17 +450,56 @@ class EvidenceSet:
     def has_digest(self, digest: bytes) -> bool:
         return digest in self._items
 
+    @staticmethod
+    def _bucket_of(item: EvidenceItem) -> Optional[Tuple]:
+        if isinstance(item, LFD):
+            return ("LFD", item.link, item.issuer)
+        if isinstance(item, EquivocationPoM):
+            return ("EQV", item.accused)
+        if isinstance(item, BadComputationPoM):
+            return ("BAD", item.accused, item.task_id)
+        if isinstance(item, StateChainPoM):
+            return ("CHAIN", item.accused, item.task_id)
+        return None
+
     def add(self, item: EvidenceItem) -> bool:
-        """Add an (already verified) item; True if it was new."""
+        """Add an (already verified) item; True if it was new.
+
+        A bounded set may refuse a bucket-dominated item (returns False) or
+        evict a previous extreme to admit the new one."""
         digest = evidence_digest(item)
         if digest in self._items:
             return False
+        if self._bounded:
+            bucket = self._bucket_of(item)
+            if bucket is not None:
+                rank = ((_accusation_round_of(item) or 0), digest)
+                members = self._buckets.setdefault(bucket, [])
+                if len(members) >= _BUCKET_KEEP:
+                    members.sort()
+                    lo, hi = members[0], members[-1]
+                    if rank < lo[0]:
+                        evict = lo
+                    elif rank > hi[0]:
+                        evict = hi
+                    else:
+                        return False  # dominated by the kept extremes
+                    members.remove(evict)
+                    del self._items[evict[1]]
+                    self.evictions += 1
+                members.append((rank, digest))
         self._items[digest] = item
         self._digest_cache = None
         return True
 
     def merge(self, other: "EvidenceSet") -> List[EvidenceItem]:
         """Union in ``other``; returns the newly added items."""
+        if self._bounded:
+            added = []
+            for digest in sorted(other._items):
+                if digest not in self._items and self.add(other._items[digest]):
+                    added.append(other._items[digest])
+            return added
         added = []
         for digest, item in other._items.items():
             if digest not in self._items:
@@ -463,17 +560,52 @@ class EvidenceSet:
             if isinstance(item, LFD) and not self._is_absolved(item, blessings)
         )
 
-    def failure_pattern(self, fmax: int) -> FailureScenario:
+    def _pom_accusations(self, blessings) -> List[Tuple[int, int]]:
+        """(accused, accusation_round) for each unabsolved commission PoM."""
+        out = []
+        for item in self._items.values():
+            if isinstance(
+                item, (EquivocationPoM, BadComputationPoM, StateChainPoM)
+            ) and not self._is_absolved(item, blessings):
+                rnd = _accusation_round_of(item)
+                if rnd is not None:
+                    out.append((item.accused, rnd))
+        return out
+
+    def failure_pattern(
+        self, fmax: int, pom_lfd_slack: Optional[int] = None
+    ) -> FailureScenario:
         """The (KN, KL) this evidence implies, normalized to the fault budget.
 
         PoM-accused nodes go to KN directly; LFD links whose endpoints are
         already in KN are absorbed; the rest stay in KL unless the budget
         forces blaming a shared endpoint (S3.2).
+
+        With ``pom_lfd_slack`` set (the forwarding layer passes a function
+        of the shared d_max), an LFD declared within ``slack`` rounds after
+        an unabsolved commission PoM's accusation round is *explained* by
+        that PoM and not counted: during an equivocation storm the proven
+        equivocator's heartbeats poison propagation everywhere at once, and
+        the resulting shower of coverage LFDs between correct neighbors must
+        not enter the fault-budget inference (Req. 3).  The filter reads
+        only item-intrinsic rounds, so every node derives the same pattern
+        from the same evidence set regardless of arrival order.
         """
         nodes = self.accused_nodes()
-        links = frozenset(
-            link for link in self.declared_links() if not (set(link) & nodes)
-        )
+        blessings = self._best_blessings()
+        accusations = self._pom_accusations(blessings) if pom_lfd_slack else []
+        links = set()
+        for item in self._items.values():
+            if not isinstance(item, LFD) or self._is_absolved(item, blessings):
+                continue
+            if set(item.link) & nodes:
+                continue
+            if accusations and any(
+                acc_round <= item.declared_round <= acc_round + pom_lfd_slack
+                for _accused, acc_round in accusations
+            ):
+                continue
+            links.add(item.link)
         return normalize_scenario(
-            FailureScenario(nodes=nodes, links=links), fmax
+            FailureScenario(nodes=nodes, links=frozenset(links)), fmax
         )

@@ -62,6 +62,7 @@ from repro.core.heartbeat import (
 )
 from repro.core.identity import NodeCrypto
 from repro.core.paths import Path, PathSet
+from repro.core.quotas import AdmissionQuotas, pom_lfd_slack
 from repro.crypto.hashing import hash_bytes
 from repro.net.message import encode, register_message
 from repro.net.topology import Topology
@@ -73,6 +74,7 @@ from repro.obs.events import (
     EV_HEARTBEAT_VERIFY,
     EV_LFD_ISSUED,
     EV_POM_CREATED,
+    EV_QUOTA_DROP,
 )
 from repro.sched.modegen import FailureScenario
 
@@ -254,7 +256,7 @@ class ForwardingLayer:
         self.window = self.d_max + 2
         self.stabilization_slack = self.d_max + 2
 
-        self.evidence = EvidenceSet()
+        self.evidence = EvidenceSet(bounded=config.quotas_enabled)
         self.last_evidence_change = -(10**9)
         self.store = BasicHeartbeatStore(
             window=self.window, expiry=config.expiry_optimization
@@ -267,7 +269,35 @@ class ForwardingLayer:
             lambda: defaultdict(set)
         )
         self._got_message_from: Set[int] = set()
-        self._lfds_issued: Set[Tuple[int, int]] = set()
+        # link -> round of the last LFD this layer issued for it.  Re-issue
+        # is allowed after ``lfd_reissue_cooldown`` rounds so a genuine link
+        # fault whose first declaration was explained away by a concurrent
+        # equivocation PoM (see EvidenceSet.failure_pattern) is not masked
+        # forever; a link already adopted into the fault pattern stops being
+        # a live neighbor, so the cooldown never causes per-round re-minting.
+        self._lfds_issued: Dict[Tuple[int, int], int] = {}
+        # Deferred Rule B suspicions: neighbor -> (round raised, expected
+        # support at raise time).  A coverage shortfall is held for
+        # ``rule_b_grace`` rounds before becoming an LFD; if a commission PoM
+        # against a node inside the expected support arrives meanwhile, the
+        # shortfall is charged to that proven-faulty origin instead of the
+        # relaying neighbor (the equivocation-storm accuracy fix).
+        self._pending_rule_b: Dict[int, Tuple[int, frozenset]] = {}
+        # While probing, _compose_heartbeats falls back to individual-record
+        # flooding even in MULTI's stable state: conflicting per-destination
+        # heartbeats only surface as equivocation PoMs when records circulate.
+        self._probe_until = -1
+        self.rule_b_grace = self.d_max + 2
+        # An unabsolved commission PoM explains LFDs declared up to this many
+        # rounds after its accusation round (storm geometry: conflict
+        # propagation plus the Rule B horizon plus the deferral window).
+        self.pom_lfd_slack = pom_lfd_slack(self.d_max)
+        self.lfd_reissue_cooldown = self.pom_lfd_slack + 1
+        self.quotas: Optional[AdmissionQuotas] = (
+            AdmissionQuotas.from_topology(topology, self.d_max)
+            if config.quotas_enabled and config.protocol_enabled
+            else None
+        )
 
         # Data-path state.
         self.paths: PathSet = PathSet([])
@@ -299,7 +329,9 @@ class ForwardingLayer:
     # -- fault pattern / coverage ------------------------------------------------
 
     def _refresh_pattern(self, initial: bool = False) -> None:
-        pattern = self.evidence.failure_pattern(self.config.fmax)
+        pattern = self.evidence.failure_pattern(
+            self.config.fmax, pom_lfd_slack=self.pom_lfd_slack
+        )
         if not initial and pattern == self._fault_pattern and self._coverage is not None:
             return
         self._fault_pattern = pattern
@@ -344,9 +376,10 @@ class ForwardingLayer:
     def issue_lfd(self, other: int) -> None:
         """Declare the link to ``other`` failed (omission observed)."""
         link = (min(self.node_id, other), max(self.node_id, other))
-        if link in self._lfds_issued:
+        last = self._lfds_issued.get(link)
+        if last is not None and self._round < last + self.lfd_reissue_cooldown:
             return
-        self._lfds_issued.add(link)
+        self._lfds_issued[link] = self._round
         flight = _flight.active
         if flight is not None:
             flight.emit(
@@ -385,8 +418,8 @@ class ForwardingLayer:
                     # The repaired node's links may legitimately fail again
                     # later; re-arm this layer's one-LFD-per-link guard.
                     self._lfds_issued = {
-                        link
-                        for link in self._lfds_issued
+                        link: rnd
+                        for link, rnd in self._lfds_issued.items()
                         if item.node_id not in link
                     }
         if added:
@@ -425,6 +458,29 @@ class ForwardingLayer:
         self._round = round_no
         self._got_message_from = set()
         self._packets_this_round = set()
+        if self.quotas is not None:
+            self.quotas.begin_round(round_no)
+
+    def _charge_quota(self, sender: int, kind: str) -> bool:
+        """Admission control: one unit of round-``kind`` verification budget
+        for ``sender``.  Anything beyond what a correct node could
+        legitimately originate in one round is dropped *before* signature
+        verification (the flood defense); the first drop per (sender, kind)
+        per round is flight-recorded."""
+        quotas = self.quotas
+        if quotas is None:
+            return True
+        allowed, first_drop = quotas.charge(sender, kind)
+        if not allowed and first_drop:
+            flight = _flight.active
+            if flight is not None:
+                flight.emit(
+                    EV_QUOTA_DROP,
+                    self.node_id,
+                    {"sender": sender, "kind": kind},
+                    round_no=self._round,
+                )
+        return allowed
 
     def receive(self, round_no: int, sender: int, msg: Any) -> None:
         if not isinstance(msg, RoundMessage):
@@ -456,6 +512,8 @@ class ForwardingLayer:
         for item in items:
             if item in self.evidence:
                 continue
+            if not self._charge_quota(sender, "evidence"):
+                continue
             if self.verifier.verify(item):
                 to_add.append(item)
             else:
@@ -477,6 +535,8 @@ class ForwardingLayer:
             existing = self.store.get(rec.origin, rec.round_no)
             if existing is not None and existing.delta_count == rec.delta_count:
                 self._delivered[sender][rec.round_no].add(rec.origin)
+                continue
+            if not self._charge_quota(sender, "records"):
                 continue
             if not self._verify_record(sender, rec):
                 ok = False
@@ -573,8 +633,17 @@ class ForwardingLayer:
             if age < 0 or age > self.d_max:
                 continue
             if agg.epoch_digest != self.epoch_digest:
-                continue  # different fault epoch; fallback records cover this
+                # Different fault epoch; fallback records cover this.  An
+                # unexplained divergence -- our own evidence has been stable
+                # well past the slack window, so no recent fault accounts
+                # for it -- is a storm symptom: probe with individual
+                # records so any equivocation surfaces as a PoM.
+                if self.last_evidence_change < self._round - self.stabilization_slack:
+                    self._start_probe()
+                continue
             if not self._coverage.has_node(sender):
+                continue
+            if not self._charge_quota(sender, "aggregates"):
                 continue
             admissible.append((agg, age))
         if not admissible:
@@ -594,6 +663,10 @@ class ForwardingLayer:
             if not ok:
                 # The sender's propagation was disturbed (or it lies); do not
                 # combine, and let Rule B attribute any resulting shortfall.
+                # Probe with individual records meanwhile: if an equivocator
+                # poisoned the aggregation chain, only circulating records
+                # can expose the conflicting signatures.
+                self._start_probe()
                 continue
             self._delivered[sender][agg.round_no].update(
                 self._coverage.support(sender, age)
@@ -695,6 +768,10 @@ class ForwardingLayer:
                     self.issue_lfd(j)
         # Rule B: coverage freshness, enforced once per origin round at the
         # expiry horizon (age == d_max), when propagation must have finished.
+        # A shortfall does not become an LFD immediately: it is held as a
+        # suspicion for ``rule_b_grace`` rounds (while record probing runs)
+        # so an equivocation PoM can claim it first -- a correct neighbor
+        # relaying a poisoned aggregation chain must not take the blame.
         if self._coverage is not None:
             stable_floor = self.last_evidence_change + self.stabilization_slack
             r_origin = r - 1 - self.d_max
@@ -705,7 +782,8 @@ class ForwardingLayer:
                     expected = self._coverage.support(j, self.d_max)
                     delivered = self._delivered[j][r_origin]
                     if not expected <= delivered:
-                        self.issue_lfd(j)
+                        self._suspect_coverage(j, expected)
+        self._resolve_coverage_suspicions()
         # Rule C: data-path omissions.  Only paths whose sources produce
         # unconditionally every round are enforced: data paths (tasks
         # execute every period even with empty inputs; sensors always read)
@@ -738,6 +816,50 @@ class ForwardingLayer:
                 if link in self._fault_pattern.links:
                     continue
                 self.issue_lfd(upstream)
+
+    def _start_probe(self) -> None:
+        """Fall back to individual-record flooding for a short window.
+
+        MULTI's steady state floods no individual records, so conflicting
+        per-destination heartbeats from an equivocator never meet at a
+        correct node and no PoM can be minted.  Each storm symptom (failed
+        aggregate verification, unexplained epoch divergence, a pending
+        Rule B suspicion) extends the probe, keeping records circulating
+        until the symptom clears or the suspicion resolves."""
+        self._probe_until = max(self._probe_until, self._round + 2)
+
+    def _pom_explains(self, expected: frozenset) -> bool:
+        """True when a held commission PoM condemns a node inside the
+        expected support set: the proven-faulty origin's equivocating
+        heartbeats poisoned the relay chain, so the coverage shortfall is
+        charged to it rather than the relaying neighbor."""
+        return bool(self.evidence.accused_nodes() & expected)
+
+    def _suspect_coverage(self, j: int, expected: Set[int]) -> None:
+        if self._pom_explains(expected):
+            return
+        if j not in self._pending_rule_b:
+            self._pending_rule_b[j] = (self._round, frozenset(expected))
+
+    def _resolve_coverage_suspicions(self) -> None:
+        if not self._pending_rule_b:
+            return
+        self._start_probe()
+        pattern = self._fault_pattern
+        for j, (raised, expected) in sorted(self._pending_rule_b.items()):
+            link = (min(self.node_id, j), max(self.node_id, j))
+            if (
+                self._pom_explains(expected)
+                or j in pattern.nodes
+                or link in pattern.links
+            ):
+                # Explained by a PoM, or the link/node is already declared
+                # faulty through other evidence: no LFD of ours is needed.
+                del self._pending_rule_b[j]
+                continue
+            if self._round >= raised + self.rule_b_grace:
+                del self._pending_rule_b[j]
+                self.issue_lfd(j)
 
     def end_round(self) -> RoundOutput:
         """Finish the round; returns the transmission plan.
@@ -849,7 +971,10 @@ class ForwardingLayer:
         stable_floor = self.last_evidence_change + 1
         aggregates: List[AggregateHeartbeat] = []
         records: List[HeartbeatRecord] = []
-        unstable = self.last_evidence_change >= r - self.stabilization_slack
+        unstable = (
+            self.last_evidence_change >= r - self.stabilization_slack
+            or r <= self._probe_until
+        )
         new_records = self.store.drain_new()
         for r_origin, state in sorted(self._aggregates.items()):
             if state.broken:

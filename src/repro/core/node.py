@@ -9,10 +9,11 @@ coordination* (paper S2.6: no consensus, no coordinator).
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.auditing import AuditingLayer, TaskRegistry
-from repro.core.config import ReboundConfig
+from repro.core.config import VARIANT_MULTI, ReboundConfig
 from repro.core.evidence import EvidenceVerifier
 from repro.core.forwarding import ForwardingLayer, RoundOutput
 from repro.core.identity import NodeCrypto
@@ -80,7 +81,14 @@ class ReboundNode(NodeProtocol):
             replay_task=registry.replay,
             replay_state=registry.replay_state,
             verify_operator=crypto.verify_operator,
+            verify_record_signature=(
+                self._verify_multisig_record
+                if config.variant == VARIANT_MULTI
+                else None
+            ),
         )
+        from repro.core.quotas import pending_audit_cap
+
         self.auditing = AuditingLayer(
             node_id=node_id,
             workload=workload,
@@ -88,6 +96,11 @@ class ReboundNode(NodeProtocol):
             crypto=crypto,
             submit_evidence=self._submit_evidence,
             send_on_path=self._send_on_path,
+            pending_cap=(
+                pending_audit_cap(config.d_max)
+                if config.quotas_enabled and config.d_max is not None
+                else None
+            ),
         )
         self.forwarding = ForwardingLayer(
             node_id=node_id,
@@ -143,6 +156,20 @@ class ReboundNode(NodeProtocol):
             )
 
     # -- layer callbacks -----------------------------------------------------------
+
+    def _verify_multisig_record(
+        self, origin: int, body: bytes, signature: bytes
+    ) -> bool:
+        """Verify a record signature under the multisignature variant, where
+        records carry a partial-multisig value instead of a plain RSA
+        signature (matches ``ForwardingLayer._verify_record``)."""
+        try:
+            value = int.from_bytes(signature, "big")
+        except (TypeError, ValueError):
+            return False
+        return self.crypto.ms_verify_value(
+            body, value, Counter({origin: 1}), cache_key=("single", origin)
+        )
 
     def _submit_evidence(self, item: Any) -> None:
         self.forwarding.submit_evidence(item)

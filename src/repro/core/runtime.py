@@ -214,7 +214,7 @@ class ReboundSystem:
         :class:`~repro.core.blessing.Blessing` absolving all evidence up to
         the current round is injected into the evidence flood.
         """
-        from repro.core.blessing import Blessing
+        from repro.core.blessing import Blessing, blessing_body
 
         if node_id not in self.topology.controllers:
             raise ValueError(f"{node_id} is not a controller")
@@ -237,8 +237,7 @@ class ReboundSystem:
             as_of_round=body_round,
             epoch=epoch,
             signature=self.directory.operator.sign(
-                __import__("repro.core.blessing", fromlist=["blessing_body"])
-                .blessing_body(node_id, body_round, epoch)
+                blessing_body(node_id, body_round, epoch)
             ).to_bytes(),
         )
         # Reprovision: a fresh node with evidence copied from a correct

@@ -12,10 +12,13 @@ Presets:
 * ``smoke`` -- the bench-fastpath deployment (4x5 grid, seeded crash at
   round 10): the CI-sized end-to-end check that trace-derived detection and
   convergence match the runtime's own ``detected()`` / ``converged()``.
-* ``equivocation-gap`` -- the ROADMAP's known open item (Erdos-Renyi n=6,
-  REBOUND-MULTI, fmax=2, heartbeat equivocation): a *diagnosis aid*, not a
-  pass/fail gate.  The exported ``divergence_report`` shows which evidence
-  digests the correct nodes ended on and which subsets condemned whom.
+* ``equivocation-gap`` -- the formerly open equivocation storm
+  (Erdos-Renyi n=6, REBOUND-MULTI, fmax=2, heartbeat equivocation).  Now
+  that epoch-aware Rule B attribution closes the gap, this preset is a
+  pass/fail gate like ``smoke``: it exits non-zero unless the
+  trace-derived decomposition is consistent and the monitor cross-check is
+  clean.  The exported ``divergence_report`` still shows which evidence
+  digests the correct nodes ended on, for regression diagnosis.
 """
 
 from __future__ import annotations
@@ -81,7 +84,6 @@ PRESETS: Dict[str, TracePreset] = {
         behavior_factory=EquivocateBehavior,
         topology_factory=_gap_topology,
         victim=0,
-        diagnosis_only=True,
     ),
 }
 

@@ -217,6 +217,174 @@ class EquivocateBehavior(AdversaryBehavior):
         )
 
 
+class EvidenceFloodBehavior(AdversaryBehavior):
+    """Resource-exhaustion attack on the evidence layer: flood neighbors
+    with *validly signed* evidence items.
+
+    Every item verifies -- self-LFDs about the attacker's own links with
+    rotating declared rounds, and self-incriminating equivocation PoMs --
+    so without admission control each one costs every receiver a signature
+    verification and a store slot.  The admission quotas
+    (:mod:`repro.core.quotas`) bound the per-round verification budget and
+    the bounded :class:`~repro.core.evidence.EvidenceSet` keeps resident
+    state at two items per bucket, whatever ``rate`` is.
+
+    The batch is memoized per round (identical to all destinations), so
+    the attacker pays ``rate`` signatures per round, not per message.
+    """
+
+    def __init__(self, rate: int = 100, seed: int = 0):
+        super().__init__()
+        self.rate = rate
+        self.seed = seed
+        self._neighbors: List[int] = []
+        self._memo_round: Optional[int] = None
+        self._memo: Tuple[Any, ...] = ()
+
+    def activate(self, system, node_id: int) -> None:
+        super().activate(system, node_id)
+        self._crypto = system.node(node_id).crypto
+        topo = system.topology
+        self._neighbors = [
+            x for x in topo.neighbors(node_id) if x in topo.controllers
+        ]
+
+    def _batch(self, round_no: int) -> Tuple[Any, ...]:
+        if round_no == self._memo_round:
+            return self._memo
+        from repro.core.evidence import (
+            LFD,
+            EquivocationPoM,
+            heartbeat_body,
+            lfd_body,
+        )
+
+        items: List[Any] = []
+        neighbors = self._neighbors or [self.node_id + 1]
+        for k in range(self.rate):
+            if k % 4 == 3:
+                # A self-incriminating equivocation PoM: verifies (both
+                # halves carry this node's real signature) and accurately
+                # accuses the attacker -- pure storage/CPU pressure.
+                slot_round = round_no - (k % 7)
+                body_a = heartbeat_body(slot_round, 0)
+                body_b = heartbeat_body(slot_round, 1)
+                items.append(
+                    EquivocationPoM(
+                        accused=self.node_id,
+                        body_a=body_a,
+                        sig_a=self._crypto.sign(body_a),
+                        body_b=body_b,
+                        sig_b=self._crypto.sign(body_b),
+                    )
+                )
+            else:
+                other = neighbors[k % len(neighbors)]
+                declared = round_no - (k % 11)
+                body = lfd_body(self.node_id, other, declared)
+                lo, hi = sorted((self.node_id, other))
+                items.append(
+                    LFD(
+                        a=lo,
+                        b=hi,
+                        declared_round=declared,
+                        issuer=self.node_id,
+                        signature=self._crypto.sign(body),
+                    )
+                )
+        self._memo_round = round_no
+        self._memo = tuple(items)
+        return self._memo
+
+    def tamper(self, round_no, sender, destination, payload):
+        if not isinstance(payload, RoundMessage):
+            return payload
+        return RoundMessage(
+            sender=payload.sender,
+            round_no=payload.round_no,
+            records=payload.records,
+            aggregates=payload.aggregates,
+            evidence=payload.evidence + self._batch(round_no),
+            packets=payload.packets,
+        )
+
+
+class EpochSplitEquivocateBehavior(AdversaryBehavior):
+    """Equivocation across *epoch digests*: split the neighborhood in two
+    and feed each half a different heartbeat history.
+
+    Even-numbered destinations see the node's true records; odd-numbered
+    destinations get re-signed records with a different delta count *and*
+    aggregates relabeled to a divergent epoch digest, so the two halves
+    build conflicting views of the same epoch.  This is the storm variant
+    that used to defeat Rule B attribution: the mismatch surfaced only as
+    coverage shortfalls on correct relayers.  With epoch-aware attribution
+    the receivers probe with individual records, mint a PoM against this
+    node, and charge the shortfall to it alone.
+    """
+
+    def activate(self, system, node_id: int) -> None:
+        super().activate(system, node_id)
+        self._crypto = system.node(node_id).crypto
+        self._variant = system.config.variant
+
+    def tamper(self, round_no, sender, destination, payload):
+        if not isinstance(payload, RoundMessage):
+            return payload
+        if destination % 2 == 0:
+            return payload
+        from repro.core.evidence import heartbeat_body
+        from repro.core.heartbeat import AggregateHeartbeat
+
+        records = []
+        changed = False
+        for rec in payload.records:
+            if rec.origin == self.node_id:
+                delta = rec.delta_count + 1
+                body = heartbeat_body(rec.round_no, delta)
+                if self._variant == "multi":
+                    value = self._crypto.ms_sign(body)
+                    sig = value.to_bytes(
+                        self._crypto.directory.group.element_size, "big"
+                    )
+                else:
+                    sig = self._crypto.sign(body)
+                records.append(
+                    HeartbeatRecord(
+                        origin=rec.origin,
+                        round_no=rec.round_no,
+                        delta_count=delta,
+                        signature=sig,
+                    )
+                )
+                changed = True
+            else:
+                records.append(rec)
+        aggregates = payload.aggregates
+        if aggregates:
+            # Relabel the epoch so the odd half of the neighborhood sees a
+            # diverged history whose aggregate no longer verifies.
+            aggregates = tuple(
+                AggregateHeartbeat(
+                    round_no=agg.round_no,
+                    sig_value=agg.sig_value,
+                    epoch_digest=bytes(b ^ 0xA5 for b in agg.epoch_digest),
+                )
+                for agg in aggregates
+            )
+            changed = True
+        if not changed:
+            return payload
+        return RoundMessage(
+            sender=payload.sender,
+            round_no=payload.round_no,
+            records=tuple(records),
+            aggregates=aggregates,
+            evidence=payload.evidence,
+            packets=payload.packets,
+        )
+
+
 class LFDStormBehavior(AdversaryBehavior):
     """The Fig. 6 worst case: declare a different link failure over each of
     the node's links, one per round, to maximize mode churn and defeat

@@ -40,6 +40,7 @@ EV_AUDIT_CHALLENGE = 9  #: a replica began auditing one execution round
 EV_AUDIT_RESPONSE = 10  #: the audit finished (with or without a PoM)
 EV_CHAOS_IMPAIRMENT = 11  #: the chaos layer impaired one message
 EV_FAULT_INJECTED = 12  #: ground truth: an adversary/link fault activated
+EV_QUOTA_DROP = 13  #: admission control dropped over-quota traffic unverified
 
 EVENT_NAMES: Dict[int, str] = {
     EV_HEARTBEAT_SEND: "heartbeat-send",
@@ -54,6 +55,7 @@ EVENT_NAMES: Dict[int, str] = {
     EV_AUDIT_RESPONSE: "audit-response",
     EV_CHAOS_IMPAIRMENT: "chaos-impairment",
     EV_FAULT_INJECTED: "fault-injected",
+    EV_QUOTA_DROP: "quota-drop",
 }
 
 #: data fields each kind may carry (documentation + JSONL validation).
@@ -71,6 +73,7 @@ EVENT_FIELDS: Dict[int, Tuple[str, ...]] = {
     EV_AUDIT_RESPONSE: ("task", "copy", "exec_round", "poms"),
     EV_CHAOS_IMPAIRMENT: ("type", "link", "delay"),
     EV_FAULT_INJECTED: ("target", "behavior", "link"),
+    EV_QUOTA_DROP: ("sender", "kind"),
 }
 
 EVENT_REQUIRED_FIELDS: Dict[int, Tuple[str, ...]] = {
@@ -86,6 +89,7 @@ EVENT_REQUIRED_FIELDS: Dict[int, Tuple[str, ...]] = {
     EV_AUDIT_RESPONSE: ("task", "exec_round"),
     EV_CHAOS_IMPAIRMENT: ("type",),
     EV_FAULT_INJECTED: (),
+    EV_QUOTA_DROP: ("sender", "kind"),
 }
 
 

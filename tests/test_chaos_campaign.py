@@ -18,12 +18,26 @@ from repro.chaos import (
 
 
 class TestMatrix:
-    def test_smoke_preset_covers_everything(self):
-        cells = campaign.smoke_cells()
-        assert {c.behavior for c in cells} == set(BEHAVIORS)
-        assert {c.plan for c in cells} == set(PLANS)
-        ids = [c.cell_id for c in cells]
-        assert len(ids) == len(set(ids))
+    def test_smoke_and_storm_presets_cover_everything(self):
+        smoke = campaign.smoke_cells()
+        storm = campaign.storm_cells()
+        covered = {c.behavior for c in smoke} | {c.behavior for c in storm}
+        assert covered == set(BEHAVIORS)
+        assert {c.plan for c in smoke} == set(PLANS)
+        for cells in (smoke, storm):
+            ids = [c.cell_id for c in cells]
+            assert len(ids) == len(set(ids))
+
+    def test_storm_preset_targets_the_evidence_layer(self):
+        cells = campaign.storm_cells()
+        assert {c.behavior for c in cells} == {
+            "equivocate", "epoch-split", "evidence-flood"
+        }
+        # the 20-node grid spot checks from the issue's acceptance criteria
+        assert any(
+            c.topology == "grid4x5" and c.behavior == "evidence-flood"
+            for c in cells
+        )
 
     def test_smoke_preset_has_both_budget_classes(self):
         cells = campaign.smoke_cells()
@@ -32,13 +46,11 @@ class TestMatrix:
         assert any(c.plan in oob for c in cells)
         assert any(c.plan not in oob for c in cells)
 
-    def test_known_issue_tagging_rule(self):
-        assert known_issue_tag(
-            CampaignCell("er6", "equivocate", "dup", 0, variant="multi")
-        ) == "known-equivocation-gap"
-        assert known_issue_tag(
-            CampaignCell("er6", "crash", "dup", 0, variant="multi")
-        ) is None
+    def test_no_known_issues_remain_open(self):
+        """The equivocation gap is fixed; no cell is tagged any more."""
+        for cells in (campaign.smoke_cells(), campaign.storm_cells()):
+            for cell in cells:
+                assert known_issue_tag(cell) is None
 
 
 class TestCells:
@@ -68,12 +80,12 @@ class TestCells:
         assert result["in_budget"]
         assert result["rounds_to_recovery"] is not None
 
-    def test_known_gap_cell_is_tagged_not_failed(self):
+    def test_equivocation_cell_passes_clean(self):
+        """Formerly the tagged known-gap cell: with epoch-aware Rule B
+        attribution it must now pass outright, zero violations."""
         result = run_cell(CampaignCell("er6", "equivocate", "dup", 0))
-        assert result["outcome"] in ("tagged", "pass")
-        if result["outcome"] == "tagged":
-            assert result["tag"] == "known-equivocation-gap"
-            assert result["violations"]
+        assert result["outcome"] == "pass"
+        assert result["violations"] == []
 
 
 class TestShrinker:

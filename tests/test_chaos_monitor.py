@@ -10,7 +10,7 @@ from repro.chaos import (
     RecoveryTimeoutViolation,
 )
 from repro.core import ReboundConfig, ReboundSystem
-from repro.faults.adversary import CrashBehavior, EquivocateBehavior
+from repro.faults.adversary import CrashBehavior
 from repro.net.topology import erdos_renyi_topology
 from repro.sched.workload import WorkloadGenerator
 
@@ -94,21 +94,6 @@ class TestViolations:
         assert all(
             v.repro["scenario"] == "unit-test" for v in monitor.violations
         )
-
-    def test_known_equivocation_gap_recorded_as_accuracy(self):
-        """The pinned open item (ROADMAP): the equivocation storm gets
-        correct nodes condemned via the LFD fault-budget inference.  The
-        monitor must classify that as an in-budget accuracy violation with
-        a replayable repro."""
-        system = _build(seed=0, n=6, variant="multi")
-        monitor = BTRMonitor(record_only=True, require_detection=False)
-        system.attach_monitor(monitor)
-        system.inject_now(0, EquivocateBehavior())
-        system.run(16)
-        accuracy = [v for v in monitor.violations if v.kind == "accuracy"]
-        assert accuracy, "pinned equivocation gap no longer reproduces"
-        assert all(v.repro["layer"] == "inference" for v in accuracy)
-        assert all(v.repro["condemned"] for v in accuracy)
 
     def test_violations_deduplicate(self):
         system = _build()

@@ -74,3 +74,19 @@ class TestTraceCommand:
             assert preset.fault_round < preset.rounds
             assert callable(preset.behavior_factory)
             assert callable(preset.topology_factory)
+
+    def test_every_trace_preset_is_gated(self):
+        """No preset is diagnosis-only any more: with the equivocation gap
+        closed, both presets exit non-zero on a regression."""
+        from repro.experiments.trace_run import PRESETS
+
+        assert not any(p.diagnosis_only for p in PRESETS.values())
+
+
+class TestChaosCommand:
+    def test_chaos_presets_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["chaos", "--preset", "storm"])
+        assert args.preset == "storm"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["chaos", "--preset", "nope"])

@@ -54,6 +54,46 @@ class TestBlessingPrimitives:
         )
         assert accusation_round(pom) == 5
 
+    def test_accusation_round_data_slot(self):
+        """A data-packet equivocation PoM's accusation round is the slot's
+        round component (third element), not the path id."""
+        from repro.core.evidence import data_body
+        from repro.crypto.hashing import hash_bytes
+
+        pom = EquivocationPoM(
+            accused=2,
+            body_a=data_body(9, 6, hash_bytes(b"x")),
+            sig_a=b"",
+            body_b=data_body(9, 6, hash_bytes(b"y")),
+            sig_b=b"",
+        )
+        assert accusation_round(pom) == 6
+        assert absolves(
+            Blessing(node_id=2, as_of_round=6, epoch=1, signature=b""), pom
+        )
+        assert not absolves(
+            Blessing(node_id=2, as_of_round=5, epoch=1, signature=b""), pom
+        )
+
+    def test_accusation_round_unknown_slot_never_absolved(self):
+        """A PoM over an unslotted body has no accusation round, so no
+        blessing -- however late -- can absolve it."""
+        from repro.core.evidence import lfd_body
+
+        pom = EquivocationPoM(
+            accused=1,
+            body_a=lfd_body(1, 2, 4),
+            sig_a=b"",
+            body_b=lfd_body(1, 2, 5),
+            sig_b=b"",
+        )
+        assert accusation_round(pom) is None
+        blessing = Blessing(
+            node_id=1, as_of_round=10**9, epoch=1, signature=b""
+        )
+        assert not absolves(blessing, pom)
+        assert accusation_round(object()) is None
+
     def test_evidence_set_pattern_respects_blessing(self):
         es = EvidenceSet()
         es.add(LFD(a=0, b=1, declared_round=5, issuer=0, signature=b""))

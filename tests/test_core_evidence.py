@@ -152,6 +152,76 @@ class TestEquivocationVerification:
         assert verifier.verify(pom)
 
 
+class TestMultisigRecordPoM:
+    """Regression: equivocation PoMs minted from MULTI-variant records.
+
+    Under the multisignature variant a heartbeat record's ``signature`` is a
+    partial-multisig value, not a plain RSA signature, and the PoM embeds the
+    two conflicting records' signatures verbatim.  The verifier therefore
+    needs the multisig fallback: before it existed, every such PoM was
+    rejected as invalid at receiving nodes, which then issued LFDs against
+    the *correct relayer* for "forwarding invalid evidence" -- a cascade that
+    condemned correct nodes during grid-topology equivocation storms.
+    """
+
+    def _system(self):
+        from repro.core import ReboundConfig, ReboundSystem
+        from repro.net.topology import erdos_renyi_topology
+        from repro.sched.workload import WorkloadGenerator
+
+        topology = erdos_renyi_topology(6, seed=0)
+        workload = WorkloadGenerator(seed=0, chain_length_range=(1, 2)).workload(
+            target_utilization=1.0
+        )
+        config = ReboundConfig(fmax=2, fconc=1, variant="multi", rsa_bits=256)
+        return ReboundSystem(topology, workload, config, seed=0)
+
+    def _ms_signed(self, crypto, body):
+        size = crypto.directory.group.element_size
+        return crypto.ms_sign(body).to_bytes(size, "big")
+
+    def test_pom_from_multisig_records_verifies_at_other_nodes(self):
+        system = self._system()
+        accused = 0
+        crypto = system.nodes[accused].crypto
+        body_a, body_b = heartbeat_body(5, 0), heartbeat_body(5, 1)
+        pom = EquivocationPoM(
+            accused=accused,
+            body_a=body_a,
+            sig_a=self._ms_signed(crypto, body_a),
+            body_b=body_b,
+            sig_b=self._ms_signed(crypto, body_b),
+        )
+        for node_id in (1, 2, 3):
+            assert system.nodes[node_id].forwarding.verifier.verify(pom), (
+                f"node {node_id} rejected a valid multisig-record PoM"
+            )
+
+    def test_multisig_frameup_rejected(self):
+        """Accuracy: a multisig share from node 2 must not condemn node 0."""
+        system = self._system()
+        signer = system.nodes[2].crypto
+        body_a, body_b = heartbeat_body(5, 0), heartbeat_body(5, 1)
+        pom = EquivocationPoM(
+            accused=0,
+            body_a=body_a,
+            sig_a=self._ms_signed(signer, body_a),
+            body_b=body_b,
+            sig_b=self._ms_signed(signer, body_b),
+        )
+        for node_id in (1, 3):
+            assert not system.nodes[node_id].forwarding.verifier.verify(pom)
+
+    def test_garbage_signature_rejected_by_fallback(self):
+        system = self._system()
+        body_a, body_b = heartbeat_body(5, 0), heartbeat_body(5, 1)
+        pom = EquivocationPoM(
+            accused=0, body_a=body_a, sig_a=b"\xff" * 4,
+            body_b=body_b, sig_b=b"\x00",
+        )
+        assert not system.nodes[1].forwarding.verifier.verify(pom)
+
+
 class TestBadComputationVerification:
     def _pom(self, keys, claimed_output, accused=1, round_no=4, task_id=7,
              tamper_input_payload=None, bundle_round=None):

@@ -1,0 +1,273 @@
+"""Tests for the evidence-layer admission-control and memory-bound layer.
+
+Covers the quota cap formulas, the per-(sender, kind, round) accounting with
+its suspect-degradation / round-robin-favor policy, the bounded EvidenceSet's
+bucket eviction (and its pattern equivalence), the auditing layer's pending
+challenge caps, and the acceptance pin: with no adversary, enabling quotas is
+byte-invisible -- identical transcripts on the 20-node grid, with the flight
+recorder both on and off.
+"""
+
+import pytest
+
+from repro.core.config import ReboundConfig
+from repro.core.evidence import (
+    EquivocationPoM,
+    EvidenceSet,
+    LFD,
+    heartbeat_body,
+)
+from repro.core.quotas import (
+    AdmissionQuotas,
+    aggregate_quota,
+    evidence_item_cap,
+    heartbeat_record_cap,
+    pending_audit_cap,
+    pom_lfd_slack,
+    quota_stats,
+    record_quota,
+)
+from repro.core.runtime import ReboundSystem
+from repro.net.topology import grid_topology
+from repro.sched.workload import WorkloadGenerator
+
+
+class TestCapFormulas:
+    def test_caps_positive_and_monotone(self):
+        for n in (1, 5, 20):
+            for d_max in (2, 5, 10):
+                assert record_quota(n, d_max) >= 1
+                assert aggregate_quota(d_max) >= 1
+                assert evidence_item_cap(n, d_max) >= 1
+                assert heartbeat_record_cap(n, d_max) >= 1
+                assert pending_audit_cap(d_max) >= 1
+        assert record_quota(20, 5) > record_quota(5, 5)
+        assert record_quota(5, 10) > record_quota(5, 5)
+        assert evidence_item_cap(20, 5) > evidence_item_cap(5, 5)
+
+    def test_pom_lfd_slack_formula(self):
+        # Devices and controllers must derive identical patterns, so the
+        # slack is a pure function of the shared d_max.
+        assert pom_lfd_slack(5) == 16
+        assert pom_lfd_slack(10) == 26
+
+    def test_evidence_cap_is_quadratic_not_rate_dependent(self):
+        # O(n^2) state bound, independent of adversary send rate.
+        n, d_max = 20, 10
+        assert evidence_item_cap(n, d_max) <= 2 * n * n + 8 * n + 16
+
+
+class TestAdmissionQuotas:
+    def _quotas(self, n=6, d_max=4):
+        q = AdmissionQuotas(n=n, d_max=d_max)
+        q.begin_round(1)
+        return q
+
+    def test_within_cap_allowed(self):
+        q = self._quotas()
+        allowed, first = q.charge(3, "aggregates")
+        assert allowed and not first
+        assert q.total_charged == 1
+        assert q.total_dropped == 0
+
+    def test_exceeding_cap_drops_and_marks_suspect(self):
+        q = self._quotas()
+        cap = q.caps["aggregates"]
+        for _ in range(cap):
+            assert q.charge(3, "aggregates") == (True, False)
+        assert q.charge(3, "aggregates") == (False, True)  # first drop
+        assert q.charge(3, "aggregates") == (False, False)  # subsequent
+        assert 3 in q.suspects
+        assert q.total_dropped == 2
+
+    def test_kinds_accounted_separately(self):
+        q = self._quotas()
+        cap = q.caps["aggregates"]
+        for _ in range(cap + 1):
+            q.charge(3, "aggregates")
+        # Exhausting one kind must not consume another kind's budget.
+        assert q.charge(3, "records")[0]
+
+    def test_suspect_degraded_next_round_unless_favored(self):
+        q = self._quotas()
+        cap = q.caps["records"]
+        for _ in range(cap + 1):
+            q.charge(3, "records")
+        for _ in range(cap + 1):
+            q.charge(4, "records")
+        assert q.suspects == {3, 4}
+        q.begin_round(2)
+        favored = q._favored
+        other = ({3, 4} - {favored}).pop()
+        assert q.cap_for(favored, "records") == cap
+        assert q.cap_for(other, "records") == max(1, cap // 8)
+        # Non-suspects always keep the full budget.
+        assert q.cap_for(0, "records") == cap
+
+    def test_favor_rotates_round_robin(self):
+        q = self._quotas()
+        q.suspects = {3, 4}
+        seen = set()
+        for r in (2, 3, 4, 5):
+            q.begin_round(r)
+            seen.add(q._favored)
+        # Both suspects are favored over consecutive rounds: no starvation.
+        assert seen == {3, 4}
+
+    def test_budget_resets_each_round(self):
+        q = self._quotas()
+        cap = q.caps["aggregates"]
+        for _ in range(cap + 1):
+            q.charge(5, "aggregates")
+        q.begin_round(2)
+        q.begin_round(3)  # whichever round favors suspect 5
+        assert q.charge(5, "aggregates")[0] in (True, False)
+        # As the only suspect, 5 is always the favored one: full budget.
+        assert q.cap_for(5, "aggregates") == cap
+
+    def test_from_topology_uses_controller_count(self):
+        topology = grid_topology(3, 3)
+        q = AdmissionQuotas.from_topology(topology, d_max=4)
+        assert q.n == len(topology.controllers)
+
+    def test_telemetry_counters_advance(self):
+        before = quota_stats()
+        q = self._quotas()
+        q.charge(1, "records")
+        after = quota_stats()
+        assert after["charged"] == before["charged"] + 1
+
+
+class TestBoundedEvidenceSet:
+    def _lfd(self, a, b, declared, issuer=None):
+        return LFD(a=a, b=b, declared_round=declared,
+                   issuer=issuer if issuer is not None else a,
+                   signature=b"s%d" % declared)
+
+    def test_bucket_keeps_two_extremes_per_link_issuer(self):
+        es = EvidenceSet(bounded=True)
+        for r in (5, 1, 3, 9, 7):
+            es.add(self._lfd(0, 1, r))
+        kept = sorted(item.declared_round for item in es.items())
+        assert kept == [1, 9]  # min and max accusation rounds survive
+        assert es.evictions > 0
+
+    def test_dominated_item_refused(self):
+        es = EvidenceSet(bounded=True)
+        assert es.add(self._lfd(0, 1, 1))
+        assert es.add(self._lfd(0, 1, 9))
+        assert not es.add(self._lfd(0, 1, 5))  # between the extremes
+        assert len(es) == 2
+
+    def test_distinct_buckets_do_not_interfere(self):
+        es = EvidenceSet(bounded=True)
+        for r in range(6):
+            es.add(self._lfd(0, 1, r, issuer=0))
+            es.add(self._lfd(0, 1, r, issuer=1))
+            es.add(self._lfd(2, 3, r, issuer=2))
+        # Two kept per (link, issuer) bucket across three buckets.
+        assert len(es) == 6
+
+    def test_pattern_equivalent_to_unbounded_under_flood(self):
+        """The kept extremes must derive the same failure pattern as the
+        full flood would (that is the whole point of the bucket policy)."""
+        bounded, unbounded = EvidenceSet(bounded=True), EvidenceSet()
+        for r in range(40):
+            for lfd in (self._lfd(0, 1, r), self._lfd(0, 2, r, issuer=2)):
+                bounded.add(lfd)
+                unbounded.add(lfd)
+        pom = EquivocationPoM(
+            accused=5, body_a=heartbeat_body(4, 0), sig_a=b"a",
+            body_b=heartbeat_body(4, 1), sig_b=b"b",
+        )
+        bounded.add(pom)
+        unbounded.add(pom)
+        for fmax in (1, 2):
+            pb = bounded.failure_pattern(fmax=fmax)
+            pu = unbounded.failure_pattern(fmax=fmax)
+            assert pb.nodes == pu.nodes
+            assert pb.links == pu.links
+        assert len(bounded) < len(unbounded)
+
+    def test_unbounded_set_never_evicts(self):
+        es = EvidenceSet()
+        for r in range(10):
+            es.add(self._lfd(0, 1, r))
+        assert len(es) == 10
+        assert es.evictions == 0
+
+
+class TestPendingAuditCap:
+    def _layer(self, cap):
+        from repro.core.auditing import AuditingLayer
+
+        layer = AuditingLayer.__new__(AuditingLayer)
+        layer.pending_cap = cap
+        layer.pending_drops = 0
+        return layer
+
+    def _replica(self, next_audit_round):
+        import types
+
+        return types.SimpleNamespace(next_audit_round=next_audit_round)
+
+    def test_uncapped_admits_everything(self):
+        layer = self._layer(None)
+        assert layer._admit_pending(self._replica(10), 999, {})
+        assert layer.pending_drops == 0
+
+    def test_window_rejects_stale_and_far_future(self):
+        layer = self._layer(8)
+        replica = self._replica(10)
+        assert not layer._admit_pending(replica, 7, {})  # < next - 2
+        assert not layer._admit_pending(replica, 18, {})  # >= next + cap
+        assert layer._admit_pending(replica, 8, {})
+        assert layer._admit_pending(replica, 17, {})
+        assert layer.pending_drops == 2
+
+    def test_buffer_size_cap(self):
+        layer = self._layer(4)
+        replica = self._replica(10)
+        buffer = {r: object() for r in (10, 11, 12, 13)}
+        assert not layer._admit_pending(replica, 9, buffer)  # full, new round
+        assert layer._admit_pending(replica, 11, buffer)  # existing round ok
+        assert layer.pending_drops == 1
+
+
+class TestQuotaTranscriptIdentity:
+    """Acceptance pin: with no adversary the quota layer never fires, so
+    enabling it must be byte-invisible on the 20-node grid -- with the
+    flight recorder installed and not."""
+
+    def _grid_transcript(self, quotas_enabled, rounds=12):
+        from repro.analysis.metrics import transcript_entry
+
+        topology = grid_topology(4, 5)
+        workload = WorkloadGenerator(
+            seed=0, chain_length_range=(1, 2)
+        ).workload(target_utilization=1.5)
+        config = ReboundConfig(
+            fmax=1, fconc=1, variant="multi", rsa_bits=256,
+            quotas_enabled=quotas_enabled,
+        )
+        system = ReboundSystem(topology, workload, config, seed=0)
+        transcript = []
+        for _ in range(rounds):
+            system.run_round()
+            transcript.append(transcript_entry(system))
+        return transcript
+
+    def test_transcripts_identical_recorder_off(self):
+        assert self._grid_transcript(True) == self._grid_transcript(False)
+
+    def test_transcripts_identical_recorder_on(self):
+        from repro.obs.recorder import FlightRecorder
+
+        recorder = FlightRecorder(capacity=4096)
+        recorder.install()
+        try:
+            with_quotas = self._grid_transcript(True)
+            without = self._grid_transcript(False)
+        finally:
+            recorder.uninstall()
+        assert with_quotas == without

@@ -287,8 +287,10 @@ def test_fastpath_stats_shape():
         "place_memo",
         "edf_memo",
         "modegen_lookup",
+        "quotas",
     }
     assert "hit_rate" in stats["verify_cache"]
+    assert {"charged", "dropped"} <= set(stats["quotas"])
     assert {"hits", "misses"} <= set(stats["place_memo"])
     assert {"hits", "misses"} <= set(stats["edf_memo"])
     assert {"hits", "misses"} <= set(stats["modegen_lookup"])

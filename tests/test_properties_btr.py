@@ -16,15 +16,16 @@ every drawn configuration:
 These runs are intentionally small (Hypothesis example counts multiply a
 full multi-round simulation), but each example exercises the entire stack.
 
-The suites run with ``derandomize=True`` so CI is deterministic: the random
-search occasionally lands on a known pre-existing accuracy gap (equivocation
-storms can get correct nodes condemned via the LFD fault-budget inference;
-see ROADMAP.md "Open items" for the repro) which is tracked separately
-rather than re-discovered flakily here.
+The suites run with ``derandomize=True`` so CI is deterministic.  The
+equivocation-storm accuracy gap these properties once had to dodge is
+closed (epoch-aware Rule B attribution + PoM-explained LFD filtering; see
+``tests/test_regression_equivocation.py`` for the pinned repro), so
+equivocation draws are first-class here, including in the churn property's
+seed corpus.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.core import ReboundConfig, ReboundSystem
 from repro.faults.adversary import (
@@ -90,6 +91,107 @@ def test_accuracy_under_random_adversaries(n, seed, behavior_idx, victim_idx, va
             f"{name} on node {victim} (n={n}, seed={seed}, {variant}): "
             f"correct node(s) {condemned_correct} condemned"
         )
+
+
+CHURN_BEHAVIORS = [
+    ("crash", CrashBehavior),
+    ("silence", SilenceBehavior),
+    ("equivocate", EquivocateBehavior),
+]
+
+
+@settings(
+    derandomize=True,
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=5, max_value=8),
+    seed=st.integers(min_value=0, max_value=20),
+    victim_idx=st.integers(min_value=0, max_value=100),
+    first_idx=st.integers(min_value=0, max_value=len(CHURN_BEHAVIORS) - 1),
+    second_idx=st.integers(min_value=0, max_value=len(CHURN_BEHAVIORS) - 1),
+    variant=st.sampled_from(["basic", "multi"]),
+)
+# Seed corpus: the equivocation-storm churn cases that used to be excluded
+# while the accuracy gap was open.  Equivocate twice on the er6/seed-0
+# topology, and crash-then-equivocate (a blessing must absolve the past
+# without blunting detection of a *different* future fault).
+@example(n=6, seed=0, victim_idx=0, first_idx=2, second_idx=2, variant="multi")
+@example(n=6, seed=0, victim_idx=0, first_idx=0, second_idx=2, variant="multi")
+@example(n=6, seed=0, victim_idx=0, first_idx=2, second_idx=0, variant="basic")
+def test_churn_repair_rebless_recompromise(
+    n, seed, victim_idx, first_idx, second_idx, variant
+):
+    """Churn (paper S2.4): compromise -> repair+bless -> re-compromise.
+
+    At *every* round of the whole lifecycle no correct node condemns
+    another correct node (Req. 3); after the blessing the repaired node is
+    re-admitted everywhere within the recovery bound; and a second
+    compromise after the blessing is detected again (a blessing absolves
+    the past, never the future)."""
+    system = _build_system(n, seed, variant)
+    controllers = system.topology.controllers
+    victim = controllers[victim_idx % len(controllers)]
+    first_name, first_factory = CHURN_BEHAVIORS[first_idx]
+    second_name, second_factory = CHURN_BEHAVIORS[second_idx]
+
+    def assert_accuracy(stage, exclude=frozenset()):
+        correct = set(system.correct_controllers())
+        for node_id in correct:
+            condemned = (
+                system.nodes[node_id].fault_pattern.nodes & correct - exclude
+            )
+            assert not condemned, (
+                f"{stage} (n={n}, seed={seed}, {first_name}->{second_name}, "
+                f"{variant}, r{system.round_no}): correct node(s) "
+                f"{condemned} condemned at node {node_id}"
+            )
+
+    def run_checked(rounds, stage):
+        for _ in range(rounds):
+            system.run_round()
+            assert_accuracy(stage)
+
+    # Strike one.
+    system.inject_now(victim, first_factory())
+    run_checked(SETTLE_ROUNDS, "strike one")
+
+    # Repair: the blessing must flood and re-admit the victim everywhere
+    # within the recovery bound (2*d_max+4) plus the blessing's own flood
+    # time (<= d_max rounds).
+    system.repair_and_bless(victim)
+    # Until the blessing floods (<= d_max rounds), remote nodes still hold
+    # the pre-repair evidence and legitimately condemn the victim; Req. 3
+    # applies to nodes that were never faulty, so the victim is excluded
+    # from the accuracy check until re-admission completes.
+    readmit_bound = 3 * system.config.d_max + 4
+    for _ in range(readmit_bound):
+        system.run_round()
+        assert_accuracy("after blessing", exclude=frozenset({victim}))
+        if all(
+            victim not in system.nodes[node_id].fault_pattern.nodes
+            for node_id in system.correct_controllers()
+        ):
+            break
+    else:
+        holdouts = [
+            node_id
+            for node_id in system.correct_controllers()
+            if victim in system.nodes[node_id].fault_pattern.nodes
+        ]
+        raise AssertionError(
+            f"blessed node {victim} not re-admitted within {readmit_bound} "
+            f"rounds at nodes {holdouts}"
+        )
+
+    # Strike two: the blessing absolves the past, not the future.
+    system.inject_now(victim, second_factory())
+    run_checked(SETTLE_ROUNDS, "strike two")
+    assert system.detected(), (
+        f"re-compromise ({second_name}) after blessing went undetected"
+    )
 
 
 @settings(

@@ -1,16 +1,14 @@
-"""Pinned repro of the known equivocation accuracy gap (ROADMAP open item).
+"""Pinned repro of the (fixed) equivocation accuracy gap.
 
-Under an equivocation storm the LFD fault-budget inference can condemn
-*correct* nodes: the equivocator feeds different nodes different claims,
-link suspicions accumulate, and normalization under the fault budget blames
-innocent endpoints -- violating Req. 3 (accuracy).  ROADMAP.md documents
-the gap; this test pins the exact configuration so the open item is held
-by the suite rather than prose, and ``xfail(strict=True)`` flips to an
-error the moment a fix lands (at which point delete the marker and the
-ROADMAP entry together).
+Under an equivocation storm the LFD fault-budget inference used to condemn
+*correct* nodes: the equivocator fed different nodes different claims, the
+poisoned aggregation chains made Rule B blame every relaying neighbor, and
+normalization under the fault budget condemned innocent endpoints --
+violating Req. 3 (accuracy).  The fix defers Rule B shortfalls into
+suspicions, probes with individual records so the equivocation surfaces as
+a PoM first, and filters PoM-explained LFDs out of the fault-budget
+inference.  This test pins the formerly failing configuration exactly.
 """
-
-import pytest
 
 from repro.core import ReboundConfig, ReboundSystem
 from repro.faults.adversary import EquivocateBehavior
@@ -20,11 +18,6 @@ from repro.sched.workload import WorkloadGenerator
 SETTLE_ROUNDS = 18
 
 
-@pytest.mark.xfail(
-    strict=True,
-    reason="known accuracy gap: equivocation storms condemn correct nodes "
-    "via LFD fault-budget inference (see ROADMAP.md, Open items)",
-)
 def test_equivocation_storm_preserves_accuracy():
     topology = erdos_renyi_topology(6, seed=0)
     workload = WorkloadGenerator(seed=0, chain_length_range=(1, 2)).workload(
