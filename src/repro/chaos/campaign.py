@@ -376,8 +376,14 @@ def known_issue_tag(cell: CampaignCell) -> Optional[str]:
 # -- execution -----------------------------------------------------------------
 
 
-def run_cell(cell: CampaignCell) -> Dict[str, Any]:
-    """Build, impair, run, and judge one cell."""
+def run_cell(cell: CampaignCell, workers: Optional[int] = None) -> Dict[str, Any]:
+    """Build, impair, run, and judge one cell.
+
+    ``workers >= 2`` runs the cell on the sharded round engine
+    (``REBOUND_SCALE_WORKERS`` supplies a default when None); the victim is
+    parent-pinned so mid-run injection needs no worker recall.  Transcripts
+    are engine-independent, so judgments are identical either way.
+    """
     spec = BEHAVIORS[cell.behavior]
     topology, workload = TOPOLOGIES[cell.topology](cell.seed)
     victim = (
@@ -425,6 +431,7 @@ def run_cell(cell: CampaignCell) -> Dict[str, Any]:
     # cell's transcript is unchanged (see noop_transcript_check).
     recorder = FlightRecorder(capacity=4096)
     recorder.install()
+    system = None
     try:
         config = ReboundConfig(
             fmax=FMAX, fconc=1, variant=cell.variant, rsa_bits=256
@@ -434,7 +441,11 @@ def run_cell(cell: CampaignCell) -> Dict[str, Any]:
             network_factory=lambda topo: ChaosRoundNetwork(
                 topo, plan, budget=budget
             ),
+            scale_workers=workers,
+            parent_resident=({victim} if victim is not None else None),
         )
+        result["engine"] = system.engine_name
+        result["workers"] = system.scale_workers
         system.run(WARMUP_ROUNDS)
         system.attach_monitor(monitor)
         if spec.factory is not None:
@@ -451,6 +462,8 @@ def run_cell(cell: CampaignCell) -> Dict[str, Any]:
         return result
     finally:
         recorder.uninstall()
+        if system is not None:
+            system.close()
 
     result["budget_exceeded"] = system.budget_exceeded
     result["violations"] = [v.as_dict() for v in monitor.violations]
@@ -490,7 +503,9 @@ def run_cell(cell: CampaignCell) -> Dict[str, Any]:
 # -- shrinking -----------------------------------------------------------------
 
 
-def shrink_cell(cell: CampaignCell, max_attempts: int = 16) -> Dict[str, Any]:
+def shrink_cell(
+    cell: CampaignCell, max_attempts: int = 16, workers: Optional[int] = None
+) -> Dict[str, Any]:
     """Greedy minimization of a failing cell.
 
     Re-runs simplified variants (drop one impairment component, drop the
@@ -513,7 +528,8 @@ def shrink_cell(cell: CampaignCell, max_attempts: int = 16) -> Dict[str, Any]:
         if attempts >= max_attempts:
             return False
         attempts += 1
-        return run_cell(candidate)["outcome"] in ("fail", "crash")
+        kwargs = {} if workers is None else {"workers": workers}
+        return run_cell(candidate, **kwargs)["outcome"] in ("fail", "crash")
 
     changed = True
     while changed and attempts < max_attempts:
@@ -589,8 +605,12 @@ def run_campaign(
     shrink: bool = True,
     output_path: Optional[str] = "BENCH_chaos.json",
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run a preset's cells and write the BENCH report."""
+    from repro.experiments.common import bench_env
+    from repro.net.shard import resolve_workers
+
     if preset not in PRESETS:
         raise ValueError(f"unknown preset {preset!r} (have {sorted(PRESETS)})")
     cells = PRESETS[preset]()
@@ -603,12 +623,12 @@ def run_campaign(
     results: List[Dict[str, Any]] = []
     failures: List[Dict[str, Any]] = []
     for cell in cells:
-        outcome = run_cell(cell)
+        outcome = run_cell(cell, workers=workers)
         results.append(outcome)
         if progress is not None:
             progress(f"[{outcome['outcome']:>6}] {outcome['cell']}")
         if outcome["outcome"] in ("fail", "crash") and shrink:
-            outcome["shrunk"] = shrink_cell(cell)
+            outcome["shrunk"] = shrink_cell(cell, workers=workers)
             failures.append(outcome["shrunk"])
     matrix = {"pass": 0, "fail": 0, "tagged": 0, "crash": 0}
     census: Dict[str, int] = {}
@@ -622,6 +642,7 @@ def run_campaign(
     noop_identical = noop_transcript_check()
     report = {
         "benchmark": "chaos",
+        "env": bench_env(workers=resolve_workers(workers)),
         "preset": preset,
         "fmax": FMAX,
         "cells": results,

@@ -13,7 +13,8 @@ Usage::
     python -m repro report --out results.md [--scale full]
     python -m repro bench-fastpath [--rounds 30] [--out BENCH_fastpath.json]
     python -m repro bench-modegen [--workers 2] [--quick] [--out BENCH_modegen.json]
-    python -m repro chaos [--preset smoke|full|storm] [--seeds 0,1] [--out BENCH_chaos.json]
+    python -m repro bench-scale [--smoke] [--workers 4] [--out BENCH_scale.json]
+    python -m repro chaos [--preset smoke|full|storm] [--seeds 0,1] [--workers 2] [--out BENCH_chaos.json]
     python -m repro trace [--preset smoke|equivocation-gap] [--rounds 30]
 
 Each command prints the regenerated rows and the paper's qualitative shape
@@ -147,6 +148,18 @@ def cmd_bench_modegen(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_bench_scale(args) -> int:
+    from repro.experiments import bench_scale
+
+    result = bench_scale.main(
+        output_path=args.out,
+        workers=args.workers,
+        smoke=args.smoke,
+        rounds=args.rounds,
+    )
+    return 0 if result["identity"]["all_identical"] else 1
+
+
 def cmd_chaos(args) -> int:
     from repro.chaos import run_campaign
 
@@ -157,6 +170,7 @@ def cmd_chaos(args) -> int:
         shrink=not args.no_shrink,
         output_path=args.out,
         progress=print if args.verbose else None,
+        workers=args.workers,
     )
     matrix = report["matrix"]
     print(
@@ -272,6 +286,26 @@ def build_parser() -> argparse.ArgumentParser:
     benchm.add_argument("--out", default="BENCH_modegen.json")
     benchm.set_defaults(func=cmd_bench_modegen)
 
+    benchs = sub.add_parser(
+        "bench-scale",
+        help="scale-out round-engine benchmark: Erdos-Renyi n=200/500/1000 "
+        "sweeps, serial vs sharded vs legacy path, with byte-identity "
+        "checks at small n (writes BENCH_scale.json)",
+    )
+    benchs.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the sharded runs "
+        "(default REBOUND_SCALE_WORKERS or 4)",
+    )
+    benchs.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized sweep: n=200 only, <60s",
+    )
+    benchs.add_argument("--rounds", type=int, default=None,
+                        help="override rounds per sweep")
+    benchs.add_argument("--out", default="BENCH_scale.json")
+    benchs.set_defaults(func=cmd_bench_scale)
+
     chaos = sub.add_parser(
         "chaos",
         help="chaos campaign: adversaries x impairment plans x topologies "
@@ -293,6 +327,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--verbose", action="store_true",
                        help="print one line per cell")
+    chaos.add_argument(
+        "--workers", type=int, default=None,
+        help="run each cell on the sharded round engine with N worker "
+        "processes (>= 2; default REBOUND_SCALE_WORKERS or serial); "
+        "transcripts and judgments are engine-independent",
+    )
     chaos.add_argument("--out", default="BENCH_chaos.json")
     chaos.set_defaults(func=cmd_chaos)
 

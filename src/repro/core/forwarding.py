@@ -55,11 +55,17 @@ from repro.core.evidence import (
     lfd_body,
 )
 from repro.core.heartbeat import (
+    HAVE_NUMPY,
     AggregateHeartbeat,
     BasicHeartbeatStore,
+    BitsetHeartbeatStore,
     CoverageCalculator,
     HeartbeatRecord,
+    bitset_words,
 )
+
+if HAVE_NUMPY:
+    import numpy as _np
 from repro.core.identity import NodeCrypto
 from repro.core.paths import Path, PathSet
 from repro.core.quotas import AdmissionQuotas, pom_lfd_slack
@@ -207,6 +213,16 @@ class RoundOutput:
         )
 
 
+# Module-level defaultdict factories: lambdas here would make nodes
+# unpicklable, and the sharded engine recalls nodes by pickling.
+def _new_delivered_set_bucket() -> "defaultdict[int, Set[int]]":
+    return defaultdict(set)
+
+
+def _new_delivered_bucket() -> Dict[int, Any]:
+    return {}
+
+
 @dataclass
 class _AggregateState:
     """This node's in-progress aggregate for one origin round."""
@@ -258,15 +274,31 @@ class ForwardingLayer:
 
         self.evidence = EvidenceSet(bounded=config.quotas_enabled)
         self.last_evidence_change = -(10**9)
-        self.store = BasicHeartbeatStore(
-            window=self.window, expiry=config.expiry_optimization
-        )
+        # Bitset fast path: delivered/coverage sets and the heartbeat store
+        # keyed by controller bit position (transcript-identical; see
+        # ReboundConfig.bitset_coverage).
+        self._use_bitsets = bool(config.bitset_coverage and HAVE_NUMPY)
+        self._node_index: Dict[int, int] = {
+            nid: pos for pos, nid in enumerate(sorted(topology.controllers))
+        }
+        self._bit_words = bitset_words(len(self._node_index))
+        if self._use_bitsets:
+            self.store: BasicHeartbeatStore = BitsetHeartbeatStore(
+                window=self.window,
+                expiry=config.expiry_optimization,
+                node_index=self._node_index,
+            )
+        else:
+            self.store = BasicHeartbeatStore(
+                window=self.window, expiry=config.expiry_optimization
+            )
         self.store.owner = node_id
         # MULTI aggregate state per origin round.
         self._aggregates: Dict[int, _AggregateState] = {}
-        # Rule B bookkeeping: neighbor -> origin round -> delivered origins.
-        self._delivered: Dict[int, Dict[int, Set[int]]] = defaultdict(
-            lambda: defaultdict(set)
+        # Rule B bookkeeping: neighbor -> origin round -> delivered origins
+        # (a plain set of ids, or a packed bit array on the bitset path).
+        self._delivered: Dict[int, Dict[int, Any]] = defaultdict(
+            _new_delivered_bucket if self._use_bitsets else _new_delivered_set_bucket
         )
         self._got_message_from: Set[int] = set()
         # link -> round of the last LFD this layer issued for it.  Re-issue
@@ -349,6 +381,54 @@ class ForwardingLayer:
             ]
             adjacency[c] = tuple(neigh)
         self._coverage = _coverage_for(adjacency, self.d_max)
+        if self._use_bitsets:
+            self._coverage.ensure_bit_index(self._node_index)
+
+    def _mark_delivered(self, sender: int, round_no: int, origin: int) -> None:
+        """Record that ``sender`` relayed ``origin``'s round-``round_no``
+        heartbeat (individually)."""
+        if not self._use_bitsets:
+            self._delivered[sender][round_no].add(origin)
+            return
+        pos = self._node_index.get(origin)
+        if pos is None:
+            return  # non-controller origin: never in any expected support
+        bucket = self._delivered[sender]
+        bits = bucket.get(round_no)
+        if bits is None:
+            bits = _np.zeros(self._bit_words, dtype=_np.uint64)
+            bucket[round_no] = bits
+        bits[pos >> 6] |= _np.uint64(1) << _np.uint64(pos & 63)
+
+    def _mark_delivered_support(self, sender: int, round_no: int, age: int) -> None:
+        """Fold a verified aggregate's whole support set into the
+        delivered map (the hot O(n) union of Rule B bookkeeping)."""
+        assert self._coverage is not None
+        if not self._use_bitsets:
+            self._delivered[sender][round_no].update(
+                self._coverage.support(sender, age)
+            )
+            return
+        support_bits = self._coverage.support_bits(sender, age)
+        bucket = self._delivered[sender]
+        bits = bucket.get(round_no)
+        if bits is None:
+            bucket[round_no] = support_bits.copy()
+        else:
+            _np.bitwise_or(bits, support_bits, out=bits)
+
+    def _coverage_shortfall(self, j: int, r_origin: int) -> bool:
+        """Rule B subset test: did neighbor ``j`` fail to deliver some
+        origin it must have covered by age d_max?"""
+        assert self._coverage is not None
+        if self._use_bitsets:
+            expected_bits = self._coverage.support_bits(j, self.d_max)
+            bits = self._delivered[j].get(r_origin)
+            if bits is None:
+                return bool(_np.any(expected_bits))
+            return bool(_np.any(expected_bits & ~bits))
+        expected = self._coverage.support(j, self.d_max)
+        return not expected <= self._delivered[j][r_origin]
 
     @property
     def fault_pattern(self) -> FailureScenario:
@@ -504,6 +584,58 @@ class ForwardingLayer:
         if bad:
             self.issue_lfd(sender)
 
+    def receive_batch(self, batch: List[Tuple[int, int, Any]]) -> None:
+        """Process a round's buffered deliveries: one batched warm pass
+        over every admissible aggregate signature, then the ordinary
+        per-message path in original order.
+
+        Warming only prefetches verification outcomes into the shared
+        cache (no counters, no state), so this is transcript- and
+        counter-identical to per-message processing -- the win is that all
+        residual multisig checks of the round amortize into a single
+        batched group equation instead of one small batch per message.
+        """
+        self._warm_aggregate_verifications(batch)
+        for round_no, sender, msg in batch:
+            self.receive(round_no, sender, msg)
+
+    def _warm_aggregate_verifications(
+        self, batch: List[Tuple[int, int, Any]]
+    ) -> None:
+        if (
+            self.config.variant != VARIANT_MULTI
+            or self._coverage is None
+            or not self.config.protocol_enabled
+        ):
+            return
+        digest = self.epoch_digest
+        entries: List[Tuple[bytes, int, Counter, Tuple]] = []
+        for round_no, sender, msg in batch:
+            if not isinstance(msg, RoundMessage):
+                continue
+            if msg.sender != sender or msg.round_no != round_no - 1:
+                continue
+            if sender in self._fault_pattern.nodes:
+                continue
+            if not self._coverage.has_node(sender):
+                continue
+            for agg in msg.aggregates:
+                age = self._round - 1 - agg.round_no
+                if age < 0 or age > self.d_max:
+                    continue
+                if agg.epoch_digest != digest:
+                    continue
+                entries.append(
+                    (
+                        agg.body(),
+                        agg.sig_value,
+                        self._coverage.multiset(sender, age),
+                        (digest, sender, age),
+                    )
+                )
+        if entries:
+            self.crypto.ms_warm_batch(entries)
+
     # -- receive helpers ---------------------------------------------------------
 
     def _process_evidence(self, sender: int, items: Tuple[Any, ...]) -> bool:
@@ -534,7 +666,7 @@ class ForwardingLayer:
                 continue  # expired or from the future; ignore (S3.5)
             existing = self.store.get(rec.origin, rec.round_no)
             if existing is not None and existing.delta_count == rec.delta_count:
-                self._delivered[sender][rec.round_no].add(rec.origin)
+                self._mark_delivered(sender, rec.round_no, rec.origin)
                 continue
             if not self._charge_quota(sender, "records"):
                 continue
@@ -542,7 +674,7 @@ class ForwardingLayer:
                 ok = False
                 continue
             status, conflict = self.store.add(rec)
-            self._delivered[sender][rec.round_no].add(rec.origin)
+            self._mark_delivered(sender, rec.round_no, rec.origin)
             if status == "conflict" and conflict is not None:
                 pom = EquivocationPoM(
                     accused=rec.origin,
@@ -668,9 +800,7 @@ class ForwardingLayer:
                 # can expose the conflicting signatures.
                 self._start_probe()
                 continue
-            self._delivered[sender][agg.round_no].update(
-                self._coverage.support(sender, age)
-            )
+            self._mark_delivered_support(sender, agg.round_no, age)
             state = self._aggregates.get(agg.round_no)
             if state is None or state.broken:
                 continue
@@ -779,10 +909,10 @@ class ForwardingLayer:
                 for j in live:
                     if j not in self._got_message_from:
                         continue
-                    expected = self._coverage.support(j, self.d_max)
-                    delivered = self._delivered[j][r_origin]
-                    if not expected <= delivered:
-                        self._suspect_coverage(j, expected)
+                    if self._coverage_shortfall(j, r_origin):
+                        self._suspect_coverage(
+                            j, self._coverage.support(j, self.d_max)
+                        )
         self._resolve_coverage_suspicions()
         # Rule C: data-path omissions.  Only paths whose sources produce
         # unconditionally every round are enforced: data paths (tasks

@@ -30,12 +30,36 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.evidence import heartbeat_body
 from repro.net.message import encode, register_message
 from repro.obs import recorder as _flight
 from repro.obs.events import EV_HEARTBEAT_STORED
+
+try:  # numpy backs the bitset fast paths; plain sets remain the fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+_ONE = _np.uint64(1) if HAVE_NUMPY else None
+
+
+def bitset_words(n: int) -> int:
+    """uint64 words needed for an ``n``-bit set (at least one)."""
+    return max(1, (n + 63) >> 6)
+
+
+def pack_node_bits(nodes: Iterable[int], index: Mapping[int, int], words: int):
+    """Pack node ids into a uint64 bit array via their index positions."""
+    bits = _np.zeros(words, dtype=_np.uint64)
+    for node in nodes:
+        pos = index.get(node)
+        if pos is not None:
+            bits[pos >> 6] |= _ONE << _np.uint64(pos & 63)
+    return bits
 
 
 @register_message
@@ -102,6 +126,12 @@ class CoverageCalculator:
         self._multiset: List[Dict[int, Counter]] = []
         self._support: List[Dict[int, FrozenSet[int]]] = []
         self._transmitted: List[Dict[int, bool]] = []
+        # Lazily packed support bitsets, valid for one node index at a time
+        # (calculators are shared process-wide; different systems carry
+        # different indexes and simply repack on first use).
+        self._bit_index: Optional[Mapping[int, int]] = None
+        self._bit_words = 0
+        self._support_bits: List[Dict[int, Any]] = []
         self._compute()
 
     def _compute(self) -> None:
@@ -146,6 +176,33 @@ class CoverageCalculator:
         """Expected signer *set* of ``node``'s aggregate at ``age``."""
         age = min(age, self.max_age)
         return self._support[age][node]
+
+    def ensure_bit_index(self, index: Mapping[int, int]) -> None:
+        """Adopt ``index`` (node id -> bit position) for support bitsets,
+        discarding packs made under a different index."""
+        if self._bit_index is index:
+            return
+        if self._bit_index == index:
+            self._bit_index = index  # same mapping: keep packs, fast-path next call
+            return
+        self._bit_index = index
+        self._bit_words = bitset_words(len(index))
+        self._support_bits = [{} for _ in range(self.max_age + 1)]
+
+    def support_bits(self, node: int, age: int):
+        """``support(node, age)`` as a packed uint64 bit array (cached).
+
+        Requires a prior :meth:`ensure_bit_index`; the returned array is
+        shared -- callers must not mutate it in place."""
+        age = min(age, self.max_age)
+        cache = self._support_bits[age]
+        bits = cache.get(node)
+        if bits is None:
+            bits = pack_node_bits(
+                self._support[age][node], self._bit_index, self._bit_words
+            )
+            cache[node] = bits
+        return bits
 
     def transmitted(self, node: int, age: int) -> bool:
         """Whether a correct ``node`` transmits its aggregate at ``age``."""
@@ -244,3 +301,61 @@ class BasicHeartbeatStore:
 
     def __len__(self) -> int:
         return len(self._records)
+
+
+class BitsetHeartbeatStore(BasicHeartbeatStore):
+    """A heartbeat store with numpy-backed per-round presence bitsets.
+
+    State-equivalent to :class:`BasicHeartbeatStore` (identical records,
+    add statuses, and expiry results); additionally keyed by origin round,
+    so expiry drops whole rounds instead of scanning every key (the scan
+    is O(n * window) per node per round at 1000 nodes), and presence is
+    available as a bit array for vectorized set operations.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        expiry: bool = True,
+        node_index: Optional[Mapping[int, int]] = None,
+    ):
+        super().__init__(window, expiry)
+        self._node_index: Mapping[int, int] = node_index or {}
+        self._words = bitset_words(len(self._node_index))
+        self._presence: Dict[int, Any] = {}
+        self._round_keys: Dict[int, List[Tuple[int, int]]] = {}
+
+    def add(self, record: HeartbeatRecord) -> Tuple[str, Optional[HeartbeatRecord]]:
+        before = len(self._records)
+        status = super().add(record)
+        if len(self._records) != before:
+            self._round_keys.setdefault(record.round_no, []).append(
+                (record.origin, record.round_no)
+            )
+            pos = self._node_index.get(record.origin)
+            if pos is not None:
+                mask = self._presence.get(record.round_no)
+                if mask is None:
+                    mask = _np.zeros(self._words, dtype=_np.uint64)
+                    self._presence[record.round_no] = mask
+                mask[pos >> 6] |= _ONE << _np.uint64(pos & 63)
+        return status
+
+    def presence_bits(self, round_no: int):
+        """Bitset of origins whose record for ``round_no`` is held."""
+        mask = self._presence.get(round_no)
+        if mask is None:
+            return _np.zeros(self._words, dtype=_np.uint64)
+        return mask
+
+    def expire(self, current_round: int) -> int:
+        if not self.expiry:
+            return 0
+        cutoff = current_round - self.window
+        dropped = 0
+        for round_no in [r for r in self._round_keys if r < cutoff]:
+            for key in self._round_keys.pop(round_no):
+                if self._records.pop(key, None) is not None:
+                    dropped += 1
+            self._presence.pop(round_no, None)
+        return dropped

@@ -11,8 +11,10 @@ bucket and an *auditing* bucket to reproduce Fig. 8b's breakdown.
 Aggregate public keys for coverage multisets are cached process-wide: they
 are deterministic functions of public information (topology + fault epoch),
 so sharing the cache across simulated nodes loses no fidelity while keeping
-simulations fast; the ms_combine_key cost is charged to the first node that
-computes each key.
+simulations fast.  The ms_combine_key cost is charged per node, once per
+distinct key (each real node keeps its own memo and pays to build each
+entry exactly once) -- attribution is therefore independent of the order
+nodes are stepped in and of how execution is sharded across processes.
 
 Verification outcomes are likewise shared through the process-wide
 :mod:`repro.crypto.verify_cache` (same fidelity argument: an outcome is a
@@ -59,6 +61,9 @@ class Directory:
                                    seed=hash((seed, "operator")))
         # (adjacency_key, node, age) -> aggregate key value.
         self._agg_key_cache: Dict[Tuple, int] = {}
+        # Warm-pass lookaside (see peek_aggregate_key): keeps peeked values
+        # out of the counted cache so charging semantics never change.
+        self._agg_key_peek_cache: Dict[Tuple, int] = {}
         self.agg_key_hits = 0
         self.agg_key_misses = 0
 
@@ -86,18 +91,46 @@ class Directory:
     def aggregate_key_value(
         self, cache_key: Tuple, multiset: Counter, counters: Optional[CryptoCounters]
     ) -> int:
+        """Aggregate key for ``multiset``, memoized under ``cache_key``.
+
+        ``counters`` (legacy direct callers only) is charged one
+        ms_combine_key per distinct signer on a cache miss; NodeCrypto
+        passes None and charges per node instead (see module docstring).
+        """
         cached = self._agg_key_cache.get(cache_key)
         if cached is not None:
             self.agg_key_hits += 1
             return cached
         self.agg_key_misses += 1
+        if counters is not None:
+            counters.ms_combine_key += len(multiset)
+        peeked = self._agg_key_peek_cache.get(cache_key)
+        if peeked is not None:
+            self._agg_key_cache[cache_key] = peeked
+            return peeked
         q = self.group.q
         value = 0
         for node, mult in sorted(multiset.items()):
             value = (value + mult * self._ms_pairs[node].public_key.value) % q
-            if counters is not None:
-                counters.ms_combine_key += 1
         self._agg_key_cache[cache_key] = value
+        return value
+
+    def peek_aggregate_key(self, cache_key: Tuple, multiset: Counter) -> int:
+        """Aggregate key for warm passes: never charges counters and never
+        populates the main (hit/miss-counted) cache.  Peeked values are
+        memoized separately and promoted on the first real
+        :meth:`aggregate_key_value` miss, which still charges as usual."""
+        cached = self._agg_key_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        cached = self._agg_key_peek_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        q = self.group.q
+        value = 0
+        for node, mult in sorted(multiset.items()):
+            value = (value + mult * self._ms_pairs[node].public_key.value) % q
+        self._agg_key_peek_cache[cache_key] = value
         return value
 
 
@@ -122,6 +155,16 @@ class NodeCrypto:
             DOMAIN_FORWARDING: CryptoCounters(),
             DOMAIN_AUDITING: CryptoCounters(),
         }
+        # Aggregate keys this node has already paid ms_combine_key for --
+        # a real node memoizes its own keys, so it pays per distinct key
+        # regardless of what other (simulated) nodes computed first.
+        self._agg_keys_charged: set = set()
+
+    def _aggregate_key(self, cache_key: Tuple, multiset: Counter, domain: str) -> int:
+        if cache_key not in self._agg_keys_charged:
+            self._agg_keys_charged.add(cache_key)
+            self.counters[domain].ms_combine_key += len(multiset)
+        return self.directory.aggregate_key_value(cache_key, multiset, None)
 
     def total_counters(self) -> CryptoCounters:
         total = CryptoCounters()
@@ -196,9 +239,7 @@ class NodeCrypto:
         """Verify an aggregate signature value against a signer multiset."""
         self.counters[domain].ms_verify += 1
         group = self.directory.group
-        apk = self.directory.aggregate_key_value(
-            cache_key, multiset, self.counters[domain]
-        )
+        apk = self._aggregate_key(cache_key, multiset, domain)
         if not self.use_cache or not verify_cache.GLOBAL.enabled:
             h = group.hash_to_group(body)
             return (sig_value * group.g) % group.q == (h * apk) % group.q
@@ -220,10 +261,10 @@ class NodeCrypto:
 
         Counting semantics are identical to calling :meth:`ms_verify_value`
         once per entry (the batch is a simulator fast path, not a modeled
-        protocol change): one ms_verify per entry, ms_combine_key charged
-        on aggregate-key cache misses.  Cache hits are served per entry;
-        only the residual misses pay arithmetic, amortized in one batched
-        group equation.
+        protocol change): one ms_verify per entry, ms_combine_key once per
+        distinct aggregate key this node has not paid for yet.  Cache hits
+        are served per entry; only the residual misses pay arithmetic,
+        amortized in one batched group equation.
         """
         if not entries:
             return []
@@ -234,7 +275,7 @@ class NodeCrypto:
         caching = self.use_cache and verify_cache.GLOBAL.enabled
         for index, (body, sig_value, multiset, agg_cache_key) in enumerate(entries):
             bucket.ms_verify += 1
-            apk = self.directory.aggregate_key_value(agg_cache_key, multiset, bucket)
+            apk = self._aggregate_key(agg_cache_key, multiset, domain)
             if caching:
                 key = self._ms_cache_key(body, sig_value, apk)
                 cached = verify_cache.GLOBAL.get(key)
@@ -253,6 +294,38 @@ class NodeCrypto:
                 if key is not None:
                     verify_cache.GLOBAL.put(key, verdict)
         return [bool(r) for r in results]
+
+    def ms_warm_batch(
+        self, entries: Sequence[Tuple[bytes, int, Counter, Tuple]]
+    ) -> int:
+        """Warm the verification cache with one batched multisig pass.
+
+        A pure prefetch for round-batched verification: no counters are
+        charged (the per-message processing that later consumes the cached
+        outcomes still counts every logical operation), aggregate keys go
+        through :meth:`Directory.peek_aggregate_key` so the counted key
+        cache is untouched, and already-cached outcomes are skipped.
+        Returns the number of entries actually verified.
+        """
+        if not entries or not self.use_cache or not verify_cache.GLOBAL.enabled:
+            return 0
+        group = self.directory.group
+        misses: List[Tuple[Tuple, Tuple[bytes, int, int]]] = []
+        seen = set()
+        for body, sig_value, multiset, agg_cache_key in entries:
+            apk = self.directory.peek_aggregate_key(agg_cache_key, multiset)
+            key = self._ms_cache_key(body, sig_value, apk)
+            if key in seen or verify_cache.GLOBAL.get(key) is not None:
+                continue
+            seen.add(key)
+            misses.append((key, (body, sig_value, apk)))
+        if misses:
+            verdicts = verify_multisig_values_batch(
+                group, [triple for _k, triple in misses]
+            )
+            for (key, _triple), verdict in zip(misses, verdicts):
+                verify_cache.GLOBAL.put(key, verdict)
+        return len(misses)
 
     def verify_operator(
         self, body: bytes, signature: bytes, domain: str = DOMAIN_FORWARDING

@@ -115,6 +115,17 @@ class ReboundNode(NodeProtocol):
         self.current_schedule: Optional[ModeSchedule] = None
         self.mode_switches: List[Tuple[int, FailureScenario]] = []
         self._round = 0
+        # Round-batched verification (MULTI only): buffer the round's
+        # deliveries and flush them through ForwardingLayer.receive_batch
+        # at round end, so all multisig checks warm the cache in one
+        # batched pass.  Safe because nothing observes forwarding state
+        # between the receive phase and on_round_end.
+        self._defer_receive = bool(
+            config.round_batched_verify
+            and config.protocol_enabled
+            and config.variant == VARIANT_MULTI
+        )
+        self._inbound: List[Tuple[int, int, Any]] = []
         # Optional per-layer traffic breakdown (Fig. 8a); off by default
         # because it re-encodes every outgoing message.
         self.traffic_accounting = False
@@ -185,12 +196,19 @@ class ReboundNode(NodeProtocol):
 
     def on_round_start(self, round_no: int) -> None:
         self._round = round_no
+        self._inbound.clear()
         self.forwarding.begin_round(round_no)
 
     def on_receive(self, round_no: int, sender: int, payload: Any) -> None:
+        if self._defer_receive:
+            self._inbound.append((round_no, sender, payload))
+            return
         self.forwarding.receive(round_no, sender, payload)
 
     def on_round_end(self, round_no: int) -> None:
+        if self._inbound:
+            batch, self._inbound = self._inbound, []
+            self.forwarding.receive_batch(batch)
         self.auditing.execute_round(round_no)
         output = self.forwarding.end_round()
         self._transmit(output)

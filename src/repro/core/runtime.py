@@ -22,6 +22,7 @@ from repro.core.node import PathCache, ReboundNode
 from repro.core.paths import PathComputer
 from repro.faults.scenarios import FaultScenario
 from repro.net.network import RoundNetwork
+from repro.net.shard import ShardedRoundEngine, resolve_workers
 from repro.net.topology import Topology
 from repro.obs import recorder as _flight
 from repro.obs.events import EV_FAULT_INJECTED
@@ -52,6 +53,12 @@ class ReboundSystem:
         actuator_applies: node_id -> callable(round, payload, origin) for
             actuators.
         seed: key-generation seed.
+        scale_workers: >= 2 runs rounds on the sharded engine
+            (:mod:`repro.net.shard`) with that many worker processes;
+            ``None`` consults ``REBOUND_SCALE_WORKERS``; <= 1 stays serial.
+        parent_resident: node ids that must not be sharded to a worker
+            (e.g. planned fault-injection victims); devices and scenario
+            targets are pinned automatically.
     """
 
     def __init__(
@@ -66,6 +73,8 @@ class ReboundSystem:
         seed: int = 0,
         pin_primaries: Optional[Dict[int, int]] = None,
         network_factory: Optional[Callable[[Topology], RoundNetwork]] = None,
+        scale_workers: Optional[int] = None,
+        parent_resident: Optional[Set[int]] = None,
     ):
         self.topology = topology
         self.workload = workload
@@ -153,6 +162,48 @@ class ReboundSystem:
         self._bless_epochs: Dict[int, int] = {}
         self.monitor = None
         self.budget_exceeded = False
+        self.scale_workers = resolve_workers(scale_workers)
+        self._parent_pinned: Set[int] = set(parent_resident or ())
+        self._engine: Optional[ShardedRoundEngine] = None
+
+    # -- sharded engine ----------------------------------------------------------
+
+    @property
+    def engine_name(self) -> str:
+        return "sharded" if self.scale_workers >= 2 else "serial"
+
+    def _start_engine(self) -> None:
+        """Fork the sharded engine (lazily, on the first round, so the
+        fully-configured system is what workers inherit)."""
+        pinned = set(self._parent_pinned)
+        pinned.update(self.true_faulty_nodes)
+        pinned.update(e.node for e in self.scenario.events if e.node is not None)
+        engine = ShardedRoundEngine(
+            self.network,
+            self.mode_tree,
+            self.scale_workers,
+            parent_resident=pinned,
+        )
+        views = engine.start(self.nodes)
+        self.nodes.update(views)
+        self.network.set_engine(engine)
+        self._engine = engine
+
+    def close(self) -> None:
+        """Release engine worker processes (no-op for serial runs)."""
+        engine, self._engine = self._engine, None
+        if engine is not None:
+            self.network.set_engine(None)
+            engine.shutdown()
+
+    def fastpath_stats(self):
+        """Registry snapshot with worker-side counters merged in when the
+        sharded engine is active."""
+        from repro.obs import registry as _registry
+
+        if self._engine is not None:
+            return self._engine.merged_stats()
+        return _registry.stats_snapshot()
 
     def _resolve_d_max(self) -> int:
         controllers = set(self.topology.controllers)
@@ -198,6 +249,14 @@ class ReboundSystem:
                 {"target": node_id, "behavior": type(behavior).__name__},
                 round_no=self.round_no + 1,
             )
+        if self._engine is not None and self._engine.is_sharded(node_id):
+            # The victim lives in a worker: pull its (pickled) state back
+            # into the parent so the adversary manipulates the live copy.
+            # Pre-declared targets avoid this path -- they are pinned
+            # parent-resident before the engine forks.
+            recalled = self._engine.recall(node_id)
+            self.nodes[node_id] = recalled
+            self.network.attach(node_id, recalled)
         behavior.activate(self, node_id)
         self.network.set_tamper_hook(node_id, behavior.tamper)
         self._active_behaviors.append(behavior)
@@ -255,6 +314,8 @@ class ReboundSystem:
             mode_tree=self.mode_tree,
             path_cache=self.path_cache,
         )
+        if self._engine is not None:
+            self._engine.adopt_parent(node_id)
         self.nodes[node_id] = fresh
         self.network.attach(node_id, fresh)
         fresh.start(round_no=self.round_no)
@@ -315,6 +376,8 @@ class ReboundSystem:
     # -- execution --------------------------------------------------------------------
 
     def run_round(self) -> None:
+        if self.scale_workers >= 2 and self._engine is None:
+            self._start_engine()
         next_round = self.round_no + 1
         rec = _flight.active
         if rec is not None:
@@ -408,6 +471,15 @@ class ReboundSystem:
     def mean_storage_bytes(self) -> float:
         if not self.nodes:
             return 0.0
+        if self._engine is not None:
+            # One RPC per shard instead of one per node.
+            sizes = self._engine.storage_bytes_map()
+            total = sum(sizes.values()) + sum(
+                node.forwarding.storage_bytes()
+                for nid, node in self.nodes.items()
+                if nid not in sizes
+            )
+            return total / len(self.nodes)
         return sum(
             node.forwarding.storage_bytes() for node in self.nodes.values()
         ) / len(self.nodes)

@@ -132,8 +132,11 @@ def run_fastpath_bench(
     baseline = _run_once(rows, cols, rounds, crash_round, seed, variant, fast=False)
     fast = _run_once(rows, cols, rounds, crash_round, seed, variant, fast=True)
     transcripts_identical = baseline["transcript"] == fast["transcript"]
+    from repro.experiments.common import bench_env
+
     result = {
         "benchmark": "fastpath",
+        "env": bench_env(),
         "topology": f"grid_{rows}x{cols}",
         "nodes": rows * cols,
         "rounds": rounds,

@@ -151,8 +151,11 @@ def run_modegen_bench(
     total_seed = sum(r["seed_s"] for r in rows)
     total_serial = sum(r["opt_serial_s"] for r in rows)
     total_parallel = sum(r["opt_parallel_s"] for r in rows)
+    from repro.experiments.common import bench_env
+
     result = {
         "benchmark": "modegen",
+        "env": bench_env(workers=workers),
         "quick": quick,
         "workers": workers,
         "seed": seed,

@@ -1,0 +1,255 @@
+"""Scale-out round-engine benchmark: 200/500/1000-node heartbeat sweeps.
+
+Runs fault-free Erdos-Renyi deployments (the paper's S5.1 simulation
+setup) at n = 200/500/1000 for a fixed number of rounds under three
+engines in one process:
+
+* **legacy** -- the pre-scale-out serial path: dict/set coverage
+  bookkeeping and per-message signature verification
+  (``bitset_coverage=False, round_batched_verify=False``);
+* **serial** -- the optimized serial path: numpy bitset coverage/heartbeat
+  stores and round-batched multisignature verification;
+* **sharded** -- the optimized path on the
+  :class:`~repro.net.shard.ShardedRoundEngine` with N worker processes.
+
+Every pairing is held byte-identical: the serial and sharded runs of each
+sweep must produce the same per-round transcript (per-node evidence
+digests + modes) and the same logical crypto counters, and dedicated
+small-n identity cells (Erdos-Renyi n=20, the 20-node grid across a crash
+fault, and the grid under the chaos smoke impairment preset) re-verify
+the pin on every invocation.  ``--smoke`` is the CI-sized variant (n=200
+only).  Results go to ``BENCH_scale.json`` with the shared ``env``
+provenance block; wall-clock speedups are reported as measured on the
+current machine (``env.cpu_count`` says how much parallel hardware the
+sharded engine actually had).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import transcript_entry
+from repro.chaos.impairments import ChaosRoundNetwork, ImpairmentPlan
+from repro.core.config import ReboundConfig
+from repro.core.runtime import ReboundSystem
+from repro.experiments.common import bench_env
+from repro.faults.adversary import CrashBehavior
+from repro.net.shard import resolve_workers
+from repro.net.topology import erdos_renyi_topology, grid_topology
+from repro.sched.workload import WorkloadGenerator
+
+SWEEP_SIZES = (200, 500, 1000)
+SMOKE_SIZES = (200,)
+DEFAULT_ROUNDS = 10
+SMOKE_ROUNDS = 6
+DEFAULT_WORKERS = 4
+
+
+def _sweep_system(
+    n: int, seed: int, workers: int, legacy: bool
+) -> ReboundSystem:
+    topology = erdos_renyi_topology(n, seed=seed)
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=1.5
+    )
+    config = ReboundConfig(
+        fmax=0, fconc=0, variant="multi", rsa_bits=256,
+        bitset_coverage=not legacy, round_batched_verify=not legacy,
+    )
+    return ReboundSystem(
+        topology, workload, config, seed=seed, scale_workers=workers
+    )
+
+
+def _run(
+    system: ReboundSystem, rounds: int, crash_round: Optional[int] = None
+) -> Dict[str, Any]:
+    """Timed rounds; transcript capture stays outside the clock."""
+    transcript: List[Tuple] = []
+    run_s = 0.0
+    try:
+        for r in range(1, rounds + 1):
+            if crash_round is not None and r == crash_round:
+                system.inject_now(
+                    max(system.topology.controllers), CrashBehavior()
+                )
+            t0 = time.perf_counter()
+            system.run_round()
+            run_s += time.perf_counter() - t0
+            transcript.append(transcript_entry(system))
+        counters = system.total_crypto_counters()
+    finally:
+        system.close()
+    return {"run_s": run_s, "transcript": transcript, "counters": counters}
+
+
+def _sweep(
+    n: int, rounds: int, workers: int, seed: int = 0
+) -> Dict[str, Any]:
+    legacy = _run(_sweep_system(n, seed, 0, legacy=True), rounds)
+    serial = _run(_sweep_system(n, seed, 0, legacy=False), rounds)
+    sharded = _run(_sweep_system(n, seed, workers, legacy=False), rounds)
+    identical = (
+        legacy["transcript"] == serial["transcript"] == sharded["transcript"]
+        and legacy["counters"] == serial["counters"] == sharded["counters"]
+    )
+    return {
+        "n": n,
+        "rounds": rounds,
+        "seed": seed,
+        "workers": workers,
+        "legacy_run_s": legacy["run_s"],
+        "serial_run_s": serial["run_s"],
+        "sharded_run_s": sharded["run_s"],
+        "serial_vs_sharded_speedup": (
+            serial["run_s"] / sharded["run_s"]
+            if sharded["run_s"] else float("inf")
+        ),
+        "legacy_vs_serial_speedup": (
+            legacy["run_s"] / serial["run_s"]
+            if serial["run_s"] else float("inf")
+        ),
+        "legacy_vs_sharded_speedup": (
+            legacy["run_s"] / sharded["run_s"]
+            if sharded["run_s"] else float("inf")
+        ),
+        "transcripts_identical": identical,
+    }
+
+
+# -- small-n identity cells ------------------------------------------------------
+
+
+def _grid_system(workers: int, network_factory=None) -> ReboundSystem:
+    topology = grid_topology(4, 5)
+    workload = WorkloadGenerator(seed=0, chain_length_range=(1, 2)).workload(
+        target_utilization=1.5
+    )
+    config = ReboundConfig(fmax=1, fconc=1, variant="multi", rsa_bits=256)
+    return ReboundSystem(
+        topology, workload, config, seed=0,
+        network_factory=network_factory, scale_workers=workers,
+    )
+
+
+CHAOS_SMOKE_PLAN = ImpairmentPlan(
+    seed=3, dup_prob=0.1, reorder_prob=0.3, delay_prob=0.05,
+    max_delay_rounds=2,
+)
+
+
+def _identity_cell(name: str, build, rounds: int, workers: int,
+                   crash_round: Optional[int] = None) -> Dict[str, Any]:
+    serial = _run(build(0), rounds, crash_round=crash_round)
+    sharded = _run(build(workers), rounds, crash_round=crash_round)
+    return {
+        "cell": name,
+        "rounds": rounds,
+        "workers": workers,
+        "transcripts_identical": serial["transcript"] == sharded["transcript"],
+        "counters_identical": serial["counters"] == sharded["counters"],
+    }
+
+
+def identity_cells(workers: int, rounds: int = 16) -> List[Dict[str, Any]]:
+    """Serial-vs-sharded byte-identity pins at small n."""
+    return [
+        _identity_cell(
+            "er20",
+            lambda w: _sweep_system(20, 0, w, legacy=False),
+            rounds, workers,
+        ),
+        _identity_cell(
+            "grid20-crash", _grid_system, rounds, workers, crash_round=8
+        ),
+        _identity_cell(
+            "grid20-chaos-smoke",
+            lambda w: _grid_system(
+                w, network_factory=lambda t: ChaosRoundNetwork(
+                    t, CHAOS_SMOKE_PLAN
+                ),
+            ),
+            rounds, workers,
+        ),
+    ]
+
+
+# -- driver ----------------------------------------------------------------------
+
+
+def run_scale_bench(
+    sizes: Optional[Tuple[int, ...]] = None,
+    rounds: Optional[int] = None,
+    workers: Optional[int] = None,
+    smoke: bool = False,
+    output_path: Optional[str] = "BENCH_scale.json",
+) -> Dict[str, Any]:
+    if sizes is None:
+        sizes = SMOKE_SIZES if smoke else SWEEP_SIZES
+    if rounds is None:
+        rounds = SMOKE_ROUNDS if smoke else DEFAULT_ROUNDS
+    workers = resolve_workers(workers) or DEFAULT_WORKERS
+    if workers < 2:
+        workers = 2
+
+    cells = identity_cells(workers)
+    sweeps = [_sweep(n, rounds, workers) for n in sizes]
+    all_identical = all(
+        c["transcripts_identical"] and c["counters_identical"] for c in cells
+    ) and all(s["transcripts_identical"] for s in sweeps)
+    result = {
+        "benchmark": "scale",
+        "env": bench_env(workers=workers),
+        "smoke": smoke,
+        "sizes": list(sizes),
+        "rounds": rounds,
+        "workers": workers,
+        "sweeps": sweeps,
+        "identity": {"cells": cells, "all_identical": all_identical},
+    }
+    if output_path is not None:
+        with open(output_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return result
+
+
+def main(
+    output_path: Optional[str] = "BENCH_scale.json",
+    workers: Optional[int] = None,
+    smoke: bool = False,
+    rounds: Optional[int] = None,
+) -> Dict[str, Any]:
+    result = run_scale_bench(
+        rounds=rounds, workers=workers, smoke=smoke, output_path=output_path
+    )
+    for sweep in result["sweeps"]:
+        print("BENCH " + json.dumps(
+            {
+                k: sweep[k]
+                for k in (
+                    "n", "rounds", "workers",
+                    "legacy_run_s", "serial_run_s", "sharded_run_s",
+                    "serial_vs_sharded_speedup", "legacy_vs_serial_speedup",
+                    "legacy_vs_sharded_speedup", "transcripts_identical",
+                )
+            },
+            sort_keys=True,
+        ))
+    print(
+        "identity: "
+        + ", ".join(
+            f"{c['cell']}="
+            + ("OK" if c["transcripts_identical"] and c["counters_identical"]
+               else "DIFF")
+            for c in result["identity"]["cells"]
+        )
+        + f" -- all_identical={result['identity']['all_identical']}"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -2,8 +2,46 @@
 
 from __future__ import annotations
 
+import os
+import platform
+import subprocess
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Any, Dict, Optional, Sequence
+
+
+def bench_env(workers: Optional[int] = None) -> Dict[str, Any]:
+    """Provenance block shared by every ``BENCH_*.json`` writer.
+
+    Records the interpreter, platform, CPU budget, worker count, and the
+    commit the numbers were taken at, so benchmark files are comparable
+    across machines and commits.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    try:
+        import numpy  # noqa: F401
+        have_numpy = True
+    except ImportError:
+        have_numpy = False
+    env: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": have_numpy,
+        "commit": commit,
+    }
+    if workers is not None:
+        env["workers"] = workers
+    return env
 
 from repro.core.auditing import TaskRegistry
 from repro.core.config import ReboundConfig

@@ -1,0 +1,615 @@
+"""Sharded round engine: deterministic fan-out of node stepping.
+
+At scale (hundreds of controllers) the serial per-node loop in
+:meth:`repro.net.network.RoundNetwork.run_round` dominates wall clock.
+This module steps nodes in parallel across ``ProcessPoolExecutor`` workers
+while keeping transcripts **byte-identical** to serial execution:
+
+1.  *Stable shard assignment.*  Sorted controllers are dealt round-robin
+    over ``workers`` shards at engine start; devices, fault-scenario
+    targets, and any explicitly pinned nodes stay parent-resident.  Each
+    shard gets its own single-process pool, forked after the system is
+    fully built, so workers inherit their resident nodes (and the whole
+    directory/mode tree) copy-on-write -- the same fork-inherit pattern as
+    :mod:`repro.sched.modegen`.
+
+2.  *Capture/replay sends.*  Every node sends only from ``on_round_end``.
+    Workers (and the parent, for its own residents) run the three phases
+    with the network's *intent sink* armed: ``send()``/``broadcast()``
+    record ``(kind, sender, target, payload)`` and return before any
+    crash/adversary/guardian processing.  After the join, the parent
+    replays all captured intents through the real send path in ascending
+    node order -- exactly the order the serial engine would have produced
+    -- so sequence numbering, guardian charging, tamper hooks, byte
+    accounting, and the chaos layer's seq-keyed impairment RNG behave
+    identically.  Within a node, intent order is the node's own emission
+    order, also identical to serial.
+
+3.  *Deliveries fan out pre-partitioned.*  The parent collects the round's
+    deliveries once (chaos reordering included) and ships each shard the
+    slice destined to its residents, preserving global order; deliveries
+    to different destinations are independent, so per-destination order is
+    all that matters.
+
+4.  *Summaries, not objects.*  After each round a worker returns a compact
+    :class:`NodeSummary` per resident; the parent exposes them through
+    :class:`ShardNodeView` proxies so monitors/metrics (`fault_pattern`,
+    evidence digest, `current_schedule` via the shared mode tree, counter
+    totals, buffer lengths) read the same values they would from real
+    nodes.  Heavyweight reads (evidence items, storage bytes) and writes
+    (``submit_evidence``) are explicit RPCs to the owning worker.
+
+5.  *Telemetry hygiene.*  Worker initializers detach the inherited flight
+    recorder and zero every registered telemetry component, so per-worker
+    cache stats count post-fork work only; each round's snapshot rides
+    back with the results and :func:`ShardedRoundEngine.merged_stats`
+    folds them into the parent's registry snapshot without double
+    counting.
+
+Shared module-level caches (verify cache, coverage DP, path cache, codec
+memo) diverge per worker but are *fidelity-neutral*: they cache pure
+functions and never feed transcripts or logical counters.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.obs import recorder as _flight
+from repro.obs import registry as _telemetry
+
+WORKERS_ENV = "REBOUND_SCALE_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REBOUND_SCALE_WORKERS``,
+    else 0 (serial).  Values <= 1 mean the serial engine."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        workers = int(raw) if raw else 0
+    return max(0, int(workers))
+
+
+# -- per-round node summaries ---------------------------------------------------
+
+
+@dataclass
+class NodeSummary:
+    """Everything monitors/metrics read from a node every round, shipped
+    back from the owning worker after each round."""
+
+    scenario: Any
+    has_schedule: bool
+    fault_pattern: Any
+    evidence_digest: bytes
+    accused: FrozenSet[int]
+    evidence_len: int
+    store_len: int
+    pending_rule_b: int
+    replica_lens: Dict[Tuple[int, int], Tuple[int, int, int]]
+    pending_cap: Optional[int]
+    counters: Dict[str, Any]
+    mode_switches: List[Tuple[int, Any]]
+
+
+def summarize_node(node: Any) -> NodeSummary:
+    fwd = node.forwarding
+    aud = node.auditing
+    return NodeSummary(
+        scenario=node.current_scenario,
+        has_schedule=node.current_schedule is not None,
+        fault_pattern=fwd.fault_pattern,
+        evidence_digest=fwd.evidence.digest(),
+        accused=frozenset(fwd.evidence.accused_nodes()),
+        evidence_len=len(fwd.evidence),
+        store_len=len(fwd.store),
+        pending_rule_b=len(fwd._pending_rule_b),
+        replica_lens={
+            key: (len(rep.bundles), len(rep.auths), len(rep.peer_digests))
+            for key, rep in aud._replicas.items()
+        },
+        pending_cap=aud.pending_cap,
+        counters={dom: copy.copy(c) for dom, c in node.crypto.counters.items()},
+        mode_switches=list(node.mode_switches),
+    )
+
+
+# -- worker side ----------------------------------------------------------------
+
+
+@dataclass
+class _SpawnState:
+    network: Any
+    resident: FrozenSet[int]
+
+
+@dataclass
+class _WorkerState:
+    network: Any
+    resident: Set[int]
+    sink: List[Tuple[str, int, int, Any]] = field(default_factory=list)
+
+
+@dataclass
+class _RoundResult:
+    intents: Dict[int, List[Tuple[str, int, Any]]]
+    summaries: Dict[int, NodeSummary]
+    telemetry: Dict[str, Dict[str, Any]]
+
+
+# Set in the parent immediately before each pool's priming submit forks the
+# worker; the child's initializer copies it into _W.  Never read after start.
+_SPAWN: Optional[_SpawnState] = None
+_W: Optional[_WorkerState] = None
+
+
+def _worker_init() -> None:
+    global _W
+    state = _SPAWN
+    assert state is not None, "worker forked without spawn state"
+    _W = _WorkerState(network=state.network, resident=set(state.resident))
+    # The fork snapshot carries the parent's flight recorder and telemetry
+    # counts.  Detach the recorder (worker-side events cannot be merged
+    # back in order) and zero every component so the per-worker stats this
+    # engine reports never double-count pre-fork activity.
+    _flight.active = None
+    _telemetry.ensure_default_components()
+    _telemetry.reset_all()
+    # Arm the intent sink permanently: nothing a worker-resident node sends
+    # may enter the network here -- the parent replays it.
+    _W.network._intent_sink = _W.sink
+
+
+def _worker_ping() -> bool:
+    return _W is not None
+
+
+def _group_intents(
+    sink: List[Tuple[str, int, int, Any]],
+) -> Dict[int, List[Tuple[str, int, Any]]]:
+    grouped: Dict[int, List[Tuple[str, int, Any]]] = {}
+    for kind, sender, target, payload in sink:
+        grouped.setdefault(sender, []).append((kind, target, payload))
+    return grouped
+
+
+def _worker_round(
+    round_no: int,
+    crashed: FrozenSet[int],
+    deliveries: List[Tuple[int, int, Any]],
+) -> _RoundResult:
+    """Run one round's three phases for this worker's resident nodes."""
+    w = _W
+    assert w is not None
+    net = w.network
+    net.round_no = round_no
+    net._crashed = set(crashed)
+    sink = w.sink
+    sink.clear()
+    protos = net._protocols
+    live = [n for n in sorted(w.resident) if n not in crashed]
+    for nid in live:
+        protos[nid].on_round_start(round_no)
+    for sender, destination, payload in deliveries:
+        if destination in crashed or destination not in w.resident:
+            continue
+        protos[destination].on_receive(round_no, sender, payload)
+    if sink:
+        # The replay merge orders intents by sending node, which matches
+        # serial execution only when every send happens in on_round_end
+        # (true for all shipped protocols).  Fail loudly otherwise.
+        raise RuntimeError(
+            "sharded engine requires protocols to send only from on_round_end"
+        )
+    for nid in live:
+        protos[nid].on_round_end(round_no)
+    return _RoundResult(
+        intents=_group_intents(sink),
+        summaries={nid: summarize_node(protos[nid]) for nid in sorted(w.resident)},
+        telemetry=_telemetry.stats_snapshot(),
+    )
+
+
+def _worker_call(node_id: int, op: str, *args: Any) -> Any:
+    w = _W
+    assert w is not None
+    node = w.network._protocols[node_id]
+    if op == "evidence_items":
+        return list(node.forwarding.evidence.items())
+    if op == "storage_bytes":
+        return node.forwarding.storage_bytes()
+    if op == "storage_all":
+        return {
+            nid: w.network._protocols[nid].forwarding.storage_bytes()
+            for nid in sorted(w.resident)
+        }
+    if op == "submit_evidence":
+        node.forwarding.submit_evidence(args[0])
+        return summarize_node(node)
+    if op == "summarize":
+        return summarize_node(node)
+    if op == "release":
+        # Drop the node from this worker's residency; its local copy goes
+        # stale and is never stepped again.  Return the (network-detached)
+        # node when the caller wants to adopt it parent-side.
+        w.resident.discard(node_id)
+        node.network = None
+        return node if args and args[0] else None
+    raise ValueError(f"unknown worker op {op!r}")
+
+
+# -- parent-side views ----------------------------------------------------------
+
+
+class _Sized:
+    """A stand-in exposing only ``len()`` of a worker-side container."""
+
+    __slots__ = ("_n",)
+
+    def __init__(self, n: int):
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+
+class _ReplicaLens:
+    __slots__ = ("bundles", "auths", "peer_digests")
+
+    def __init__(self, lens: Tuple[int, int, int]):
+        self.bundles = _Sized(lens[0])
+        self.auths = _Sized(lens[1])
+        self.peer_digests = _Sized(lens[2])
+
+
+class _EvidenceView:
+    def __init__(self, engine: "ShardedRoundEngine", node_id: int):
+        self._engine = engine
+        self._node_id = node_id
+
+    def _summary(self) -> NodeSummary:
+        return self._engine.summary(self._node_id)
+
+    def digest(self) -> bytes:
+        return self._summary().evidence_digest
+
+    def accused_nodes(self) -> Set[int]:
+        return set(self._summary().accused)
+
+    def __len__(self) -> int:
+        return self._summary().evidence_len
+
+    def items(self) -> List[Any]:
+        return self._engine.rpc(self._node_id, "evidence_items")
+
+
+class _ForwardingView:
+    def __init__(self, engine: "ShardedRoundEngine", node_id: int):
+        self._engine = engine
+        self._node_id = node_id
+        self.evidence = _EvidenceView(engine, node_id)
+
+    def _summary(self) -> NodeSummary:
+        return self._engine.summary(self._node_id)
+
+    @property
+    def fault_pattern(self) -> Any:
+        return self._summary().fault_pattern
+
+    @property
+    def store(self) -> _Sized:
+        return _Sized(self._summary().store_len)
+
+    @property
+    def _pending_rule_b(self) -> _Sized:
+        return _Sized(self._summary().pending_rule_b)
+
+    def storage_bytes(self) -> int:
+        return self._engine.rpc(self._node_id, "storage_bytes")
+
+    def submit_evidence(self, item: Any) -> None:
+        summary = self._engine.rpc(self._node_id, "submit_evidence", item)
+        self._engine._summaries[self._node_id] = summary
+
+
+class _AuditingView:
+    def __init__(self, engine: "ShardedRoundEngine", node_id: int):
+        self._engine = engine
+        self._node_id = node_id
+
+    def _summary(self) -> NodeSummary:
+        return self._engine.summary(self._node_id)
+
+    @property
+    def pending_cap(self) -> Optional[int]:
+        return self._summary().pending_cap
+
+    @property
+    def _replicas(self) -> Dict[Tuple[int, int], _ReplicaLens]:
+        return {
+            key: _ReplicaLens(lens)
+            for key, lens in self._summary().replica_lens.items()
+        }
+
+
+class _CryptoView:
+    def __init__(self, engine: "ShardedRoundEngine", node_id: int):
+        self._engine = engine
+        self._node_id = node_id
+
+    @property
+    def counters(self) -> Dict[str, Any]:
+        return self._engine.summary(self._node_id).counters
+
+    def total_counters(self) -> Any:
+        from repro.crypto.cost_model import CryptoCounters
+
+        total = CryptoCounters()
+        for c in self.counters.values():
+            total.merge(c)
+        return total
+
+
+class ShardNodeView:
+    """Parent-side proxy for a worker-resident controller.
+
+    Supports every read the runtime, metrics, and BTR monitor perform on a
+    live node; state-changing operations go through explicit engine RPCs.
+    """
+
+    is_view = True
+
+    def __init__(self, engine: "ShardedRoundEngine", node_id: int):
+        self._engine = engine
+        self.node_id = node_id
+        self.forwarding = _ForwardingView(engine, node_id)
+        self.auditing = _AuditingView(engine, node_id)
+        self.crypto = _CryptoView(engine, node_id)
+
+    def _summary(self) -> NodeSummary:
+        return self._engine.summary(self.node_id)
+
+    @property
+    def current_scenario(self) -> Any:
+        return self._summary().scenario
+
+    @property
+    def current_schedule(self) -> Any:
+        summary = self._summary()
+        if not summary.has_schedule:
+            return None
+        return self._engine.mode_tree.schedule_for(summary.scenario)
+
+    @property
+    def fault_pattern(self) -> Any:
+        return self._summary().fault_pattern
+
+    @property
+    def evidence(self) -> _EvidenceView:
+        return self.forwarding.evidence
+
+    @property
+    def mode_switches(self) -> List[Tuple[int, Any]]:
+        return self._summary().mode_switches
+
+
+# -- the engine -----------------------------------------------------------------
+
+
+class ShardedRoundEngine:
+    """Deterministic fan-out/merge executor for :class:`RoundNetwork` rounds.
+
+    Created by :class:`repro.core.runtime.ReboundSystem` when scale workers
+    are requested; :meth:`start` must run after the system is fully built
+    (workers fork-inherit it) and before the first engine round.
+    """
+
+    def __init__(
+        self,
+        network: Any,
+        mode_tree: Any,
+        workers: int,
+        parent_resident: Iterable[int] = (),
+    ):
+        if workers < 2:
+            raise ValueError("ShardedRoundEngine needs at least 2 workers")
+        self.network = network
+        self.mode_tree = mode_tree
+        self.workers = workers
+        topo = network.topology
+        pinned = set(parent_resident)
+        shardable = [c for c in sorted(topo.controllers) if c not in pinned]
+        # Stable assignment: sorted controllers dealt round-robin.
+        self._shards: List[List[int]] = [
+            shard for shard in (shardable[i::workers] for i in range(workers)) if shard
+        ]
+        self._shard_of: Dict[int, int] = {
+            nid: i for i, shard in enumerate(self._shards) for nid in shard
+        }
+        self._parent_ids: List[int] = sorted(
+            set(topo.nodes) - set(self._shard_of)
+        )
+        self._summaries: Dict[int, NodeSummary] = {}
+        self._pools: List[ProcessPoolExecutor] = []
+        self._worker_stats: Dict[int, Dict[str, Dict[str, Any]]] = {}
+        self._started = False
+        self.rounds_executed = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self, nodes: Dict[int, Any]) -> Dict[int, ShardNodeView]:
+        """Fork one single-process pool per shard and return view proxies
+        for the worker-resident nodes (keyed by node id)."""
+        global _SPAWN
+        if self._started:
+            raise RuntimeError("engine already started")
+        for nid in self._shard_of:
+            self._summaries[nid] = summarize_node(nodes[nid])
+        ctx = mp.get_context("fork")
+        try:
+            for shard_id, shard_nodes in enumerate(self._shards):
+                _SPAWN = _SpawnState(
+                    network=self.network, resident=frozenset(shard_nodes)
+                )
+                pool = ProcessPoolExecutor(
+                    max_workers=1, mp_context=ctx, initializer=_worker_init
+                )
+                # Force the fork now, while _SPAWN carries this shard's
+                # residency (process creation happens on first submit).
+                pool.submit(_worker_ping).result()
+                self._pools.append(pool)
+                self._worker_stats[shard_id] = {}
+        finally:
+            _SPAWN = None
+        self._started = True
+        _telemetry.register("scale_engine", self._stats, self._reset_stats)
+        return {nid: ShardNodeView(self, nid) for nid in sorted(self._shard_of)}
+
+    def shutdown(self) -> None:
+        pools, self._pools = self._pools, []
+        for pool in pools:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if self._started:
+            _telemetry.unregister("scale_engine")
+
+    # -- round execution --------------------------------------------------------
+
+    def step_round(self, net: Any, deliveries: List[Tuple[int, int, Any, int]]) -> None:
+        round_no = net.round_no
+        crashed = frozenset(net._crashed)
+        shard_deliveries: List[List[Tuple[int, int, Any]]] = [
+            [] for _ in self._pools
+        ]
+        parent_deliveries: List[Tuple[int, int, Any, int]] = []
+        for d in deliveries:
+            shard = self._shard_of.get(d[1])
+            if shard is None:
+                parent_deliveries.append(d)
+            else:
+                shard_deliveries[shard].append((d[0], d[1], d[2]))
+        futures = [
+            pool.submit(_worker_round, round_no, crashed, shard_deliveries[i])
+            for i, pool in enumerate(self._pools)
+        ]
+        protos = net._protocols
+        sink: List[Tuple[str, int, int, Any]] = []
+        net._intent_sink = sink
+        try:
+            for nid in self._parent_ids:
+                if nid in crashed:
+                    continue
+                proto = protos.get(nid)
+                if proto is not None:
+                    proto.on_round_start(round_no)
+            for sender, destination, payload, _seq in parent_deliveries:
+                if destination in crashed:
+                    continue
+                proto = protos.get(destination)
+                if proto is not None:
+                    proto.on_receive(round_no, sender, payload)
+            if sink:
+                raise RuntimeError(
+                    "sharded engine requires protocols to send only from "
+                    "on_round_end"
+                )
+            for nid in self._parent_ids:
+                if nid in crashed:
+                    continue
+                proto = protos.get(nid)
+                if proto is not None:
+                    proto.on_round_end(round_no)
+        finally:
+            net._intent_sink = None
+        intents = _group_intents(sink)
+        for shard_id, future in enumerate(futures):
+            result: _RoundResult = future.result()
+            intents.update(result.intents)
+            self._summaries.update(result.summaries)
+            self._worker_stats[shard_id] = result.telemetry
+        # Replay in ascending node order: byte-identical to the serial
+        # engine's on_round_end loop (including chaos sequence numbering).
+        for nid in net.topology.nodes:
+            for kind, target, payload in intents.get(nid, ()):
+                if kind == "u":
+                    net.send(nid, target, payload)
+                else:
+                    net.broadcast(nid, target, payload)
+        self.rounds_executed += 1
+
+    # -- parent/worker state management ----------------------------------------
+
+    def summary(self, node_id: int) -> NodeSummary:
+        return self._summaries[node_id]
+
+    def is_sharded(self, node_id: int) -> bool:
+        return node_id in self._shard_of
+
+    def rpc(self, node_id: int, op: str, *args: Any) -> Any:
+        shard = self._shard_of.get(node_id)
+        if shard is None:
+            raise KeyError(f"node {node_id} is not worker-resident")
+        return self._pools[shard].submit(_worker_call, node_id, op, *args).result()
+
+    def storage_bytes_map(self) -> Dict[int, int]:
+        """Storage bytes for every worker-resident node (one RPC per shard)."""
+        sizes: Dict[int, int] = {}
+        for shard_id, shard in enumerate(self._shards):
+            if not shard:
+                continue
+            sizes.update(
+                self._pools[shard_id]
+                .submit(_worker_call, shard[0], "storage_all")
+                .result()
+            )
+        return sizes
+
+    def _adopt_parent(self, node_id: int, want_node: bool) -> Any:
+        shard = self._shard_of.pop(node_id)
+        node = (
+            self._pools[shard].submit(_worker_call, node_id, "release", want_node)
+            .result()
+        )
+        self._shards[shard].remove(node_id)
+        self._summaries.pop(node_id, None)
+        self._parent_ids = sorted(set(self._parent_ids) | {node_id})
+        return node
+
+    def recall(self, node_id: int) -> Any:
+        """Pull a worker-resident node into the parent as a pickled copy
+        (used for mid-run fault injection on an unpinned target).  The
+        caller must re-attach it to the parent network."""
+        return self._adopt_parent(node_id, want_node=True)
+
+    def adopt_parent(self, node_id: int) -> None:
+        """Mark ``node_id`` parent-resident from now on, discarding the
+        worker's copy (used when the runtime rebuilds a node in-place,
+        e.g. repair_and_bless)."""
+        if node_id in self._shard_of:
+            self._adopt_parent(node_id, want_node=False)
+
+    # -- telemetry --------------------------------------------------------------
+
+    def worker_snapshots(self) -> List[Dict[str, Dict[str, Any]]]:
+        return [self._worker_stats[i] for i in sorted(self._worker_stats)]
+
+    def merged_stats(self) -> Dict[str, Dict[str, Any]]:
+        """The parent registry snapshot with worker-side counters folded in."""
+        return _telemetry.merge_stats_snapshots(
+            _telemetry.stats_snapshot(), self.worker_snapshots()
+        )
+
+    def _stats(self) -> Dict[str, Any]:
+        return {
+            "workers": len(self._pools),
+            "shard_sizes": [len(shard) for shard in self._shards],
+            "parent_resident": len(self._parent_ids),
+            "rounds": self.rounds_executed,
+        }
+
+    def _reset_stats(self) -> None:
+        self.rounds_executed = 0
