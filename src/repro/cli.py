@@ -156,6 +156,8 @@ def cmd_bench_scale(args) -> int:
         workers=args.workers,
         smoke=args.smoke,
         rounds=args.rounds,
+        sizes=args.sizes,
+        engines=args.engines.split(",") if args.engines else None,
     )
     return 0 if result["identity"]["all_identical"] else 1
 
@@ -303,6 +305,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     benchs.add_argument("--rounds", type=int, default=None,
                         help="override rounds per sweep")
+    benchs.add_argument(
+        "--sizes", type=_int_list, default=None,
+        help="comma-separated sweep sizes (default 200,500,1000; "
+        "recorded in the output's filters block)",
+    )
+    benchs.add_argument(
+        "--engines", default=None,
+        help="comma-separated engine subset of legacy,serial,sharded "
+        "(default all; recorded in the output's filters block)",
+    )
     benchs.add_argument("--out", default="BENCH_scale.json")
     benchs.set_defaults(func=cmd_bench_scale)
 

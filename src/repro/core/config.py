@@ -63,6 +63,14 @@ class ReboundConfig:
             per-message processing.  Transcript- and counter-identical
             (warming never counts; the per-message path still charges
             every logical operation).
+        frame_ipc: ship sharded-engine deliveries and captured intents
+            between processes as interned canonical codec frames
+            (:mod:`repro.net.frames`) instead of pickled message objects,
+            and batch worker write-RPCs into the round flush.  A pure IPC
+            fast path: transcripts and logical counters are byte-identical
+            either way (frames *are* the canonical encoding).  Disabled
+            only for ablation/benchmark comparison; ignored by the serial
+            engine.
     """
 
     fmax: int = 1
@@ -84,6 +92,7 @@ class ReboundConfig:
     quotas_enabled: bool = True
     bitset_coverage: bool = True
     round_batched_verify: bool = True
+    frame_ipc: bool = True
 
     def __post_init__(self) -> None:
         if self.fmax < 0 or self.fconc < 0:

@@ -183,6 +183,7 @@ class ReboundSystem:
             self.mode_tree,
             self.scale_workers,
             parent_resident=pinned,
+            frame_ipc=self.config.frame_ipc,
         )
         views = engine.start(self.nodes)
         self.nodes.update(views)

@@ -11,24 +11,33 @@ engines in one process:
   stores and round-batched multisignature verification;
 * **sharded** -- the optimized path on the
   :class:`~repro.net.shard.ShardedRoundEngine` with N worker processes.
+  Each sharded sweep runs twice: once on the wire-frame IPC plane
+  (``frame_ipc=True``, the default) and once on the pickled-object
+  fallback, so the JSON records the frame plane's byte and wall-clock
+  gains (``ipc.bytes_reduction``, ``frame_vs_pickle_speedup``) next to a
+  per-stage round **profile** (encode/ipc/step/replay/merge seconds from
+  :class:`~repro.obs.profiler.RoundProfiler`).
 
 Every pairing is held byte-identical: the serial and sharded runs of each
 sweep must produce the same per-round transcript (per-node evidence
 digests + modes) and the same logical crypto counters, and dedicated
 small-n identity cells (Erdos-Renyi n=20, the 20-node grid across a crash
 fault, and the grid under the chaos smoke impairment preset) re-verify
-the pin on every invocation.  ``--smoke`` is the CI-sized variant (n=200
-only).  Results go to ``BENCH_scale.json`` with the shared ``env``
-provenance block; wall-clock speedups are reported as measured on the
-current machine (``env.cpu_count`` says how much parallel hardware the
-sharded engine actually had).
+the pin on every invocation -- once per IPC mode, so both the frame plane
+and the pickle fallback are exercised.  ``--smoke`` is the CI-sized
+variant (n=200 only); ``--sizes`` / ``--engines`` narrow the sweep grid
+and are recorded in the output's ``filters`` block.  Results go to
+``BENCH_scale.json`` with the shared ``env`` provenance block;
+wall-clock speedups are reported as measured on the current machine
+(``env.cpu_count`` says how much parallel hardware the sharded engine
+actually had).
 """
 
 from __future__ import annotations
 
 import json
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import transcript_entry
 from repro.chaos.impairments import ChaosRoundNetwork, ImpairmentPlan
@@ -42,13 +51,14 @@ from repro.sched.workload import WorkloadGenerator
 
 SWEEP_SIZES = (200, 500, 1000)
 SMOKE_SIZES = (200,)
+ENGINES = ("legacy", "serial", "sharded")
 DEFAULT_ROUNDS = 10
 SMOKE_ROUNDS = 6
 DEFAULT_WORKERS = 4
 
 
 def _sweep_system(
-    n: int, seed: int, workers: int, legacy: bool
+    n: int, seed: int, workers: int, legacy: bool, frame_ipc: bool = True
 ) -> ReboundSystem:
     topology = erdos_renyi_topology(n, seed=seed)
     workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
@@ -57,6 +67,7 @@ def _sweep_system(
     config = ReboundConfig(
         fmax=0, fconc=0, variant="multi", rsa_bits=256,
         bitset_coverage=not legacy, round_batched_verify=not legacy,
+        frame_ipc=frame_ipc,
     )
     return ReboundSystem(
         topology, workload, config, seed=seed, scale_workers=workers
@@ -69,6 +80,8 @@ def _run(
     """Timed rounds; transcript capture stays outside the clock."""
     transcript: List[Tuple] = []
     run_s = 0.0
+    profile: Optional[Dict[str, Any]] = None
+    ipc: Optional[Dict[str, Any]] = None
     try:
         for r in range(1, rounds + 1):
             if crash_round is not None and r == crash_round:
@@ -80,54 +93,105 @@ def _run(
             run_s += time.perf_counter() - t0
             transcript.append(transcript_entry(system))
         counters = system.total_crypto_counters()
+        engine = system._engine
+        if engine is not None:
+            profile = engine.profiler.stats()
+            ipc = engine._ipc_stats()
     finally:
         system.close()
-    return {"run_s": run_s, "transcript": transcript, "counters": counters}
+    return {
+        "run_s": run_s, "transcript": transcript, "counters": counters,
+        "profile": profile, "ipc": ipc,
+    }
+
+
+def _payload_bytes(ipc: Dict[str, Any]) -> int:
+    return int(ipc["delivery_bytes"]) + int(ipc["intent_bytes"])
 
 
 def _sweep(
-    n: int, rounds: int, workers: int, seed: int = 0
+    n: int,
+    rounds: int,
+    workers: int,
+    seed: int = 0,
+    engines: Sequence[str] = ENGINES,
 ) -> Dict[str, Any]:
-    legacy = _run(_sweep_system(n, seed, 0, legacy=True), rounds)
-    serial = _run(_sweep_system(n, seed, 0, legacy=False), rounds)
-    sharded = _run(_sweep_system(n, seed, workers, legacy=False), rounds)
-    identical = (
-        legacy["transcript"] == serial["transcript"] == sharded["transcript"]
-        and legacy["counters"] == serial["counters"] == sharded["counters"]
-    )
-    return {
+    runs: Dict[str, Dict[str, Any]] = {}
+    if "legacy" in engines:
+        runs["legacy"] = _run(_sweep_system(n, seed, 0, legacy=True), rounds)
+    if "serial" in engines:
+        runs["serial"] = _run(_sweep_system(n, seed, 0, legacy=False), rounds)
+    if "sharded" in engines:
+        runs["sharded"] = _run(
+            _sweep_system(n, seed, workers, legacy=False, frame_ipc=True),
+            rounds,
+        )
+        runs["sharded_pickle"] = _run(
+            _sweep_system(n, seed, workers, legacy=False, frame_ipc=False),
+            rounds,
+        )
+    identical: Optional[bool] = None
+    if len(runs) >= 2:
+        values = list(runs.values())
+        identical = all(
+            r["transcript"] == values[0]["transcript"]
+            and r["counters"] == values[0]["counters"]
+            for r in values[1:]
+        )
+    out: Dict[str, Any] = {
         "n": n,
         "rounds": rounds,
         "seed": seed,
         "workers": workers,
-        "legacy_run_s": legacy["run_s"],
-        "serial_run_s": serial["run_s"],
-        "sharded_run_s": sharded["run_s"],
-        "serial_vs_sharded_speedup": (
-            serial["run_s"] / sharded["run_s"]
-            if sharded["run_s"] else float("inf")
-        ),
-        "legacy_vs_serial_speedup": (
-            legacy["run_s"] / serial["run_s"]
-            if serial["run_s"] else float("inf")
-        ),
-        "legacy_vs_sharded_speedup": (
-            legacy["run_s"] / sharded["run_s"]
-            if sharded["run_s"] else float("inf")
-        ),
+        "engines": list(engines),
         "transcripts_identical": identical,
     }
+    for name, run in runs.items():
+        out[f"{name}_run_s"] = run["run_s"]
+
+    def _speedup(num: str, den: str) -> Optional[float]:
+        if num not in runs or den not in runs:
+            return None
+        return (
+            runs[num]["run_s"] / runs[den]["run_s"]
+            if runs[den]["run_s"] else float("inf")
+        )
+
+    out["serial_vs_sharded_speedup"] = _speedup("serial", "sharded")
+    out["legacy_vs_serial_speedup"] = _speedup("legacy", "serial")
+    out["legacy_vs_sharded_speedup"] = _speedup("legacy", "sharded")
+    out["frame_vs_pickle_speedup"] = _speedup("sharded_pickle", "sharded")
+    if "sharded" in runs:
+        frames_ipc = runs["sharded"]["ipc"]
+        pickle_ipc = runs["sharded_pickle"]["ipc"]
+        frames_bytes = _payload_bytes(frames_ipc)
+        pickle_bytes = _payload_bytes(pickle_ipc)
+        out["profile"] = runs["sharded"]["profile"]
+        out["ipc"] = {
+            "frames": frames_ipc,
+            "pickle": pickle_ipc,
+            "frames_payload_bytes": frames_bytes,
+            "pickle_payload_bytes": pickle_bytes,
+            "bytes_reduction": (
+                pickle_bytes / frames_bytes if frames_bytes else None
+            ),
+        }
+    return out
 
 
 # -- small-n identity cells ------------------------------------------------------
 
 
-def _grid_system(workers: int, network_factory=None) -> ReboundSystem:
+def _grid_system(
+    workers: int, network_factory=None, frame_ipc: bool = True
+) -> ReboundSystem:
     topology = grid_topology(4, 5)
     workload = WorkloadGenerator(seed=0, chain_length_range=(1, 2)).workload(
         target_utilization=1.5
     )
-    config = ReboundConfig(fmax=1, fconc=1, variant="multi", rsa_bits=256)
+    config = ReboundConfig(
+        fmax=1, fconc=1, variant="multi", rsa_bits=256, frame_ipc=frame_ipc
+    )
     return ReboundSystem(
         topology, workload, config, seed=0,
         network_factory=network_factory, scale_workers=workers,
@@ -141,51 +205,71 @@ CHAOS_SMOKE_PLAN = ImpairmentPlan(
 
 
 def _identity_cell(name: str, build, rounds: int, workers: int,
+                   frame_ipc: bool,
                    crash_round: Optional[int] = None) -> Dict[str, Any]:
-    serial = _run(build(0), rounds, crash_round=crash_round)
-    sharded = _run(build(workers), rounds, crash_round=crash_round)
+    serial = _run(build(0, frame_ipc), rounds, crash_round=crash_round)
+    sharded = _run(build(workers, frame_ipc), rounds, crash_round=crash_round)
     return {
         "cell": name,
         "rounds": rounds,
         "workers": workers,
+        "frame_ipc": frame_ipc,
         "transcripts_identical": serial["transcript"] == sharded["transcript"],
         "counters_identical": serial["counters"] == sharded["counters"],
     }
 
 
 def identity_cells(workers: int, rounds: int = 16) -> List[Dict[str, Any]]:
-    """Serial-vs-sharded byte-identity pins at small n."""
-    return [
-        _identity_cell(
-            "er20",
-            lambda w: _sweep_system(20, 0, w, legacy=False),
-            rounds, workers,
-        ),
-        _identity_cell(
-            "grid20-crash", _grid_system, rounds, workers, crash_round=8
-        ),
-        _identity_cell(
-            "grid20-chaos-smoke",
-            lambda w: _grid_system(
-                w, network_factory=lambda t: ChaosRoundNetwork(
-                    t, CHAOS_SMOKE_PLAN
-                ),
+    """Serial-vs-sharded byte-identity pins at small n, once per IPC mode
+    (wire frames and the pickle fallback both stay pinned)."""
+    cells = []
+    for frame_ipc in (True, False):
+        cells.extend([
+            _identity_cell(
+                "er20",
+                lambda w, f: _sweep_system(20, 0, w, legacy=False, frame_ipc=f),
+                rounds, workers, frame_ipc,
             ),
-            rounds, workers,
-        ),
-    ]
+            _identity_cell(
+                "grid20-crash",
+                lambda w, f: _grid_system(w, frame_ipc=f),
+                rounds, workers, frame_ipc, crash_round=8,
+            ),
+            _identity_cell(
+                "grid20-chaos-smoke",
+                lambda w, f: _grid_system(
+                    w, network_factory=lambda t: ChaosRoundNetwork(
+                        t, CHAOS_SMOKE_PLAN
+                    ),
+                    frame_ipc=f,
+                ),
+                rounds, workers, frame_ipc,
+            ),
+        ])
+    return cells
 
 
 # -- driver ----------------------------------------------------------------------
 
 
 def run_scale_bench(
-    sizes: Optional[Tuple[int, ...]] = None,
+    sizes: Optional[Sequence[int]] = None,
     rounds: Optional[int] = None,
     workers: Optional[int] = None,
     smoke: bool = False,
+    engines: Optional[Sequence[str]] = None,
     output_path: Optional[str] = "BENCH_scale.json",
 ) -> Dict[str, Any]:
+    sizes_filter = list(sizes) if sizes is not None else None
+    engines_filter = list(engines) if engines is not None else None
+    if engines is not None:
+        unknown = sorted(set(engines) - set(ENGINES))
+        if unknown:
+            raise ValueError(
+                f"unknown engines {unknown}; choose from {list(ENGINES)}"
+            )
+    else:
+        engines = ENGINES
     if sizes is None:
         sizes = SMOKE_SIZES if smoke else SWEEP_SIZES
     if rounds is None:
@@ -195,10 +279,10 @@ def run_scale_bench(
         workers = 2
 
     cells = identity_cells(workers)
-    sweeps = [_sweep(n, rounds, workers) for n in sizes]
+    sweeps = [_sweep(n, rounds, workers, engines=engines) for n in sizes]
     all_identical = all(
         c["transcripts_identical"] and c["counters_identical"] for c in cells
-    ) and all(s["transcripts_identical"] for s in sweeps)
+    ) and all(s["transcripts_identical"] is not False for s in sweeps)
     result = {
         "benchmark": "scale",
         "env": bench_env(workers=workers),
@@ -206,6 +290,8 @@ def run_scale_bench(
         "sizes": list(sizes),
         "rounds": rounds,
         "workers": workers,
+        "engines": list(engines),
+        "filters": {"sizes": sizes_filter, "engines": engines_filter},
         "sweeps": sweeps,
         "identity": {"cells": cells, "all_identical": all_identical},
     }
@@ -221,9 +307,12 @@ def main(
     workers: Optional[int] = None,
     smoke: bool = False,
     rounds: Optional[int] = None,
+    sizes: Optional[Sequence[int]] = None,
+    engines: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
     result = run_scale_bench(
-        rounds=rounds, workers=workers, smoke=smoke, output_path=output_path
+        rounds=rounds, workers=workers, smoke=smoke,
+        sizes=sizes, engines=engines, output_path=output_path,
     )
     for sweep in result["sweeps"]:
         print("BENCH " + json.dumps(
@@ -232,16 +321,35 @@ def main(
                 for k in (
                     "n", "rounds", "workers",
                     "legacy_run_s", "serial_run_s", "sharded_run_s",
+                    "sharded_pickle_run_s",
                     "serial_vs_sharded_speedup", "legacy_vs_serial_speedup",
-                    "legacy_vs_sharded_speedup", "transcripts_identical",
+                    "legacy_vs_sharded_speedup", "frame_vs_pickle_speedup",
+                    "transcripts_identical",
                 )
+                if k in sweep
             },
             sort_keys=True,
         ))
+        if "ipc" in sweep:
+            ipc = sweep["ipc"]
+            print(
+                f"  ipc n={sweep['n']}: "
+                f"frames={ipc['frames_payload_bytes']}B "
+                f"pickle={ipc['pickle_payload_bytes']}B "
+                f"reduction={ipc['bytes_reduction']:.2f}x "
+                f"interned={ipc['frames']['interned_hits']}"
+            )
+        if "profile" in sweep:
+            prof = sweep["profile"]
+            shares = " ".join(
+                f"{stage}={prof[f'{stage}_s']:.3f}s"
+                for stage in ("encode", "ipc", "step", "replay", "merge")
+            )
+            print(f"  profile n={sweep['n']}: {shares}")
     print(
         "identity: "
         + ", ".join(
-            f"{c['cell']}="
+            f"{c['cell']}[{'frames' if c['frame_ipc'] else 'pickle'}]="
             + ("OK" if c["transcripts_identical"] and c["counters_identical"]
                else "DIFF")
             for c in result["identity"]["cells"]

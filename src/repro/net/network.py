@@ -25,7 +25,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.net.message import encode
+from repro.net.frames import decode_frame
+from repro.net.message import Frame, encoded_size
 from repro.net.topology import Topology
 
 # An outgoing message as (sender, destination, payload, serialized bytes).
@@ -211,7 +212,7 @@ class RoundNetwork:
         payload = self._apply_adversary(sender, destination, payload)
         if payload is None:
             return
-        size = len(encode(payload))
+        size = encoded_size(payload)
         if not self._charge(channel, sender, size):
             self.dropped_by_guardian += 1
             return
@@ -242,7 +243,7 @@ class RoundNetwork:
                 continue
             if size is None:
                 # Charge the medium once per broadcast (not per recipient).
-                size = len(encode(delivered))
+                size = encoded_size(delivered)
                 if not self._charge(("bus", bus_id), sender, size):
                     self.dropped_by_guardian += 1
                     return
@@ -327,6 +328,10 @@ class RoundNetwork:
                 continue
             proto = self._protocols.get(destination)
             if proto is not None:
+                if type(payload) is Frame:
+                    # A frame replayed by the sharded engine whose delivery
+                    # round runs serially (e.g. after the engine detached).
+                    payload = decode_frame(payload.data)
                 proto.on_receive(self.round_no, sender, payload)
         for node_id in self.topology.nodes:
             if node_id in self._crashed:

@@ -25,30 +25,46 @@ while keeping transcripts **byte-identical** to serial execution:
     identically.  Within a node, intent order is the node's own emission
     order, also identical to serial.
 
-3.  *Deliveries fan out pre-partitioned.*  The parent collects the round's
-    deliveries once (chaos reordering included) and ships each shard the
-    slice destined to its residents, preserving global order; deliveries
-    to different destinations are independent, so per-destination order is
-    all that matters.
+3.  *Wire frames, not pickles* (``frame_ipc=True``, the default).  Each
+    shard's per-round deliveries cross the process boundary as one flat
+    buffer of canonical codec frames (:mod:`repro.net.frames`): unique
+    frames interned by value plus one small header per delivery, so a
+    bus broadcast (or a value-equal per-neighbor fan-out) into a shard
+    ships one frame no matter how many recipients it has.  Workers decode
+    through a bounded per-process frame cache; captured intents return in
+    the same framed format and the parent replays them as
+    :class:`~repro.net.message.Frame` handles -- ``encode(Frame(b)) == b``,
+    so nothing is encoded twice and guardian/chaos byte accounting is
+    unchanged.  ``frame_ipc=False`` falls back to self-pickled batches
+    (measured the same way) for ablation.
 
 4.  *Summaries, not objects.*  After each round a worker returns a compact
     :class:`NodeSummary` per resident; the parent exposes them through
     :class:`ShardNodeView` proxies so monitors/metrics (`fault_pattern`,
     evidence digest, `current_schedule` via the shared mode tree, counter
     totals, buffer lengths) read the same values they would from real
-    nodes.  Heavyweight reads (evidence items, storage bytes) and writes
-    (``submit_evidence``) are explicit RPCs to the owning worker.
+    nodes.  Heavyweight reads (evidence items, storage bytes) are explicit
+    RPCs to the owning worker; writes (``submit_evidence``) are *deferred*
+    -- queued per shard and flushed with the next round's batch or by the
+    first blocking read (read-your-writes), so a burst of submissions
+    costs one IPC round-trip instead of one each.  Worker-side call
+    failures surface as typed, picklable :class:`WorkerCallError` carrying
+    the node id, op, and the worker traceback.
 
-5.  *Telemetry hygiene.*  Worker initializers detach the inherited flight
-    recorder and zero every registered telemetry component, so per-worker
-    cache stats count post-fork work only; each round's snapshot rides
-    back with the results and :func:`ShardedRoundEngine.merged_stats`
-    folds them into the parent's registry snapshot without double
-    counting.
+5.  *Telemetry hygiene and attribution.*  Worker initializers detach the
+    inherited flight recorder and zero every registered telemetry
+    component, so per-worker cache stats count post-fork work only; each
+    round's snapshot rides back with the results and
+    :func:`ShardedRoundEngine.merged_stats` folds them into the parent's
+    registry snapshot without double counting.  A
+    :class:`~repro.obs.profiler.RoundProfiler` (telemetry component
+    ``round_profile``) decomposes every engine round into
+    encode/ipc/step/replay/merge wall-clock, and component ``engine_ipc``
+    counts frames, interning hits, and bytes shipped.
 
 Shared module-level caches (verify cache, coverage DP, path cache, codec
-memo) diverge per worker but are *fidelity-neutral*: they cache pure
-functions and never feed transcripts or logical counters.
+memo, frame cache) diverge per worker but are *fidelity-neutral*: they
+cache pure functions and never feed transcripts or logical counters.
 """
 
 from __future__ import annotations
@@ -56,12 +72,24 @@ from __future__ import annotations
 import copy
 import multiprocessing as mp
 import os
+import pickle
+import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.net.frames import (
+    DeliveryWriter,
+    IntentWriter,
+    decode_frame,
+    unpack_deliveries,
+    unpack_intents,
+)
+from repro.net.message import Frame, encode
 from repro.obs import recorder as _flight
 from repro.obs import registry as _telemetry
+from repro.obs.profiler import RoundProfiler
 
 WORKERS_ENV = "REBOUND_SCALE_WORKERS"
 
@@ -73,6 +101,52 @@ def resolve_workers(workers: Optional[int] = None) -> int:
         raw = os.environ.get(WORKERS_ENV, "").strip()
         workers = int(raw) if raw else 0
     return max(0, int(workers))
+
+
+class WorkerCallError(Exception):
+    """A worker-side node operation failed.
+
+    ``ProcessPoolExecutor`` pickles exceptions across the boundary, which
+    strips chained context and leaves the parent with an opaque one-liner.
+    This carries the node id, the op, and the full worker-side traceback
+    text, and pickles losslessly via ``__reduce__``.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        op: str,
+        cause_type: str,
+        cause_message: str,
+        worker_traceback: str = "",
+    ):
+        super().__init__(
+            f"worker call {op!r} on node {node_id} failed: "
+            f"{cause_type}: {cause_message}"
+        )
+        self.node_id = node_id
+        self.op = op
+        self.cause_type = cause_type
+        self.cause_message = cause_message
+        self.worker_traceback = worker_traceback
+
+    def __reduce__(self):
+        return (
+            WorkerCallError,
+            (
+                self.node_id,
+                self.op,
+                self.cause_type,
+                self.cause_message,
+                self.worker_traceback,
+            ),
+        )
+
+
+def _call_error(node_id: int, op: str, exc: BaseException) -> WorkerCallError:
+    return WorkerCallError(
+        node_id, op, type(exc).__name__, str(exc), traceback.format_exc()
+    )
 
 
 # -- per-round node summaries ---------------------------------------------------
@@ -135,11 +209,28 @@ class _WorkerState:
     sink: List[Tuple[str, int, int, Any]] = field(default_factory=list)
 
 
+#: One round's IPC batch: ``("frames", buffer)`` with the flat frame layout
+#: of :mod:`repro.net.frames`, or ``("pickle", blob)`` in fallback mode.
+#: Deliveries carry ``(sender, dest, payload)``; intents carry
+#: ``(kind, sender, target, payload)``.
+Batch = Tuple[str, bytes]
+
+#: A deferred worker call: (node_id, op, args).
+Call = Tuple[int, str, Tuple[Any, ...]]
+
+
 @dataclass
 class _RoundResult:
-    intents: Dict[int, List[Tuple[str, int, Any]]]
+    intents: Batch
     summaries: Dict[int, NodeSummary]
     telemetry: Dict[str, Dict[str, Any]]
+    encode_s: float
+    decode_s: float
+    step_s: float
+    intent_bytes: int
+    intent_raw_bytes: int
+    frames_shipped: int
+    interned_hits: int
 
 
 # Set in the parent immediately before each pool's priming submit forks the
@@ -181,18 +272,38 @@ def _group_intents(
 def _worker_round(
     round_no: int,
     crashed: FrozenSet[int],
-    deliveries: List[Tuple[int, int, Any]],
+    batch: Batch,
+    calls: List[Call],
 ) -> _RoundResult:
-    """Run one round's three phases for this worker's resident nodes."""
+    """Run one round's three phases for this worker's resident nodes.
+
+    ``calls`` are the shard's deferred writes, applied *before* any phase
+    -- between rounds worker nodes never step, so this is exactly when the
+    serial engine would have applied them.
+    """
     w = _W
     assert w is not None
     net = w.network
     net.round_no = round_no
     net._crashed = set(crashed)
+    if calls:
+        _apply_calls(w, calls)
+    perf = time.perf_counter
+    t0 = perf()
+    tag, blob = batch
+    if tag == "frames":
+        deliveries = [
+            (sender, dest, decode_frame(frame))
+            for sender, dest, frame in unpack_deliveries(blob)
+        ]
+    else:
+        deliveries = pickle.loads(blob)
+    t_decode = perf() - t0
     sink = w.sink
     sink.clear()
     protos = net._protocols
     live = [n for n in sorted(w.resident) if n not in crashed]
+    t1 = perf()
     for nid in live:
         protos[nid].on_round_start(round_no)
     for sender, destination, payload in deliveries:
@@ -208,16 +319,41 @@ def _worker_round(
         )
     for nid in live:
         protos[nid].on_round_end(round_no)
+    t_step = perf() - t1
+    t2 = perf()
+    if tag == "frames":
+        writer = IntentWriter()
+        for kind, sender, target, payload in sink:
+            data = payload.data if type(payload) is Frame else encode(payload)
+            writer.add(kind, sender, target, data)
+        intents: Batch = ("frames", writer.finish())
+        intent_raw = writer.raw_bytes
+        frames_shipped = writer.frame_count
+        interned_hits = writer.interned_hits
+    else:
+        intents = (
+            "pickle",
+            pickle.dumps(list(sink), protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        intent_raw = len(intents[1])
+        frames_shipped = len(sink)
+        interned_hits = 0
+    t_encode = perf() - t2
     return _RoundResult(
-        intents=_group_intents(sink),
+        intents=intents,
         summaries={nid: summarize_node(protos[nid]) for nid in sorted(w.resident)},
         telemetry=_telemetry.stats_snapshot(),
+        encode_s=t_encode,
+        decode_s=t_decode,
+        step_s=t_step,
+        intent_bytes=len(intents[1]),
+        intent_raw_bytes=intent_raw,
+        frames_shipped=frames_shipped,
+        interned_hits=interned_hits,
     )
 
 
-def _worker_call(node_id: int, op: str, *args: Any) -> Any:
-    w = _W
-    assert w is not None
+def _dispatch_call(w: _WorkerState, node_id: int, op: str, args: Tuple[Any, ...]) -> Any:
     node = w.network._protocols[node_id]
     if op == "evidence_items":
         return list(node.forwarding.evidence.items())
@@ -241,6 +377,37 @@ def _worker_call(node_id: int, op: str, *args: Any) -> Any:
         node.network = None
         return node if args and args[0] else None
     raise ValueError(f"unknown worker op {op!r}")
+
+
+def _apply_calls(w: _WorkerState, calls: List[Call]) -> None:
+    for node_id, op, args in calls:
+        try:
+            _dispatch_call(w, node_id, op, args)
+        except WorkerCallError:
+            raise
+        except Exception as exc:
+            raise _call_error(node_id, op, exc) from None
+
+
+def _worker_call(node_id: int, op: str, *args: Any) -> Any:
+    w = _W
+    assert w is not None
+    try:
+        return _dispatch_call(w, node_id, op, args)
+    except WorkerCallError:
+        raise
+    except Exception as exc:
+        raise _call_error(node_id, op, exc) from None
+
+
+def _worker_flush(calls: List[Call], summarize_ids: List[int]) -> Dict[int, NodeSummary]:
+    """Apply a shard's deferred writes, then return fresh summaries for the
+    nodes those writes touched (read-your-writes)."""
+    w = _W
+    assert w is not None
+    _apply_calls(w, calls)
+    protos = w.network._protocols
+    return {nid: summarize_node(protos[nid]) for nid in summarize_ids}
 
 
 # -- parent-side views ----------------------------------------------------------
@@ -313,8 +480,11 @@ class _ForwardingView:
         return self._engine.rpc(self._node_id, "storage_bytes")
 
     def submit_evidence(self, item: Any) -> None:
-        summary = self._engine.rpc(self._node_id, "submit_evidence", item)
-        self._engine._summaries[self._node_id] = summary
+        # Deferred: queued per shard, applied before the next round's
+        # phases (or by the first blocking read).  Equivalent to the
+        # serial engine's immediate application because worker-resident
+        # nodes never step between rounds.
+        self._engine.rpc_deferred(self._node_id, "submit_evidence", item)
 
 
 class _AuditingView:
@@ -407,6 +577,11 @@ class ShardedRoundEngine:
     Created by :class:`repro.core.runtime.ReboundSystem` when scale workers
     are requested; :meth:`start` must run after the system is fully built
     (workers fork-inherit it) and before the first engine round.
+
+    ``frame_ipc`` selects the wire plane: canonical codec frames with
+    value interning and batched RPCs (default), or self-pickled object
+    batches (the pre-frame baseline, kept for ablation).  Transcripts and
+    logical counters are byte-identical either way.
     """
 
     def __init__(
@@ -415,12 +590,14 @@ class ShardedRoundEngine:
         mode_tree: Any,
         workers: int,
         parent_resident: Iterable[int] = (),
+        frame_ipc: bool = True,
     ):
         if workers < 2:
             raise ValueError("ShardedRoundEngine needs at least 2 workers")
         self.network = network
         self.mode_tree = mode_tree
         self.workers = workers
+        self.frame_ipc = frame_ipc
         topo = network.topology
         pinned = set(parent_resident)
         shardable = [c for c in sorted(topo.controllers) if c not in pinned]
@@ -437,8 +614,24 @@ class ShardedRoundEngine:
         self._summaries: Dict[int, NodeSummary] = {}
         self._pools: List[ProcessPoolExecutor] = []
         self._worker_stats: Dict[int, Dict[str, Dict[str, Any]]] = {}
+        self._pending: Dict[int, List[Call]] = {}
+        self._dirty: Set[int] = set()
         self._started = False
         self.rounds_executed = 0
+        self.profiler = RoundProfiler()
+        self._ipc: Dict[str, Any] = {
+            "mode": "frames" if frame_ipc else "pickle",
+            "rounds": 0,
+            "frames_shipped": 0,
+            "interned_hits": 0,
+            "delivery_bytes": 0,
+            "intent_bytes": 0,
+            "delivery_raw_bytes": 0,
+            "intent_raw_bytes": 0,
+            "batched_calls": 0,
+            "rpc_flushes": 0,
+            "blocking_rpcs": 0,
+        }
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -464,38 +657,90 @@ class ShardedRoundEngine:
                 pool.submit(_worker_ping).result()
                 self._pools.append(pool)
                 self._worker_stats[shard_id] = {}
+                self._pending[shard_id] = []
         finally:
             _SPAWN = None
         self._started = True
         _telemetry.register("scale_engine", self._stats, self._reset_stats)
+        _telemetry.register("engine_ipc", self._ipc_stats, self._reset_ipc_stats)
+        _telemetry.register(
+            "round_profile", self.profiler.stats, self.profiler.reset
+        )
         return {nid: ShardNodeView(self, nid) for nid in sorted(self._shard_of)}
 
     def shutdown(self) -> None:
+        if self._pools:
+            # Deferred writes must land before the workers die; a caller
+            # may still read evidence through a rebuilt serial system.
+            for shard_id in range(len(self._pools)):
+                self._flush_pending(shard_id)
         pools, self._pools = self._pools, []
         for pool in pools:
             pool.shutdown(wait=True, cancel_futures=True)
         if self._started:
             _telemetry.unregister("scale_engine")
+            _telemetry.unregister("engine_ipc")
+            _telemetry.unregister("round_profile")
 
     # -- round execution --------------------------------------------------------
 
     def step_round(self, net: Any, deliveries: List[Tuple[int, int, Any, int]]) -> None:
         round_no = net.round_no
         crashed = frozenset(net._crashed)
-        shard_deliveries: List[List[Tuple[int, int, Any]]] = [
-            [] for _ in self._pools
-        ]
+        perf = time.perf_counter
+
+        # Partition + pack: each shard's slice of the round's deliveries,
+        # in one flat buffer (frames mode interns duplicate payloads).
+        t0 = perf()
         parent_deliveries: List[Tuple[int, int, Any, int]] = []
-        for d in deliveries:
-            shard = self._shard_of.get(d[1])
-            if shard is None:
-                parent_deliveries.append(d)
-            else:
-                shard_deliveries[shard].append((d[0], d[1], d[2]))
-        futures = [
-            pool.submit(_worker_round, round_no, crashed, shard_deliveries[i])
-            for i, pool in enumerate(self._pools)
-        ]
+        batches: List[Batch] = []
+        if self.frame_ipc:
+            writers = [DeliveryWriter() for _ in self._pools]
+            for d in deliveries:
+                shard = self._shard_of.get(d[1])
+                if shard is None:
+                    parent_deliveries.append(d)
+                elif d[1] not in crashed:
+                    payload = d[2]
+                    blob = payload.data if type(payload) is Frame else encode(payload)
+                    writers[shard].add(d[0], d[1], blob)
+            for writer in writers:
+                batches.append(("frames", writer.finish()))
+                self._ipc["frames_shipped"] += writer.frame_count
+                self._ipc["interned_hits"] += writer.interned_hits
+                self._ipc["delivery_raw_bytes"] += writer.raw_bytes
+        else:
+            triples: List[List[Tuple[int, int, Any]]] = [[] for _ in self._pools]
+            for d in deliveries:
+                shard = self._shard_of.get(d[1])
+                if shard is None:
+                    parent_deliveries.append(d)
+                elif d[1] not in crashed:
+                    triples[shard].append((d[0], d[1], d[2]))
+            for chunk in triples:
+                batches.append(
+                    ("pickle", pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL))
+                )
+                self._ipc["frames_shipped"] += len(chunk)
+                self._ipc["delivery_raw_bytes"] += len(batches[-1][1])
+        for _tag, blob in batches:
+            self._ipc["delivery_bytes"] += len(blob)
+        t_pack = perf() - t0
+
+        # Ship: the round batch plus any deferred writes queued since the
+        # last flush (applied worker-side before the round's phases).
+        t1 = perf()
+        futures = []
+        for i, pool in enumerate(self._pools):
+            calls, self._pending[i] = self._pending[i], []
+            futures.append(
+                pool.submit(_worker_round, round_no, crashed, batches[i], calls)
+            )
+        self._dirty.clear()
+        t_submit = perf() - t1
+
+        # Parent-resident phases (overlaps the workers on real multicore).
+        t2 = perf()
         protos = net._protocols
         sink: List[Tuple[str, int, int, Any]] = []
         net._intent_sink = sink
@@ -511,6 +756,8 @@ class ShardedRoundEngine:
                     continue
                 proto = protos.get(destination)
                 if proto is not None:
+                    if type(payload) is Frame:
+                        payload = decode_frame(payload.data)
                     proto.on_receive(round_no, sender, payload)
             if sink:
                 raise RuntimeError(
@@ -525,35 +772,116 @@ class ShardedRoundEngine:
                     proto.on_round_end(round_no)
         finally:
             net._intent_sink = None
-        intents = _group_intents(sink)
+        t_parent_step = perf() - t2
+
+        # Join + merge.
+        t_wait = t_merge = 0.0
+        worker_encode = worker_decode = worker_step = 0.0
+        intent_batches: List[Batch] = []
         for shard_id, future in enumerate(futures):
+            ta = perf()
             result: _RoundResult = future.result()
-            intents.update(result.intents)
+            t_wait += perf() - ta
+            tb = perf()
             self._summaries.update(result.summaries)
             self._worker_stats[shard_id] = result.telemetry
+            worker_encode += result.encode_s
+            worker_decode += result.decode_s
+            worker_step += result.step_s
+            self._ipc["intent_bytes"] += result.intent_bytes
+            self._ipc["intent_raw_bytes"] += result.intent_raw_bytes
+            self._ipc["frames_shipped"] += result.frames_shipped
+            self._ipc["interned_hits"] += result.interned_hits
+            intent_batches.append(result.intents)
+            t_merge += perf() - tb
+
         # Replay in ascending node order: byte-identical to the serial
         # engine's on_round_end loop (including chaos sequence numbering).
+        # Worker intents replay as Frame handles -- already-canonical
+        # bytes, so the send path never re-encodes them.
+        t3 = perf()
+        grouped = _group_intents(sink)
+        for tag, blob in intent_batches:
+            if tag == "frames":
+                for kind, sender, target, frame in unpack_intents(blob):
+                    grouped.setdefault(sender, []).append(
+                        (kind, target, Frame(frame))
+                    )
+            else:
+                for kind, sender, target, payload in pickle.loads(blob):
+                    grouped.setdefault(sender, []).append((kind, target, payload))
         for nid in net.topology.nodes:
-            for kind, target, payload in intents.get(nid, ()):
+            for kind, target, payload in grouped.get(nid, ()):
                 if kind == "u":
                     net.send(nid, target, payload)
                 else:
                     net.broadcast(nid, target, payload)
+        t_replay = perf() - t3
+
+        self.profiler.record_round(
+            round_no,
+            encode=t_pack + worker_encode,
+            ipc=t_submit
+            + worker_decode
+            + max(0.0, t_wait - worker_encode - worker_decode - worker_step),
+            step=t_parent_step + worker_step,
+            replay=t_replay,
+            merge=t_merge,
+        )
+        self._ipc["rounds"] += 1
         self.rounds_executed += 1
 
     # -- parent/worker state management ----------------------------------------
 
     def summary(self, node_id: int) -> NodeSummary:
+        if node_id in self._dirty:
+            self._flush_pending(self._shard_of[node_id])
         return self._summaries[node_id]
 
     def is_sharded(self, node_id: int) -> bool:
         return node_id in self._shard_of
 
     def rpc(self, node_id: int, op: str, *args: Any) -> Any:
+        """Blocking call on the node's owning worker (flushes that shard's
+        deferred writes first, so reads observe them)."""
         shard = self._shard_of.get(node_id)
         if shard is None:
             raise KeyError(f"node {node_id} is not worker-resident")
+        self._flush_pending(shard)
+        self._ipc["blocking_rpcs"] += 1
         return self._pools[shard].submit(_worker_call, node_id, op, *args).result()
+
+    def rpc_deferred(self, node_id: int, op: str, *args: Any) -> None:
+        """Queue a write for the node's owning worker.  Applied before the
+        next round's phases, or by the first blocking read of the shard --
+        either way before any worker-resident node steps again, which
+        makes it equivalent to the serial engine's immediate call."""
+        shard = self._shard_of.get(node_id)
+        if shard is None:
+            raise KeyError(f"node {node_id} is not worker-resident")
+        self._pending[shard].append((node_id, op, args))
+        self._dirty.add(node_id)
+        self._ipc["batched_calls"] += 1
+
+    def _flush_pending(self, shard: int) -> None:
+        calls = self._pending.get(shard)
+        if not calls:
+            return
+        self._pending[shard] = []
+        dirty = sorted(
+            nid for nid in self._dirty if self._shard_of.get(nid) == shard
+        )
+        self._dirty.difference_update(dirty)
+        summaries = (
+            self._pools[shard].submit(_worker_flush, calls, dirty).result()
+        )
+        self._summaries.update(summaries)
+        self._ipc["rpc_flushes"] += 1
+
+    def flush_deferred(self) -> None:
+        """Flush every shard's deferred writes (read-your-writes barrier)."""
+        for shard_id in range(len(self._pools)):
+            self._flush_pending(shard_id)
 
     def storage_bytes_map(self) -> Dict[int, int]:
         """Storage bytes for every worker-resident node (one RPC per shard)."""
@@ -561,6 +889,7 @@ class ShardedRoundEngine:
         for shard_id, shard in enumerate(self._shards):
             if not shard:
                 continue
+            self._flush_pending(shard_id)
             sizes.update(
                 self._pools[shard_id]
                 .submit(_worker_call, shard[0], "storage_all")
@@ -569,7 +898,9 @@ class ShardedRoundEngine:
         return sizes
 
     def _adopt_parent(self, node_id: int, want_node: bool) -> Any:
-        shard = self._shard_of.pop(node_id)
+        shard = self._shard_of[node_id]
+        self._flush_pending(shard)
+        self._shard_of.pop(node_id)
         node = (
             self._pools[shard].submit(_worker_call, node_id, "release", want_node)
             .result()
@@ -613,3 +944,11 @@ class ShardedRoundEngine:
 
     def _reset_stats(self) -> None:
         self.rounds_executed = 0
+
+    def _ipc_stats(self) -> Dict[str, Any]:
+        return dict(self._ipc)
+
+    def _reset_ipc_stats(self) -> None:
+        for key in self._ipc:
+            if key != "mode":
+                self._ipc[key] = 0

@@ -1,0 +1,141 @@
+"""Per-stage round profiler for the sharded engine.
+
+``BENCH_scale.json`` used to report one wall-clock number per sweep,
+which says *that* the sharded engine is slow but not *where*.  The
+:class:`RoundProfiler` decomposes every engine round into five stages so
+residual overhead is attributed, not guessed:
+
+* ``encode`` -- building the per-shard wire buffers in the parent plus the
+  workers' intent-frame encodes;
+* ``ipc``    -- submitting batches, waiting on worker results, and the
+  workers' frame decodes (everything the process boundary costs);
+* ``step``   -- actual protocol work: worker receive/end phases plus the
+  parent-resident nodes' phases;
+* ``replay`` -- unpacking intent buffers and replaying sends through the
+  real network path;
+* ``merge``  -- folding summaries and telemetry snapshots back in.
+
+Stage attribution across processes is approximate by construction:
+workers overlap the parent on real multicore hardware, and even on one
+core the OS timeshares the parent's phases against worker compute, so
+wall-clock intervals can double-count.  ``ipc`` is the parent's blocking
+wait minus the workers' self-reported compute, clamped at zero; the sum
+of stages tracks, but does not exactly equal, the engine's measured
+round time.  The decomposition answers *where* residual overhead lives,
+not *how long* the round took -- the sweep wall-clocks answer that.
+
+The profiler registers with the telemetry registry (component
+``round_profile``), is exported per sweep in ``BENCH_scale.json``, and
+renders as Perfetto/Chrome-trace duration spans via :meth:`chrome_spans`
+(feed them to ``FlightRecorder.export_chrome_trace(phase_spans=...)`` or
+dump them standalone).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Tuple
+
+#: Stage names in display order; every record carries all of them.
+STAGES = ("encode", "ipc", "step", "replay", "merge")
+
+#: Synthetic Chrome-trace pid for engine spans (simulated nodes use their
+#: node id as pid; this sits far outside any plausible topology).
+ENGINE_TRACE_PID = 10**9
+
+
+class RoundProfiler:
+    """Accumulates per-stage wall-clock seconds, round by round.
+
+    Keeps bounded per-round history (for span export) plus running totals
+    (for telemetry snapshots, which must stay O(1) per round).
+    """
+
+    def __init__(self, history: int = 4096):
+        if history <= 0:
+            raise ValueError("profiler history must be positive")
+        self._history: Deque[Tuple[int, Dict[str, float]]] = deque(
+            maxlen=history
+        )
+        self.totals: Dict[str, float] = {stage: 0.0 for stage in STAGES}
+        self.rounds = 0
+
+    def record_round(self, round_no: int, **stage_seconds: float) -> None:
+        unknown = set(stage_seconds) - set(STAGES)
+        if unknown:
+            raise ValueError(f"unknown profile stages: {sorted(unknown)}")
+        record = {
+            stage: float(stage_seconds.get(stage, 0.0)) for stage in STAGES
+        }
+        for stage, seconds in record.items():
+            self.totals[stage] += seconds
+        self._history.append((round_no, record))
+        self.rounds += 1
+
+    # -- telemetry ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        total = sum(self.totals.values())
+        stats: Dict[str, Any] = {
+            f"{stage}_s": self.totals[stage] for stage in STAGES
+        }
+        stats["total_s"] = total
+        stats["rounds"] = self.rounds
+        stats["mean_round_ms"] = (
+            1000.0 * total / self.rounds if self.rounds else 0.0
+        )
+        return stats
+
+    def reset(self) -> None:
+        self._history.clear()
+        self.totals = {stage: 0.0 for stage in STAGES}
+        self.rounds = 0
+
+    # -- exporters ------------------------------------------------------------
+
+    def chrome_spans(self, round_us: int = 1000) -> List[Dict[str, Any]]:
+        """Chrome trace-event duration spans, one per stage per recorded
+        round, on a dedicated "round engine" trace process.
+
+        Stage durations are scaled so each round's spans exactly fill its
+        ``round_us`` window -- aligning with the flight recorder's
+        round-to-microseconds mapping -- while preserving the stages'
+        relative wall-clock shares.
+        """
+        if not self._history:
+            return []
+        spans: List[Dict[str, Any]] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": ENGINE_TRACE_PID,
+                "tid": 0,
+                "args": {"name": "round engine"},
+            }
+        ]
+        for round_no, record in self._history:
+            total = sum(record.values())
+            if total <= 0:
+                continue
+            cursor = float(round_no * round_us)
+            for stage in STAGES:
+                width = record[stage] / total * round_us
+                if width <= 0:
+                    continue
+                spans.append(
+                    {
+                        "ph": "X",
+                        "name": stage,
+                        "cat": "engine",
+                        "pid": ENGINE_TRACE_PID,
+                        "tid": 0,
+                        "ts": cursor,
+                        "dur": max(1.0, width),
+                        "args": {
+                            "round": round_no,
+                            "wall_ms": 1000.0 * record[stage],
+                        },
+                    }
+                )
+                cursor += width
+        return spans

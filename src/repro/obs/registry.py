@@ -41,6 +41,7 @@ DEFAULT_COMPONENT_MODULES = (
     "repro.crypto.verify_cache",  # verify_cache
     "repro.crypto.multisig",     # multisig_batch
     "repro.net.message",         # codec_memo
+    "repro.net.frames",          # frame_cache
     "repro.core.forwarding",     # coverage_cache
     "repro.sched.ilp",           # ilp_solver
     "repro.sched.assign",        # place_memo
@@ -95,7 +96,7 @@ def reset_all() -> List[str]:
 #: counters; merging keeps the base snapshot's value instead of summing.
 _NON_ADDITIVE_KEYS = frozenset(
     {"capacity", "enabled", "entries", "hit_rate", "workers", "shard_sizes",
-     "parent_resident"}
+     "parent_resident", "mode", "mean_round_ms"}
 )
 
 
