@@ -35,6 +35,7 @@ from repro.chaos.monitor import (
     RecoveryTimeoutViolation,
     StructuralViolation,
 )
+from repro.chaos.restart import CrashRestartBehavior, LogTamperBehavior
 from repro.chaos.campaign import (
     BEHAVIORS,
     PLANS,
@@ -63,6 +64,8 @@ __all__ = [
     "MemoryBoundViolation",
     "RecoveryTimeoutViolation",
     "StructuralViolation",
+    "CrashRestartBehavior",
+    "LogTamperBehavior",
     "BEHAVIORS",
     "PLANS",
     "PRESETS",

@@ -29,6 +29,8 @@ any other -- zero violations in budget.
 from __future__ import annotations
 
 import json
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -41,6 +43,7 @@ from repro.chaos.impairments import (
     Partition,
 )
 from repro.chaos.monitor import BTRMonitor
+from repro.chaos.restart import CrashRestartBehavior, LogTamperBehavior
 from repro.core.config import ReboundConfig
 from repro.core.runtime import ReboundSystem
 from repro.faults import adversary as adv
@@ -103,6 +106,11 @@ class BehaviorSpec:
     factory: Optional[Callable[[], Any]]
     fault_units: int
     observable: bool
+    #: the cell runs with persistence on (a tempdir durable store per run).
+    durability: bool = False
+    #: the behavior corrupts the durable log; passing requires the restore
+    #: path to report at least one tamper detection.
+    expect_tamper: bool = False
 
 
 BEHAVIORS: Dict[str, BehaviorSpec] = {
@@ -127,6 +135,30 @@ BEHAVIORS: Dict[str, BehaviorSpec] = {
         # (paper Req. 1 excludes faults with no visible effect), so the
         # detection deadline stays disarmed for this one.
         BehaviorSpec("random-output", lambda: adv.RandomOutputBehavior(seed=11), 1, False),
+        # Durability arcs: fail-stop, stay down, restart from the durable
+        # store, rejoin within the recovery bound.  The tamper variants
+        # corrupt the on-disk chained log while the victim is down and
+        # must be *detected* (refused suffix), never silently replayed.
+        BehaviorSpec(
+            "crash-restart",
+            lambda: CrashRestartBehavior(down_rounds=3),
+            1, True, durability=True,
+        ),
+        BehaviorSpec(
+            "tamper-truncate",
+            lambda: LogTamperBehavior(mode="truncate", down_rounds=3),
+            1, True, durability=True, expect_tamper=True,
+        ),
+        BehaviorSpec(
+            "tamper-bitflip",
+            lambda: LogTamperBehavior(mode="bitflip", down_rounds=3),
+            1, True, durability=True, expect_tamper=True,
+        ),
+        BehaviorSpec(
+            "tamper-splice",
+            lambda: LogTamperBehavior(mode="splice", down_rounds=3),
+            1, True, durability=True, expect_tamper=True,
+        ),
     ]
 }
 
@@ -358,10 +390,28 @@ def storm_cells() -> List[CampaignCell]:
     return cells
 
 
+def restart_cells() -> List[CampaignCell]:
+    """The durability matrix: crash-restart-rejoin arcs (restore within
+    the recovery bound) plus one cell per log-tamper mode (truncation,
+    bit-flip, splice -- each must be detected, not silently replayed).
+    Longer cells: the restart opens a fresh ``r_max`` window around round
+    14, and the grid's ``d_max`` puts that deadline in the high 30s."""
+    rounds = 44
+    cells: List[CampaignCell] = []
+    for seed in (0, 1):
+        cells.append(CampaignCell("er6", "crash-restart", "none", seed, rounds=rounds))
+    cells.append(CampaignCell("er6", "crash-restart", "dup", 0, rounds=rounds))
+    cells.append(CampaignCell("grid4x5", "crash-restart", "none", 0, rounds=rounds))
+    for behavior in ("tamper-truncate", "tamper-bitflip", "tamper-splice"):
+        cells.append(CampaignCell("er6", behavior, "none", 0, rounds=rounds))
+    return cells
+
+
 PRESETS: Dict[str, Callable[[], List[CampaignCell]]] = {
     "smoke": smoke_cells,
     "full": full_cells,
     "storm": storm_cells,
+    "restart": restart_cells,
 }
 
 
@@ -432,9 +482,19 @@ def run_cell(cell: CampaignCell, workers: Optional[int] = None) -> Dict[str, Any
     recorder = FlightRecorder(capacity=4096)
     recorder.install()
     system = None
+    durability_dir = None
     try:
+        config_kwargs: Dict[str, Any] = {}
+        if spec.durability:
+            durability_dir = tempfile.mkdtemp(prefix="rebound-durable-")
+            config_kwargs = {
+                "durability_enabled": True,
+                "durability_dir": durability_dir,
+                "snapshot_interval": 8,
+            }
         config = ReboundConfig(
-            fmax=FMAX, fconc=1, variant=cell.variant, rsa_bits=256
+            fmax=FMAX, fconc=1, variant=cell.variant, rsa_bits=256,
+            **config_kwargs,
         )
         system = ReboundSystem(
             topology, workload, config, seed=cell.seed,
@@ -464,12 +524,18 @@ def run_cell(cell: CampaignCell, workers: Optional[int] = None) -> Dict[str, Any
         recorder.uninstall()
         if system is not None:
             system.close()
+        if durability_dir is not None:
+            shutil.rmtree(durability_dir, ignore_errors=True)
 
     result["budget_exceeded"] = system.budget_exceeded
     result["violations"] = [v.as_dict() for v in monitor.violations]
     result["violation_census"] = monitor.census()
     result["detection_round"] = monitor.detection_round
     result["recovery_round"] = monitor.recovery_round
+    if spec.durability:
+        detections = getattr(system, "durability_tamper_detections", [])
+        result["tamper_detections"] = len(detections)
+        result["tamper_reasons"] = [d["reason"] for d in detections]
     stats = getattr(system.network, "chaos_stats", None)
     result["impairment_stats"] = stats.as_dict() if stats is not None else None
     first_event = min(system.fault_rounds) if system.fault_rounds else (
@@ -497,6 +563,13 @@ def run_cell(cell: CampaignCell, workers: Optional[int] = None) -> Dict[str, Any
             result["fail_reason"] = "budget_exceeded not reported"
         elif hard_accuracy:
             result["fail_reason"] = "verifiable evidence condemned a correct node"
+    if spec.expect_tamper and result["outcome"] == "pass":
+        # A tamper cell only passes when the restore path actually caught
+        # the corruption; a clean rejoin over a forged log is the failure
+        # this cell exists to rule out.
+        if result.get("tamper_detections", 0) < 1:
+            result["outcome"] = "fail"
+            result["fail_reason"] = "log tamper not detected on restore"
     return result
 
 

@@ -132,6 +132,8 @@ class BTRMonitor:
         self.recovery_round: Optional[int] = None
         self._event_count = 0
         self._cycle_converged: Optional[int] = None
+        #: node -> latest durable-restart round (grace window for Req. 3).
+        self._restarts: Dict[int, int] = {}
 
     # -- plumbing ------------------------------------------------------------
 
@@ -176,6 +178,22 @@ class BTRMonitor:
                 else:
                     key = ("env-node", element)
                 self._activations.setdefault(key, first)
+
+    def note_restart(self, node_id: int, round_no: int) -> None:
+        """Restart-aware Req. 2 accounting: a durable crash-restart-rejoin
+        (``ReboundSystem.restart_from_durable``) is a fresh fault event.
+
+        The rejoin itself is operator-initiated and operator-visible, so
+        the Req. 1 detection deadline does not apply (the activation is
+        registered pre-detected); what must still hold is Req. 2 -- all
+        correct nodes, the rejoined one included, converge within
+        ``r_max`` rounds of the restart.  Keying by (node, round) lets a
+        node restart more than once, each opening its own window.
+        """
+        element = ("restart", (node_id, round_no))
+        self._activations[element] = round_no
+        self._reported.add(("detected", element))
+        self._restarts[node_id] = round_no
 
     def _env_faulted_nodes(self, system) -> Set[int]:
         stats = getattr(system.network, "chaos_stats", None)
@@ -230,10 +248,19 @@ class BTRMonitor:
                 )
 
     # Req. 3, inference layer: normalized patterns stay clean in-budget.
+    # A just-restarted node gets a bounded grace window: until its blessing
+    # floods (at most d_max rounds, plus the Rule-A suspension), peers
+    # legitimately still condemn it from pre-restart evidence.
     def _check_inference_accuracy(self, system, correct: Set[int]) -> None:
+        d_max, _ = self._resolve_bounds(system)
+        in_grace = {
+            node
+            for node, restarted in self._restarts.items()
+            if system.round_no <= restarted + d_max + 2
+        }
         for node_id in correct:
             pattern = system.nodes[node_id].fault_pattern
-            bad = pattern.nodes & correct
+            bad = pattern.nodes & correct - in_grace
             if bad:
                 self._emit(
                     AccuracyViolation(

@@ -14,7 +14,8 @@ Usage::
     python -m repro bench-fastpath [--rounds 30] [--out BENCH_fastpath.json]
     python -m repro bench-modegen [--workers 2] [--quick] [--out BENCH_modegen.json]
     python -m repro bench-scale [--smoke] [--workers 4] [--out BENCH_scale.json]
-    python -m repro chaos [--preset smoke|full|storm] [--seeds 0,1] [--workers 2] [--out BENCH_chaos.json]
+    python -m repro chaos [--preset smoke|full|storm|restart] [--seeds 0,1] [--workers 2] [--out BENCH_chaos.json]
+    python -m repro bench-durability [--rounds 24] [--out BENCH_durability.json]
     python -m repro trace [--preset smoke|equivocation-gap] [--rounds 30]
 
 Each command prints the regenerated rows and the paper's qualitative shape
@@ -160,6 +161,14 @@ def cmd_bench_scale(args) -> int:
         engines=args.engines.split(",") if args.engines else None,
     )
     return 0 if result["identity"]["all_identical"] else 1
+
+
+def cmd_bench_durability(args) -> int:
+    from repro.experiments import bench_durability
+
+    result = bench_durability.main(output_path=args.out, rounds=args.rounds)
+    ok = result["transcripts_identical"] and result["restore"]["ok"]
+    return 0 if ok else 1
 
 
 def cmd_chaos(args) -> int:
@@ -318,15 +327,28 @@ def build_parser() -> argparse.ArgumentParser:
     benchs.add_argument("--out", default="BENCH_scale.json")
     benchs.set_defaults(func=cmd_bench_scale)
 
+    benchd = sub.add_parser(
+        "bench-durability",
+        help="durability-layer benchmark: persistence overhead (chained "
+        "log + snapshots vs off), transcript identity, and verified "
+        "restore timing (writes BENCH_durability.json)",
+    )
+    benchd.add_argument("--rounds", type=int, default=24)
+    benchd.add_argument("--out", default="BENCH_durability.json")
+    benchd.set_defaults(func=cmd_bench_durability)
+
     chaos = sub.add_parser(
         "chaos",
         help="chaos campaign: adversaries x impairment plans x topologies "
         "under the BTR invariant monitor (writes BENCH_chaos.json)",
     )
     chaos.add_argument(
-        "--preset", choices=["smoke", "full", "storm"], default="smoke",
+        "--preset", choices=["smoke", "full", "storm", "restart"],
+        default="smoke",
         help="cell matrix (smoke is CI-sized, <60s; storm stresses the "
-        "evidence layer: equivocation + floods with memory-bound checks)",
+        "evidence layer: equivocation + floods with memory-bound checks; "
+        "restart runs durable crash-restart-rejoin arcs plus log-tamper "
+        "detection cells)",
     )
     chaos.add_argument(
         "--seeds", type=_int_list, default=None,

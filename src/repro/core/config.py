@@ -71,6 +71,16 @@ class ReboundConfig:
             either way (frames *are* the canonical encoding).  Disabled
             only for ablation/benchmark comparison; ignored by the serial
             engine.
+        durability_enabled: persist every node's protocol state to disk --
+            an append-only HMAC-chained event log plus periodic sealed
+            snapshots (:mod:`repro.durability`) -- enabling verified
+            crash-restart-rejoin.  Off by default; the write path is
+            observation-only, so transcripts are byte-identical either way.
+        durability_dir: root directory for the per-node durable stores
+            (``<dir>/node_<id>/``).  Required when durability is enabled.
+        snapshot_interval: rounds between consistent snapshots of the
+            evidence store, heartbeat/coverage stores, quota ledger, and
+            mode pointer.
     """
 
     fmax: int = 1
@@ -93,6 +103,9 @@ class ReboundConfig:
     bitset_coverage: bool = True
     round_batched_verify: bool = True
     frame_ipc: bool = True
+    durability_enabled: bool = False
+    durability_dir: Optional[str] = None
+    snapshot_interval: int = 8
 
     def __post_init__(self) -> None:
         if self.fmax < 0 or self.fconc < 0:
@@ -105,6 +118,10 @@ class ReboundConfig:
             raise ValueError("round length must be positive")
         if not 0 < self.utilization_cap <= 1:
             raise ValueError("utilization cap must be in (0, 1]")
+        if self.snapshot_interval <= 0:
+            raise ValueError("snapshot interval must be positive")
+        if self.durability_enabled and not self.durability_dir:
+            raise ValueError("durability_enabled requires durability_dir")
 
     @property
     def round_length_ms(self) -> float:

@@ -75,6 +75,9 @@ class ReboundNode(NodeProtocol):
         self.registry = registry
         self.mode_tree = mode_tree
         self.path_cache = path_cache
+        #: Optional durable store (repro.durability.NodeDurableStore);
+        #: bound by the runtime when ReboundConfig.durability_enabled.
+        self.durable = None
 
         verifier = EvidenceVerifier(
             verify_signature=crypto.verify,
@@ -188,7 +191,9 @@ class ReboundNode(NodeProtocol):
     def _send_on_path(self, path, payload: bytes) -> None:
         self.forwarding.queue_packet(path, payload)
 
-    def _on_new_evidence(self, _items: List[Any]) -> None:
+    def _on_new_evidence(self, items: List[Any]) -> None:
+        if self.durable is not None:
+            self.durable.record_evidence(self._round, items)
         pattern = self.forwarding.fault_pattern
         self._adopt_mode(pattern, self._round)
 
@@ -212,6 +217,8 @@ class ReboundNode(NodeProtocol):
         self.auditing.execute_round(round_no)
         output = self.forwarding.end_round()
         self._transmit(output)
+        if self.durable is not None:
+            self.durable.end_round(self, round_no)
 
     # -- transmission -----------------------------------------------------------------
 

@@ -25,7 +25,7 @@ from repro.net.network import RoundNetwork
 from repro.net.shard import ShardedRoundEngine, resolve_workers
 from repro.net.topology import Topology
 from repro.obs import recorder as _flight
-from repro.obs.events import EV_FAULT_INJECTED
+from repro.obs.events import EV_FAULT_INJECTED, EV_PERSIST_RESTORE
 from repro.sched.modegen import FailureScenario, ModeTree, ModeTreeGenerator
 from repro.sched.task import Workload
 
@@ -151,6 +151,21 @@ class ReboundSystem:
             self.actuators[node_id] = actuator
             self.network.attach(node_id, actuator)
 
+        self._seed = seed
+        #: Tamper detections surfaced by durable restores (chain or
+        #: snapshot verification failures); one dict per detection.
+        self.durability_tamper_detections: List[Dict] = []
+        if config.durability_enabled:
+            from repro.durability import NodeDurableStore
+
+            for node_id, node in self.nodes.items():
+                node.durable = NodeDurableStore(
+                    config.durability_dir,
+                    node_id,
+                    seed=seed,
+                    snapshot_interval=config.snapshot_interval,
+                )
+
         for node in self.nodes.values():
             node.start(round_no=0)
 
@@ -191,7 +206,11 @@ class ReboundSystem:
         self._engine = engine
 
     def close(self) -> None:
-        """Release engine worker processes (no-op for serial runs)."""
+        """Flush durable stores and release engine worker processes."""
+        for node in self.nodes.values():
+            durable = getattr(node, "durable", None)
+            if durable is not None:
+                durable.flush()
         engine, self._engine = self._engine, None
         if engine is not None:
             self.network.set_engine(None)
@@ -264,6 +283,68 @@ class ReboundSystem:
         self.true_faulty_nodes.add(node_id)
         self.fault_rounds.append(self.round_no)
 
+    # -- repair / rejoin machinery (shared by blessing and durable restart) -------
+
+    def _evict_adversary(self, node_id: int) -> None:
+        """Evict any attached adversary and heal the network-level fault."""
+        self.network.set_tamper_hook(node_id, None)
+        self.network.revive_node(node_id)
+        self.true_faulty_nodes.discard(node_id)
+        for behavior in self._active_behaviors:
+            if behavior.node_id == node_id:
+                behavior.detach()
+        self._active_behaviors = [
+            b for b in self._active_behaviors if b.node_id != node_id
+        ]
+
+    def _mint_blessing(self, node_id: int):
+        """Sign an operator blessing absolving ``node_id``'s evidence up to
+        the current round (fresh epoch)."""
+        from repro.core.blessing import Blessing, blessing_body
+
+        epoch = self._bless_epochs.get(node_id, 0) + 1
+        self._bless_epochs[node_id] = epoch
+        body_round = self.round_no
+        return Blessing(
+            node_id=node_id,
+            as_of_round=body_round,
+            epoch=epoch,
+            signature=self.directory.operator.sign(
+                blessing_body(node_id, body_round, epoch)
+            ).to_bytes(),
+        )
+
+    def _fresh_node(self, node_id: int) -> ReboundNode:
+        return ReboundNode(
+            node_id=node_id,
+            topology=self.topology,
+            config=self.config,
+            workload=self.workload,
+            crypto=self.directory.crypto_for(node_id, use_cache=self.config.verify_cache),
+            registry=self.registry,
+            mode_tree=self.mode_tree,
+            path_cache=self.path_cache,
+        )
+
+    def _install_node(self, node_id: int, node: ReboundNode) -> None:
+        """Swap ``node`` in as the live controller and start it at the
+        current round (rejoin semantics)."""
+        if self._engine is not None:
+            self._engine.adopt_parent(node_id)
+        self.nodes[node_id] = node
+        self.network.attach(node_id, node)
+        node.start(round_no=self.round_no)
+
+    def _flood_blessing(self, node_id: int, blessing) -> None:
+        """Submit the blessing at the rejoining node and at a correct
+        reference so it floods the whole system."""
+        self.nodes[node_id].forwarding.submit_evidence(blessing)
+        reference = next(
+            (n for n in self.correct_controllers() if n != node_id), None
+        )
+        if reference is not None:
+            self.nodes[reference].forwarding.submit_evidence(blessing)
+
     def repair_and_bless(self, node_id: int) -> None:
         """Operator repair (paper S2.4): reprovision a compromised node and
         flood a signed blessing so every node re-admits it.
@@ -274,59 +355,89 @@ class ReboundSystem:
         :class:`~repro.core.blessing.Blessing` absolving all evidence up to
         the current round is injected into the evidence flood.
         """
-        from repro.core.blessing import Blessing, blessing_body
-
         if node_id not in self.topology.controllers:
             raise ValueError(f"{node_id} is not a controller")
-        # Evict the adversary and heal the network-level fault.
-        self.network.set_tamper_hook(node_id, None)
-        self.network.revive_node(node_id)
-        self.true_faulty_nodes.discard(node_id)
-        for behavior in self._active_behaviors:
-            if behavior.node_id == node_id:
-                behavior.detach()
-        self._active_behaviors = [
-            b for b in self._active_behaviors if b.node_id != node_id
-        ]
-        # Sign the blessing.
-        epoch = self._bless_epochs.get(node_id, 0) + 1
-        self._bless_epochs[node_id] = epoch
-        body_round = self.round_no
-        blessing = Blessing(
-            node_id=node_id,
-            as_of_round=body_round,
-            epoch=epoch,
-            signature=self.directory.operator.sign(
-                blessing_body(node_id, body_round, epoch)
-            ).to_bytes(),
-        )
+        self._evict_adversary(node_id)
+        blessing = self._mint_blessing(node_id)
         # Reprovision: a fresh node with evidence copied from a correct
         # reference (including the blessing, so it re-admits itself).
         reference = next(
             (n for n in self.correct_controllers() if n != node_id), None
         )
-        fresh = ReboundNode(
-            node_id=node_id,
-            topology=self.topology,
-            config=self.config,
-            workload=self.workload,
-            crypto=self.directory.crypto_for(node_id, use_cache=self.config.verify_cache),
-            registry=self.registry,
-            mode_tree=self.mode_tree,
-            path_cache=self.path_cache,
-        )
-        if self._engine is not None:
-            self._engine.adopt_parent(node_id)
-        self.nodes[node_id] = fresh
-        self.network.attach(node_id, fresh)
-        fresh.start(round_no=self.round_no)
+        fresh = self._fresh_node(node_id)
+        self._install_node(node_id, fresh)
         if reference is not None:
             for item in self.nodes[reference].evidence.items():
                 fresh.forwarding.submit_evidence(item)
-        fresh.forwarding.submit_evidence(blessing)
-        # Seed the blessing at the reference so it floods the whole system.
-        if reference is not None:
-            self.nodes[reference].forwarding.submit_evidence(blessing)
+        self._flood_blessing(node_id, blessing)
+
+    def restart_from_durable(self, node_id: int):
+        """Crash-restart-rejoin (docs/PROTOCOL.md S14): rebuild a node from
+        its durable store and rejoin through the blessing flow.
+
+        The restore path verifies the snapshot seal and the log chain;
+        state is ``verified snapshot + replayed chained suffix``.  A
+        corrupted suffix is refused -- the node falls back to the verified
+        prefix (or a fresh node when the snapshot itself is broken) and the
+        detection is recorded in ``durability_tamper_detections``.  Returns
+        the :class:`~repro.durability.store.RestoreResult`.
+        """
+        from repro.durability import NodeDurableStore
+
+        if not self.config.durability_enabled:
+            raise RuntimeError("restart_from_durable requires durability_enabled")
+        if node_id not in self.topology.controllers:
+            raise ValueError(f"{node_id} is not a controller")
+        self._evict_adversary(node_id)
+        store = NodeDurableStore(
+            self.config.durability_dir,
+            node_id,
+            seed=self._seed,
+            snapshot_interval=self.config.snapshot_interval,
+        )
+        result = store.load()
+        if result.tampered:
+            self.durability_tamper_detections.append(
+                {
+                    "node": node_id,
+                    "round": self.round_no,
+                    "reason": result.tamper_reason,
+                    "refused_records": result.refused_records,
+                }
+            )
+        node = result.node if result.node is not None else self._fresh_node(node_id)
+        node.durable = store
+        # Force a full mode adoption at the rejoin round: the restored
+        # schedule may equal the one start() adopts, and _adopt_mode's
+        # no-change fast path would then skip re-syncing the path set and
+        # the auditing layer to the current round (leaving stale pre-crash
+        # expectations that would wrongly accuse live links).
+        node.current_schedule = None
+        blessing = self._mint_blessing(node_id)
+        self._install_node(node_id, node)
+        # Replay the verified chained suffix (evidence admitted after the
+        # snapshot cut) into the restored node.
+        for item in result.evidence:
+            node.forwarding.submit_evidence(item)
+        self._flood_blessing(node_id, blessing)
+        store.record_restore(self.round_no, result)
+        rec = _flight.active
+        if rec is not None:
+            rec.emit(
+                EV_PERSIST_RESTORE,
+                node_id,
+                {
+                    "snapshot_round": result.snapshot_round,
+                    "replayed": len(result.evidence),
+                    "tampered": result.tampered,
+                    "reason": result.tamper_reason,
+                },
+                round_no=self.round_no,
+            )
+        monitor = self.monitor
+        if monitor is not None and hasattr(monitor, "note_restart"):
+            monitor.note_restart(node_id, self.round_no)
+        return result
 
     def cut_link_now(self, a: int, b: int) -> None:
         rec = _flight.active

@@ -1,0 +1,30 @@
+"""Durable, tamper-evident node state (hash-chained log + snapshots).
+
+Every node can persist its protocol state to disk: an append-only,
+HMAC-chained event log (the :mod:`repro.obs` event schema is the record
+format) plus periodic consistent snapshots of the evidence store, the
+heartbeat/coverage stores, the quota ledger, and the mode pointer.  On
+restart a node replays ``snapshot + chained suffix``, verifies the chain
+(per-record HMAC, prev-digest linking, snapshot root hash), and rejoins
+through the operator blessing flow -- see ``docs/PROTOCOL.md`` S14.
+
+Off by default (``ReboundConfig.durability_enabled``); with persistence
+disabled the transcript is byte-identical to a build without this package.
+"""
+
+from repro.durability.chain import GENESIS, TamperDetected, chain_tag, derive_key
+from repro.durability.log import ChainedEventLog
+from repro.durability.snapshot import read_snapshot, write_snapshot
+from repro.durability.store import NodeDurableStore, RestoreResult
+
+__all__ = [
+    "GENESIS",
+    "TamperDetected",
+    "chain_tag",
+    "derive_key",
+    "ChainedEventLog",
+    "read_snapshot",
+    "write_snapshot",
+    "NodeDurableStore",
+    "RestoreResult",
+]

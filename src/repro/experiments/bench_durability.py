@@ -1,0 +1,217 @@
+"""Durability-layer benchmark: persistence overhead and verified restore.
+
+Runs the same 20-node grid deployment (with a mid-run crash, so evidence
+actually flows) twice in one process -- persistence off and persistence
+on (chained log + sealed snapshots to a tempdir) -- and records:
+
+* both wall-clock times and the persistence overhead ratio;
+* full transcripts proving the runs are *byte-identical* (the durable
+  write path is observation-only);
+* per-store write-side counters (appends, flushes, snapshots, bytes);
+* on-disk footprint (log + snapshot sizes across all nodes);
+* verified-restore timing: every node's store is re-opened cold and
+  ``load()``-ed (snapshot seal check + full chain verification + suffix
+  decode), with the per-node restore time distribution.
+
+The result is written to ``BENCH_durability.json``;
+``python -m repro bench-durability`` prints the JSON line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import transcript_entry as _transcript_entry
+from repro.core.config import ReboundConfig
+from repro.core.runtime import ReboundSystem
+from repro.faults.adversary import CrashBehavior
+from repro.net.topology import grid_topology
+from repro.sched.workload import WorkloadGenerator
+
+DEFAULT_ROWS = 4
+DEFAULT_COLS = 5
+DEFAULT_ROUNDS = 24
+DEFAULT_CRASH_ROUND = 10
+SNAPSHOT_INTERVAL = 8
+
+
+def _run_once(
+    rows: int,
+    cols: int,
+    rounds: int,
+    crash_round: Optional[int],
+    seed: int,
+    durability_dir: Optional[str],
+) -> Dict[str, Any]:
+    topology = grid_topology(rows, cols)
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=1.5
+    )
+    kwargs: Dict[str, Any] = {}
+    if durability_dir is not None:
+        kwargs = {
+            "durability_enabled": True,
+            "durability_dir": durability_dir,
+            "snapshot_interval": SNAPSHOT_INTERVAL,
+        }
+    config = ReboundConfig(fmax=1, fconc=1, variant="multi", rsa_bits=256, **kwargs)
+    t0 = time.perf_counter()
+    system = ReboundSystem(topology, workload, config, seed=seed)
+    build_s = time.perf_counter() - t0
+    transcript: List[Tuple] = []
+    run_s = 0.0
+    for r in range(1, rounds + 1):
+        if crash_round is not None and r == crash_round:
+            system.inject_now(max(topology.controllers), CrashBehavior())
+        t0 = time.perf_counter()
+        system.run_round()
+        run_s += time.perf_counter() - t0
+        transcript.append(_transcript_entry(system))
+    timings: Dict[str, float] = {}
+    if durability_dir is not None:
+        for node in system.nodes.values():
+            durable = getattr(node, "durable", None)
+            if durable is None:
+                continue
+            for key, value in durable.timings.items():
+                timings[key] = timings.get(key, 0) + value
+    system.close()
+    return {
+        "build_s": build_s,
+        "run_s": run_s,
+        "transcript": transcript,
+        "write_counters": timings,
+        "config": config,
+    }
+
+
+def _disk_footprint(durability_dir: str) -> Dict[str, int]:
+    log_bytes = snapshot_bytes = files = 0
+    for root, _dirs, names in os.walk(durability_dir):
+        for name in names:
+            size = os.path.getsize(os.path.join(root, name))
+            files += 1
+            if name.endswith(".bin"):
+                snapshot_bytes += size
+            else:
+                log_bytes += size
+    return {
+        "files": files,
+        "log_bytes": log_bytes,
+        "snapshot_bytes": snapshot_bytes,
+        "total_bytes": log_bytes + snapshot_bytes,
+    }
+
+
+def _restore_all(durability_dir: str, seed: int) -> Dict[str, Any]:
+    """Cold-open every node's store and run the verified restore path."""
+    from repro.durability import NodeDurableStore
+
+    times: List[float] = []
+    restored = tampered = replayed = 0
+    node_dirs = sorted(
+        d for d in os.listdir(durability_dir) if d.startswith("node_")
+    )
+    for name in node_dirs:
+        node_id = int(name.split("_")[1])
+        store = NodeDurableStore(
+            durability_dir, node_id, seed=seed,
+            snapshot_interval=SNAPSHOT_INTERVAL,
+        )
+        t0 = time.perf_counter()
+        result = store.load()
+        times.append(time.perf_counter() - t0)
+        if result.node is not None:
+            restored += 1
+        if result.tampered:
+            tampered += 1
+        replayed += len(result.evidence)
+    return {
+        "stores": len(node_dirs),
+        "restored_from_snapshot": restored,
+        "tampered": tampered,
+        "suffix_items_replayed": replayed,
+        "restore_s_total": sum(times),
+        "restore_s_max": max(times) if times else 0.0,
+        "restore_s_mean": (sum(times) / len(times)) if times else 0.0,
+        # Every store must restore clean: a snapshot for each node and
+        # zero tamper detections on an untouched disk.
+        "ok": tampered == 0 and restored == len(node_dirs) and bool(node_dirs),
+    }
+
+
+def run_durability_bench(
+    rows: int = DEFAULT_ROWS,
+    cols: int = DEFAULT_COLS,
+    rounds: int = DEFAULT_ROUNDS,
+    crash_round: Optional[int] = DEFAULT_CRASH_ROUND,
+    seed: int = 0,
+    output_path: Optional[str] = "BENCH_durability.json",
+) -> Dict[str, Any]:
+    """The headline measurement (see module docstring)."""
+    from repro.experiments.common import bench_env
+
+    durability_dir = tempfile.mkdtemp(prefix="rebound-bench-durable-")
+    try:
+        baseline = _run_once(rows, cols, rounds, crash_round, seed, None)
+        durable = _run_once(rows, cols, rounds, crash_round, seed, durability_dir)
+        footprint = _disk_footprint(durability_dir)
+        restore = _restore_all(durability_dir, seed)
+    finally:
+        shutil.rmtree(durability_dir, ignore_errors=True)
+    result = {
+        "benchmark": "durability",
+        "env": bench_env(),
+        "topology": f"grid_{rows}x{cols}",
+        "nodes": rows * cols,
+        "rounds": rounds,
+        "crash_round": crash_round,
+        "seed": seed,
+        "snapshot_interval": SNAPSHOT_INTERVAL,
+        "baseline_run_s": baseline["run_s"],
+        "durable_run_s": durable["run_s"],
+        "overhead_ratio": (
+            durable["run_s"] / baseline["run_s"]
+            if baseline["run_s"] else float("inf")
+        ),
+        "transcripts_identical": baseline["transcript"] == durable["transcript"],
+        "write_counters": durable["write_counters"],
+        "disk": footprint,
+        "restore": restore,
+    }
+    if output_path is not None:
+        with open(output_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return result
+
+
+def main(
+    output_path: Optional[str] = "BENCH_durability.json",
+    rounds: int = DEFAULT_ROUNDS,
+) -> Dict[str, Any]:
+    result = run_durability_bench(rounds=rounds, output_path=output_path)
+    print("BENCH " + json.dumps(
+        {
+            "benchmark": result["benchmark"],
+            "topology": result["topology"],
+            "rounds": result["rounds"],
+            "baseline_run_s": result["baseline_run_s"],
+            "durable_run_s": result["durable_run_s"],
+            "overhead_ratio": result["overhead_ratio"],
+            "transcripts_identical": result["transcripts_identical"],
+            "restore_ok": result["restore"]["ok"],
+            "restore_s_total": result["restore"]["restore_s_total"],
+        },
+        sort_keys=True,
+    ))
+    return result
+
+
+if __name__ == "__main__":
+    main()

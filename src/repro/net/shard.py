@@ -372,10 +372,25 @@ def _dispatch_call(w: _WorkerState, node_id: int, op: str, args: Tuple[Any, ...]
     if op == "release":
         # Drop the node from this worker's residency; its local copy goes
         # stale and is never stepped again.  Return the (network-detached)
-        # node when the caller wants to adopt it parent-side.
+        # node when the caller wants to adopt it parent-side.  Buffered
+        # durable-log records are flushed first: the recall barrier must
+        # leave the on-disk chain current before the parent's copy starts
+        # appending to it.
         w.resident.discard(node_id)
+        durable = getattr(node, "durable", None)
+        if durable is not None:
+            durable.flush()
         node.network = None
         return node if args and args[0] else None
+    if op == "flush_durable":
+        # Flush every resident node's durable store (shutdown barrier).
+        flushed = 0
+        for nid in sorted(w.resident):
+            durable = getattr(w.network._protocols[nid], "durable", None)
+            if durable is not None:
+                durable.flush()
+                flushed += 1
+        return flushed
     raise ValueError(f"unknown worker op {op!r}")
 
 
@@ -672,8 +687,15 @@ class ShardedRoundEngine:
         if self._pools:
             # Deferred writes must land before the workers die; a caller
             # may still read evidence through a rebuilt serial system.
+            # Worker-resident durable logs flush for the same reason: the
+            # on-disk chain must be current once the processes are gone.
             for shard_id in range(len(self._pools)):
                 self._flush_pending(shard_id)
+            for shard_id, shard in enumerate(self._shards):
+                if shard:
+                    self._pools[shard_id].submit(
+                        _worker_call, shard[0], "flush_durable"
+                    ).result()
         pools, self._pools = self._pools, []
         for pool in pools:
             pool.shutdown(wait=True, cancel_futures=True)

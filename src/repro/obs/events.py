@@ -41,6 +41,9 @@ EV_AUDIT_RESPONSE = 10  #: the audit finished (with or without a PoM)
 EV_CHAOS_IMPAIRMENT = 11  #: the chaos layer impaired one message
 EV_FAULT_INJECTED = 12  #: ground truth: an adversary/link fault activated
 EV_QUOTA_DROP = 13  #: admission control dropped over-quota traffic unverified
+EV_PERSIST_EVIDENCE = 14  #: one evidence item appended to a node's chained durable log
+EV_PERSIST_SNAPSHOT = 15  #: a consistent snapshot of a node's state was sealed
+EV_PERSIST_RESTORE = 16  #: a node restored from its durable store (crash-restart-rejoin)
 
 EVENT_NAMES: Dict[int, str] = {
     EV_HEARTBEAT_SEND: "heartbeat-send",
@@ -56,6 +59,9 @@ EVENT_NAMES: Dict[int, str] = {
     EV_CHAOS_IMPAIRMENT: "chaos-impairment",
     EV_FAULT_INJECTED: "fault-injected",
     EV_QUOTA_DROP: "quota-drop",
+    EV_PERSIST_EVIDENCE: "persist-evidence",
+    EV_PERSIST_SNAPSHOT: "persist-snapshot",
+    EV_PERSIST_RESTORE: "persist-restore",
 }
 
 #: data fields each kind may carry (documentation + JSONL validation).
@@ -74,6 +80,9 @@ EVENT_FIELDS: Dict[int, Tuple[str, ...]] = {
     EV_CHAOS_IMPAIRMENT: ("type", "link", "delay"),
     EV_FAULT_INJECTED: ("target", "behavior", "link"),
     EV_QUOTA_DROP: ("sender", "kind"),
+    EV_PERSIST_EVIDENCE: ("item", "enc"),
+    EV_PERSIST_SNAPSHOT: ("root", "log_count", "snapshot_round"),
+    EV_PERSIST_RESTORE: ("snapshot_round", "replayed", "tampered", "reason"),
 }
 
 EVENT_REQUIRED_FIELDS: Dict[int, Tuple[str, ...]] = {
@@ -90,6 +99,9 @@ EVENT_REQUIRED_FIELDS: Dict[int, Tuple[str, ...]] = {
     EV_CHAOS_IMPAIRMENT: ("type",),
     EV_FAULT_INJECTED: (),
     EV_QUOTA_DROP: ("sender", "kind"),
+    EV_PERSIST_EVIDENCE: ("enc",),
+    EV_PERSIST_SNAPSHOT: ("root",),
+    EV_PERSIST_RESTORE: ("tampered",),
 }
 
 

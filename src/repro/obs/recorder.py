@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.obs.events import EVENT_NAMES, EV_MODE_SELECTED, TraceEvent
+from repro.obs.ioutil import atomic_open
 
 #: The process-wide active recorder, or None (disabled).  Instrumented code
 #: reads this attribute on every emit site; assign via install()/uninstall().
@@ -146,9 +147,14 @@ class FlightRecorder:
     # -- exporters -----------------------------------------------------------
 
     def export_jsonl(self, path: str) -> int:
-        """Write one JSON object per line; returns the event count."""
+        """Write one JSON object per line; returns the event count.
+
+        Missing parent directories are created and the file lands via
+        temp-and-rename, so a crash mid-export can never leave a torn
+        (half-written) trace behind.
+        """
         count = 0
-        with open(path, "w") as fh:
+        with atomic_open(path) as fh:
             for event in self._events:
                 fh.write(json.dumps(event.as_dict(), sort_keys=True))
                 fh.write("\n")
@@ -220,7 +226,7 @@ class FlightRecorder:
             trace_events.append(span)
         for span in phase_spans or []:
             trace_events.append(dict(span))
-        with open(path, "w") as fh:
+        with atomic_open(path) as fh:
             json.dump(
                 {"traceEvents": trace_events, "displayTimeUnit": "ms"}, fh
             )

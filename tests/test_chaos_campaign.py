@@ -18,13 +18,25 @@ from repro.chaos import (
 
 
 class TestMatrix:
-    def test_smoke_and_storm_presets_cover_everything(self):
+    def test_presets_cover_everything(self):
         smoke = campaign.smoke_cells()
         storm = campaign.storm_cells()
-        covered = {c.behavior for c in smoke} | {c.behavior for c in storm}
+        restart = campaign.restart_cells()
+        covered = (
+            {c.behavior for c in smoke}
+            | {c.behavior for c in storm}
+            | {c.behavior for c in restart}
+        )
         assert covered == set(BEHAVIORS)
+        # Durability behaviors live in the restart preset only; the
+        # non-durable behaviors are all reachable without it.
+        durable = {name for name, spec in BEHAVIORS.items() if spec.durability}
+        assert durable <= {c.behavior for c in restart}
+        assert {c.behavior for c in smoke} | {c.behavior for c in storm} == (
+            set(BEHAVIORS) - durable
+        )
         assert {c.plan for c in smoke} == set(PLANS)
-        for cells in (smoke, storm):
+        for cells in (smoke, storm, restart):
             ids = [c.cell_id for c in cells]
             assert len(ids) == len(set(ids))
 

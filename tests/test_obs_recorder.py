@@ -134,6 +134,21 @@ class TestExports:
         for event in recorder.events():
             validate_record(event.as_dict())
 
+    def test_exports_create_parents_and_land_atomically(self, tmp_path):
+        """Exports into a not-yet-existing directory tree succeed, and the
+        temp-and-rename leaves no temp residue next to the result."""
+        import os
+
+        _, recorder = _run_system(record=True)
+        nested = tmp_path / "runs" / "2026" / "trace.jsonl"
+        count = recorder.export_jsonl(str(nested))
+        assert count == len(recorder)
+        assert validate_jsonl(str(nested)) == count
+        assert os.listdir(nested.parent) == ["trace.jsonl"]
+        chrome = tmp_path / "runs" / "chrome" / "trace.json"
+        assert recorder.export_chrome_trace(str(chrome)) > 0
+        assert os.listdir(chrome.parent) == ["trace.json"]
+
     def test_chrome_trace_structure(self, tmp_path):
         _, recorder = _run_system(record=True)
         path = tmp_path / "trace.chrome.json"

@@ -122,6 +122,45 @@ class TestShardedEquivalence:
         inject = (5, 13, EquivocateBehavior)
         assert _run(build(0), inject=inject) == _run(build(3), inject=inject)
 
+    def test_recall_flushes_worker_durable_state(self, tmp_path):
+        """Flush-barrier regression: recalling a worker-resident node must
+        flush its chained durable log *before* the node pickles back to
+        the parent, and shutdown must flush every resident node -- the
+        serial and sharded runs stay byte-identical with persistence on,
+        and every worker-written chain verifies cleanly afterwards."""
+        import os
+
+        from repro.durability import ChainedEventLog, derive_key
+        from repro.durability.store import LOG_NAME
+
+        def build(w, durability_dir):
+            config = ReboundConfig(
+                fmax=1, fconc=1, variant="multi", rsa_bits=256,
+                durability_enabled=True, durability_dir=durability_dir,
+                snapshot_interval=8,
+            )
+            return ReboundSystem(
+                grid_topology(4, 5), _workload(0), config, seed=0,
+                scale_workers=w,
+            )
+
+        serial_dir = str(tmp_path / "serial")
+        shard_dir = str(tmp_path / "shard")
+        # Victim 13 is worker-resident (unpinned), so the injection forces
+        # a mid-run recall through the release path.
+        inject = (5, 13, EquivocateBehavior)
+        serial = _run(build(0, serial_dir), inject=inject)
+        sharded = _run(build(3, shard_dir), inject=inject)
+        assert serial == sharded
+        names = sorted(os.listdir(shard_dir))
+        assert len(names) == 20
+        for name in names:
+            node_id = int(name.split("_")[1])
+            log = ChainedEventLog(
+                os.path.join(shard_dir, name, LOG_NAME), derive_key(0, node_id)
+            )
+            assert log.verify()  # non-empty: the round-8 snapshot landed
+
 
 @pytest.mark.skipif(not HAVE_NUMPY, reason="bitset store needs numpy")
 class TestBitsetHeartbeatStore:
