@@ -679,8 +679,15 @@ def run_campaign(
     output_path: Optional[str] = "BENCH_chaos.json",
     progress: Optional[Callable[[str], None]] = None,
     workers: Optional[int] = None,
+    on_result: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> Dict[str, Any]:
-    """Run a preset's cells and write the BENCH report."""
+    """Run a preset's cells and write the BENCH report.
+
+    ``on_result`` (when given) receives each cell's full outcome dict as
+    it lands -- the hook behind ``chaos --live``'s running tally
+    (:class:`repro.obs.console.CampaignLiveSink`).  It fires before
+    shrinking, so a slow shrink does not delay the verdict line.
+    """
     from repro.experiments.common import bench_env
     from repro.net.shard import resolve_workers
 
@@ -698,6 +705,8 @@ def run_campaign(
     for cell in cells:
         outcome = run_cell(cell, workers=workers)
         results.append(outcome)
+        if on_result is not None:
+            on_result(outcome)
         if progress is not None:
             progress(f"[{outcome['outcome']:>6}] {outcome['cell']}")
         if outcome["outcome"] in ("fail", "crash") and shrink:

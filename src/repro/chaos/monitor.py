@@ -451,6 +451,43 @@ class BTRMonitor:
 
     # -- reporting -------------------------------------------------------------
 
+    #: recovery phases in order; ``gauges()["phase"]`` is an index into
+    #: this tuple (numeric so it can ride a metrics time-series).
+    PHASES = ("idle", "detecting", "recovering", "recovered")
+
+    def current_phase(self) -> str:
+        """Where the system sits in the detect -> recover pipeline.
+
+        ``idle``: no fault activation on record.  ``detecting``: some
+        activation is not yet reflected in any correct node's evidence
+        (Req. 1 window open).  ``recovering``: everything is detected but
+        the current convergence cycle has not closed (Req. 2 window
+        open).  ``recovered``: the cycle converged.
+        """
+        if not self._activations:
+            return "idle"
+        if any(
+            ("detected", element) not in self._reported
+            for element in self._activations
+        ):
+            return "detecting"
+        if self._cycle_converged is None:
+            return "recovering"
+        return "recovered"
+
+    def gauges(self) -> Dict[str, float]:
+        """Per-round numeric gauges for the metrics time-series (absent
+        rounds read as -1 so the series stays purely numeric)."""
+        detection = self.detection_round
+        recovery = self.recovery_round
+        return {
+            "phase": float(self.PHASES.index(self.current_phase())),
+            "activations": float(len(self._activations)),
+            "violations": float(len(self.violations)),
+            "detection_round": float(-1 if detection is None else detection),
+            "recovery_round": float(-1 if recovery is None else recovery),
+        }
+
     def census(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
         for violation in self.violations:

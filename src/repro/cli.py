@@ -17,6 +17,9 @@ Usage::
     python -m repro chaos [--preset smoke|full|storm|restart] [--seeds 0,1] [--workers 2] [--out BENCH_chaos.json]
     python -m repro bench-durability [--rounds 24] [--out BENCH_durability.json]
     python -m repro trace [--preset smoke|equivocation-gap] [--rounds 30]
+    python -m repro trace --validate TRACE_smoke.jsonl
+    python -m repro top [--preset smoke] [--rounds 30] [--once]
+    python -m repro bench-diff --baseline old.json [--current BENCH_scale.json] [--strict]
 
 Each command prints the regenerated rows and the paper's qualitative shape
 checks.  The same drivers back the pytest benchmarks.
@@ -174,6 +177,11 @@ def cmd_bench_durability(args) -> int:
 def cmd_chaos(args) -> int:
     from repro.chaos import run_campaign
 
+    on_result = None
+    if args.live:
+        from repro.obs.console import CampaignLiveSink
+
+        on_result = CampaignLiveSink()
     report = run_campaign(
         preset=args.preset,
         seeds=args.seeds,
@@ -182,6 +190,7 @@ def cmd_chaos(args) -> int:
         output_path=args.out,
         progress=print if args.verbose else None,
         workers=args.workers,
+        on_result=on_result,
     )
     matrix = report["matrix"]
     print(
@@ -207,12 +216,45 @@ def cmd_chaos(args) -> int:
 def cmd_trace(args) -> int:
     from repro.experiments import trace_run
 
+    if args.validate is not None:
+        from repro.obs.events import validate_jsonl
+
+        try:
+            count = validate_jsonl(args.validate)
+        except (OSError, ValueError) as exc:
+            print(f"INVALID {args.validate}: {exc}")
+            return 1
+        print(f"ok {args.validate}: {count} schema-valid event(s)")
+        return 0
     return trace_run.main(
         preset=args.preset,
         rounds=args.rounds,
         seed=args.seed,
         jsonl_path=args.jsonl,
         chrome_path=args.chrome,
+    )
+
+
+def cmd_top(args) -> int:
+    from repro.obs.console import run_top
+
+    return run_top(
+        preset=args.preset,
+        rounds=args.rounds,
+        seed=args.seed,
+        once=args.once,
+        interval=args.interval,
+    )
+
+
+def cmd_bench_diff(args) -> int:
+    from repro.experiments import bench_diff
+
+    return bench_diff.main(
+        current_path=args.current,
+        baseline_path=args.baseline,
+        threshold=args.threshold,
+        strict=args.strict,
     )
 
 
@@ -367,8 +409,52 @@ def build_parser() -> argparse.ArgumentParser:
         "processes (>= 2; default REBOUND_SCALE_WORKERS or serial); "
         "transcripts and judgments are engine-independent",
     )
+    chaos.add_argument(
+        "--live", action="store_true",
+        help="print a live running tally line as each cell finishes",
+    )
     chaos.add_argument("--out", default="BENCH_chaos.json")
     chaos.set_defaults(func=cmd_chaos)
+
+    top = sub.add_parser(
+        "top",
+        help="live campaign console: run a trace preset with the full "
+        "telemetry plane attached and render per-round progress, node "
+        "health, and the recovery decomposition",
+    )
+    top.add_argument(
+        "--preset", choices=["smoke", "equivocation-gap"], default="smoke",
+    )
+    top.add_argument("--rounds", type=int, default=None,
+                     help="override the preset's round count")
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single final frame (headless/CI mode)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=0.0,
+        help="seconds to sleep between frames on a TTY",
+    )
+    top.set_defaults(func=cmd_top)
+
+    bdiff = sub.add_parser(
+        "bench-diff",
+        help="compare a BENCH_*.json against a committed baseline: flags "
+        "wall-clock regressions beyond a ratio threshold, skips itself "
+        "when the env blocks are not comparable (different cpu_count)",
+    )
+    bdiff.add_argument("--current", default="BENCH_scale.json",
+                       help="candidate BENCH json (default BENCH_scale.json)")
+    bdiff.add_argument("--baseline", required=True,
+                       help="baseline BENCH json to compare against")
+    bdiff.add_argument("--threshold", type=float, default=1.5,
+                       help="flag ratios beyond this factor (default 1.5)")
+    bdiff.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on regressions (default warn-only)",
+    )
+    bdiff.set_defaults(func=cmd_bench_diff)
 
     trace = sub.add_parser(
         "trace",
@@ -389,6 +475,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--chrome", default=None,
         help="Chrome-trace path (default TRACE_<preset>.chrome.json)",
+    )
+    trace.add_argument(
+        "--validate", default=None, metavar="PATH",
+        help="validate an existing JSONL trace against the event schema "
+        "and exit (no run)",
     )
     trace.set_defaults(func=cmd_trace)
 

@@ -176,6 +176,7 @@ class ReboundSystem:
         self.fault_rounds: List[int] = []
         self._bless_epochs: Dict[int, int] = {}
         self.monitor = None
+        self.series = None
         self.budget_exceeded = False
         self.scale_workers = resolve_workers(scale_workers)
         self._parent_pinned: Set[int] = set(parent_resident or ())
@@ -459,6 +460,12 @@ class ReboundSystem:
         (or anything exposing ``observe(system)``)."""
         self.monitor = monitor
 
+    def attach_series(self, series) -> None:
+        """Sample a :class:`~repro.obs.series.MetricsTimeSeries` after
+        every round (registry counters plus derived system/monitor
+        gauges).  Observation-only, like the monitor and the recorder."""
+        self.series = series
+
     def _update_budget_signal(self) -> None:
         """Degraded-environment signal (never an exception): the deployment
         is operating outside the fault budget it was provisioned for.
@@ -505,6 +512,8 @@ class ReboundSystem:
         self._update_budget_signal()
         if self.monitor is not None:
             self.monitor.observe(self)
+        if self.series is not None:
+            self.series.sample(self, self.monitor)
 
     def run(self, rounds: int) -> None:
         for _ in range(rounds):

@@ -33,7 +33,7 @@ from repro.durability.chain import (
     chain_tag,
     tags_equal,
 )
-from repro.obs.events import EVENT_NAMES
+from repro.obs.events import EVENT_NAMES, EVENT_SCHEMA_VERSION
 from repro.obs.ioutil import append_lines, atomic_write_text
 
 
@@ -69,6 +69,7 @@ class ChainedEventLog:
             self._seq_round = round_no
             self._seq = 0
         record: Dict[str, Any] = {
+            "schema": EVENT_SCHEMA_VERSION,
             "kind": kind,
             "name": EVENT_NAMES[kind],
             "node": node,

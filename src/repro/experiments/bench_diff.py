@@ -1,0 +1,197 @@
+"""Benchmark regression diff: a current ``BENCH_*.json`` vs a baseline.
+
+The repo commits its benchmark files, which makes every PR a natural
+before/after pair -- ``git show HEAD:BENCH_scale.json`` is the baseline,
+the working tree is the candidate.  This module walks both documents in
+parallel and compares every wall-clock key (``*_run_s``, ``*elapsed_s``)
+at the same path, flagging ratios beyond a threshold in either direction
+(a big "improvement" is usually a broken measurement, so it is surfaced
+too, just labelled differently).
+
+Benchmarks from different machines are not comparable, so the diff
+*skips itself* when the two ``env`` blocks disagree on ``cpu_count``,
+platform, or interpreter implementation -- exactly the situation in CI
+where the baseline was committed from a different runner class.  The CI
+step runs warn-only (``continue-on-error``); ``--strict`` turns
+regressions into a non-zero exit for local use.
+
+Lists of sweep dicts are matched by their ``n`` key when present (so
+adding a sweep size does not misalign every later entry), by index
+otherwise; keys present on only one side are reported as added/removed,
+never as regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+#: a numeric leaf is timing iff its key ends with one of these.
+_TIMING_SUFFIXES = ("_run_s", "elapsed_s")
+
+#: env keys that must match for wall-clock numbers to be comparable.
+_ENV_COMPARABLE_KEYS = ("cpu_count", "platform", "implementation")
+
+
+def _is_timing_key(key: str) -> bool:
+    return any(key.endswith(suffix) for suffix in _TIMING_SUFFIXES)
+
+
+def _match_lists(
+    current: List[Any], baseline: List[Any]
+) -> List[Tuple[str, Any, Any]]:
+    """Pair list entries: by ``n`` when both sides are dicts carrying one
+    (sweep lists), positionally otherwise."""
+    if (
+        all(isinstance(x, dict) and "n" in x for x in current)
+        and all(isinstance(x, dict) and "n" in x for x in baseline)
+    ):
+        base_by_n = {x["n"]: x for x in baseline}
+        return [
+            (f"[n={x['n']}]", x, base_by_n.get(x["n"]))
+            for x in current
+        ]
+    pairs: List[Tuple[str, Any, Any]] = []
+    for i in range(max(len(current), len(baseline))):
+        pairs.append(
+            (
+                f"[{i}]",
+                current[i] if i < len(current) else None,
+                baseline[i] if i < len(baseline) else None,
+            )
+        )
+    return pairs
+
+
+def _walk(
+    current: Any, baseline: Any, path: str, rows: List[Dict[str, Any]]
+) -> None:
+    if isinstance(current, dict) and isinstance(baseline, dict):
+        for key in sorted(set(current) | set(baseline)):
+            sub = f"{path}.{key}" if path else key
+            if key not in baseline:
+                if _is_timing_key(key):
+                    rows.append({"path": sub, "status": "added"})
+                continue
+            if key not in current:
+                if _is_timing_key(key):
+                    rows.append({"path": sub, "status": "removed"})
+                continue
+            _walk(current[key], baseline[key], sub, rows)
+    elif isinstance(current, list) and isinstance(baseline, list):
+        for suffix, cur, base in _match_lists(current, baseline):
+            if cur is None or base is None:
+                continue
+            _walk(cur, base, path + suffix, rows)
+    else:
+        key = path.rsplit(".", 1)[-1]
+        if not _is_timing_key(key):
+            return
+        if not isinstance(current, (int, float)) or not isinstance(
+            baseline, (int, float)
+        ):
+            return
+        if baseline <= 0 or math.isnan(float(baseline)):
+            return
+        rows.append(
+            {
+                "path": path,
+                "status": "compared",
+                "baseline_s": float(baseline),
+                "current_s": float(current),
+                "ratio": float(current) / float(baseline),
+            }
+        )
+
+
+def env_mismatch(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> Optional[str]:
+    """A human-readable reason the two documents are not comparable, or
+    None when they are.  Missing env blocks compare as comparable (older
+    BENCH files predate the provenance block)."""
+    cur_env = current.get("env") or {}
+    base_env = baseline.get("env") or {}
+    if not cur_env or not base_env:
+        return None
+    for key in _ENV_COMPARABLE_KEYS:
+        if cur_env.get(key) != base_env.get(key):
+            return (
+                f"env.{key} differs: baseline={base_env.get(key)!r} "
+                f"current={cur_env.get(key)!r}"
+            )
+    return None
+
+
+def diff_docs(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = 1.5,
+) -> Dict[str, Any]:
+    """Compare two loaded BENCH documents; see the module docstring."""
+    if threshold <= 1.0:
+        raise ValueError("threshold must exceed 1.0")
+    skip_reason = env_mismatch(current, baseline)
+    rows: List[Dict[str, Any]] = []
+    if skip_reason is None:
+        _walk(current, baseline, "", rows)
+    regressions = []
+    improvements = []
+    for row in rows:
+        if row["status"] != "compared":
+            continue
+        if row["ratio"] > threshold:
+            row["flag"] = "slower"
+            regressions.append(row)
+        elif row["ratio"] < 1.0 / threshold:
+            row["flag"] = "faster"
+            improvements.append(row)
+    return {
+        "skipped": skip_reason is not None,
+        "skip_reason": skip_reason,
+        "threshold": threshold,
+        "compared": [r for r in rows if r["status"] == "compared"],
+        "added": [r["path"] for r in rows if r["status"] == "added"],
+        "removed": [r["path"] for r in rows if r["status"] == "removed"],
+        "regressions": regressions,
+        "improvements": improvements,
+    }
+
+
+def main(
+    current_path: str,
+    baseline_path: str,
+    threshold: float = 1.5,
+    strict: bool = False,
+) -> int:
+    """CLI driver: load, diff, print, and gate (``strict`` only)."""
+    with open(current_path) as fh:
+        current = json.load(fh)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    report = diff_docs(current, baseline, threshold=threshold)
+    name = current.get("benchmark", current_path)
+    if report["skipped"]:
+        print(f"bench-diff[{name}]: SKIPPED -- {report['skip_reason']}")
+        return 0
+    for row in report["compared"]:
+        flag = row.get("flag", "")
+        marker = {"slower": " <-- SLOWER", "faster": " (faster)"}.get(flag, "")
+        print(
+            f"  {row['path']}: {row['baseline_s']:.3f}s -> "
+            f"{row['current_s']:.3f}s  x{row['ratio']:.2f}{marker}"
+        )
+    for path in report["added"]:
+        print(f"  {path}: added (no baseline)")
+    for path in report["removed"]:
+        print(f"  {path}: removed (baseline only)")
+    n_reg = len(report["regressions"])
+    print(
+        f"bench-diff[{name}]: {len(report['compared'])} timings compared, "
+        f"{n_reg} regression(s) beyond x{threshold:.2f}, "
+        f"{len(report['improvements'])} large improvement(s)"
+    )
+    if n_reg and not strict:
+        print("(warn-only; pass --strict to fail on regressions)")
+    return 1 if strict and n_reg else 0

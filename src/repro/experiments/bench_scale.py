@@ -18,13 +18,21 @@ engines in one process:
   per-stage round **profile** (encode/ipc/step/replay/merge seconds from
   :class:`~repro.obs.profiler.RoundProfiler`).
 
+Each sharded sweep also runs once more with a :class:`FlightRecorder`
+installed, so ``recorder_overhead_ratio`` reports the honest wall-clock
+cost of shipping worker-side trace events home over the frame plane.
+
 Every pairing is held byte-identical: the serial and sharded runs of each
 sweep must produce the same per-round transcript (per-node evidence
 digests + modes) and the same logical crypto counters, and dedicated
 small-n identity cells (Erdos-Renyi n=20, the 20-node grid across a crash
 fault, and the grid under the chaos smoke impairment preset) re-verify
 the pin on every invocation -- once per IPC mode, so both the frame plane
-and the pickle fallback are exercised.  ``--smoke`` is the CI-sized
+and the pickle fallback are exercised.  The identity cells run with
+recorders installed on both engines and additionally pin the *trace*:
+the sharded run's merged worker+parent event stream, canonically sorted
+(round, node, seq) and rendered to JSONL, must be byte-equal to the
+serial engine's.  ``--smoke`` is the CI-sized
 variant (n=200 only); ``--sizes`` / ``--engines`` narrow the sweep grid
 and are recorded in the output's ``filters`` block.  Results go to
 ``BENCH_scale.json`` with the shared ``env`` provenance block;
@@ -47,6 +55,8 @@ from repro.experiments.common import bench_env
 from repro.faults.adversary import CrashBehavior
 from repro.net.shard import resolve_workers
 from repro.net.topology import erdos_renyi_topology, grid_topology
+from repro.obs.collector import canonical_jsonl
+from repro.obs.recorder import FlightRecorder
 from repro.sched.workload import WorkloadGenerator
 
 SWEEP_SIZES = (200, 500, 1000)
@@ -109,6 +119,34 @@ def _payload_bytes(ipc: Dict[str, Any]) -> int:
     return int(ipc["delivery_bytes"]) + int(ipc["intent_bytes"])
 
 
+def _traced_run(
+    build_system,
+    rounds: int,
+    crash_round: Optional[int] = None,
+    want_jsonl: bool = False,
+) -> Dict[str, Any]:
+    """A ``_run`` with a flight recorder installed for its whole lifetime.
+
+    The recorder is installed *before* the system is built so the sharded
+    engine's ``start()`` sees it and ships worker-side events home; the
+    trace is read back after ``close()`` (the shutdown barrier drains the
+    last worker rings).  ``want_jsonl`` additionally captures the
+    canonically sorted JSONL rendering -- the byte string the identity
+    cells compare across engines.
+    """
+    recorder = FlightRecorder()
+    recorder.install()
+    try:
+        result = _run(build_system(), rounds, crash_round=crash_round)
+        result["trace_events"] = len(recorder)
+        result["trace_dropped"] = recorder.dropped
+        if want_jsonl:
+            result["trace_jsonl"] = canonical_jsonl(recorder.events())
+    finally:
+        recorder.uninstall()
+    return result
+
+
 def _sweep(
     n: int,
     rounds: int,
@@ -128,6 +166,13 @@ def _sweep(
         )
         runs["sharded_pickle"] = _run(
             _sweep_system(n, seed, workers, legacy=False, frame_ipc=False),
+            rounds,
+        )
+        # The same sharded frame-IPC run with the flight recorder shipping
+        # worker events home: its run_s / sharded_run_s is the honest cost
+        # of always-on tracing across the process boundary.
+        runs["sharded_rec"] = _traced_run(
+            lambda: _sweep_system(n, seed, workers, legacy=False, frame_ipc=True),
             rounds,
         )
     identical: Optional[bool] = None
@@ -161,6 +206,19 @@ def _sweep(
     out["legacy_vs_serial_speedup"] = _speedup("legacy", "serial")
     out["legacy_vs_sharded_speedup"] = _speedup("legacy", "sharded")
     out["frame_vs_pickle_speedup"] = _speedup("sharded_pickle", "sharded")
+    if "sharded_rec" in runs:
+        rec_ipc = runs["sharded_rec"]["ipc"] or {}
+        out["recorder_overhead_ratio"] = (
+            runs["sharded_rec"]["run_s"] / runs["sharded"]["run_s"]
+            if runs["sharded"]["run_s"] else None
+        )
+        out["recorder"] = {
+            "events_shipped": rec_ipc.get("events_shipped", 0),
+            "event_bytes": rec_ipc.get("event_bytes", 0),
+            "event_raw_bytes": rec_ipc.get("event_raw_bytes", 0),
+            "events_recorded": runs["sharded_rec"]["trace_events"],
+            "events_dropped": runs["sharded_rec"]["trace_dropped"],
+        }
     if "sharded" in runs:
         frames_ipc = runs["sharded"]["ipc"]
         pickle_ipc = runs["sharded_pickle"]["ipc"]
@@ -207,8 +265,20 @@ CHAOS_SMOKE_PLAN = ImpairmentPlan(
 def _identity_cell(name: str, build, rounds: int, workers: int,
                    frame_ipc: bool,
                    crash_round: Optional[int] = None) -> Dict[str, Any]:
-    serial = _run(build(0, frame_ipc), rounds, crash_round=crash_round)
-    sharded = _run(build(workers, frame_ipc), rounds, crash_round=crash_round)
+    """Serial vs sharded with a flight recorder installed on *both* runs:
+    the pin covers the transcripts, the crypto counters, AND the merged
+    event stream -- the sharded engine's worker-shipped trace, canonically
+    sorted, must render to the same JSONL bytes the serial recorder
+    produces (the tentpole guarantee; recorder-off transcript identity is
+    pinned separately by tests/test_scale_engine.py)."""
+    serial = _traced_run(
+        lambda: build(0, frame_ipc), rounds,
+        crash_round=crash_round, want_jsonl=True,
+    )
+    sharded = _traced_run(
+        lambda: build(workers, frame_ipc), rounds,
+        crash_round=crash_round, want_jsonl=True,
+    )
     return {
         "cell": name,
         "rounds": rounds,
@@ -216,6 +286,9 @@ def _identity_cell(name: str, build, rounds: int, workers: int,
         "frame_ipc": frame_ipc,
         "transcripts_identical": serial["transcript"] == sharded["transcript"],
         "counters_identical": serial["counters"] == sharded["counters"],
+        "trace_events": sharded["trace_events"],
+        "trace_dropped": sharded["trace_dropped"],
+        "traces_identical": serial["trace_jsonl"] == sharded["trace_jsonl"],
     }
 
 
@@ -281,7 +354,10 @@ def run_scale_bench(
     cells = identity_cells(workers)
     sweeps = [_sweep(n, rounds, workers, engines=engines) for n in sizes]
     all_identical = all(
-        c["transcripts_identical"] and c["counters_identical"] for c in cells
+        c["transcripts_identical"]
+        and c["counters_identical"]
+        and c["traces_identical"]
+        for c in cells
     ) and all(s["transcripts_identical"] is not False for s in sweeps)
     result = {
         "benchmark": "scale",
@@ -321,9 +397,10 @@ def main(
                 for k in (
                     "n", "rounds", "workers",
                     "legacy_run_s", "serial_run_s", "sharded_run_s",
-                    "sharded_pickle_run_s",
+                    "sharded_pickle_run_s", "sharded_rec_run_s",
                     "serial_vs_sharded_speedup", "legacy_vs_serial_speedup",
                     "legacy_vs_sharded_speedup", "frame_vs_pickle_speedup",
+                    "recorder_overhead_ratio",
                     "transcripts_identical",
                 )
                 if k in sweep
@@ -346,11 +423,23 @@ def main(
                 for stage in ("encode", "ipc", "step", "replay", "merge")
             )
             print(f"  profile n={sweep['n']}: {shares}")
+        if "recorder" in sweep:
+            rec = sweep["recorder"]
+            ratio = sweep.get("recorder_overhead_ratio")
+            overhead = f"{ratio:.3f}x" if ratio is not None else "n/a"
+            print(
+                f"  recorder n={sweep['n']}: overhead={overhead} "
+                f"events={rec['events_recorded']} "
+                f"dropped={rec['events_dropped']} "
+                f"shipped_bytes={rec['event_bytes']} "
+                f"(raw {rec['event_raw_bytes']})"
+            )
     print(
         "identity: "
         + ", ".join(
             f"{c['cell']}[{'frames' if c['frame_ipc'] else 'pickle'}]="
             + ("OK" if c["transcripts_identical"] and c["counters_identical"]
+               and c["traces_identical"]
                else "DIFF")
             for c in result["identity"]["cells"]
         )

@@ -204,6 +204,140 @@ class IntentWriter(_FrameWriter):
         )
 
 
+class EventWriter(_FrameWriter):
+    """Builder for one round's drained flight-recorder events.
+
+    Same plane as deliveries/intents: interned payload frames (the
+    JSON-encoded ``data`` dict -- identical dicts, e.g. the empty one or a
+    hot heartbeat status, ship once per buffer) plus columnar headers.
+    Callers add events in canonical ``(round, node, seq)`` order, so the
+    round and node columns are runs and RLE-encode to a few bytes each::
+
+        u8   flags      # bit0: 32-bit node ids, bit1: 32-bit frame idx, bit2: zlib
+        u32  frame_count
+        frame_count x { u32 length, <length> data-JSON bytes }
+        u32  round_group_count
+        round_group_count x { u32 round, u32 run_length }
+        u32  node_group_count
+        node_group_count x { id node, u32 run_length }
+        u32  header_count
+        header_count x u32  seq column
+        header_count x u8   kind column
+        header_count x idx  frame-index column
+
+    Node ids are unsigned on the wire: only worker-resident nodes ship
+    events, and those are real topology ids (the chaos layer's synthetic
+    node ``-1`` reorder events are emitted parent-side and never cross).
+    """
+
+    __slots__ = ()
+
+    def add(
+        self, node: int, round_no: int, seq: int, kind: int, blob: bytes
+    ) -> None:
+        if node < 0:
+            raise ValueError("event frames carry real (non-negative) node ids")
+        self.headers.append((round_no, node, seq, kind, self.add_frame(blob)))
+
+    def finish(self) -> bytes:
+        headers = self.headers
+        max_id = max((h[1] for h in headers), default=0)
+        wide_id = max_id > 0xFFFF
+        wide_idx = len(self._frames) > 0xFFFF
+        id_code = "I" if wide_id else "H"
+        idx_code = "I" if wide_idx else "H"
+        flags = (_FLAG_WIDE_ID if wide_id else 0) | (
+            _FLAG_WIDE_IDX if wide_idx else 0
+        )
+        parts: List[bytes] = [_U8.pack(flags), _U32.pack(len(self._frames))]
+        for blob in self._frames:
+            parts.append(_U32.pack(len(blob)))
+            parts.append(blob)
+        round_groups = _rle([h[0] for h in headers])
+        parts.append(_U32.pack(len(round_groups)))
+        if round_groups:
+            flat = [x for group in round_groups for x in group]
+            parts.append(struct.pack(f">{2 * len(round_groups)}I", *flat))
+        node_groups = _rle([h[1] for h in headers])
+        parts.append(_U32.pack(len(node_groups)))
+        if node_groups:
+            flat = [x for group in node_groups for x in group]
+            parts.append(
+                struct.pack(">" + (id_code + "I") * len(node_groups), *flat)
+            )
+        count = len(headers)
+        parts.append(_U32.pack(count))
+        if count:
+            parts.append(struct.pack(f">{count}I", *[h[2] for h in headers]))
+            parts.append(bytes(h[3] for h in headers))
+            parts.append(
+                struct.pack(f">{count}{idx_code}", *[h[4] for h in headers])
+            )
+        buffer = b"".join(parts)
+        self.raw_bytes = len(buffer)
+        if len(buffer) > _COMPRESS_MIN:
+            body = zlib.compress(buffer[1:], 1)
+            if len(body) + 1 < len(buffer):
+                return _U8.pack(flags | _FLAG_ZLIB) + body
+        return buffer
+
+
+def unpack_events(buffer: bytes) -> List[Tuple[int, int, int, int, bytes]]:
+    """Decode an event buffer to ``(node, round, seq, kind, data bytes)``
+    tuples in header (canonical) order; interned data blobs share one
+    bytes object."""
+    (flags,) = _U8.unpack_from(buffer, 0)
+    if flags & _FLAG_ZLIB:
+        buffer = buffer[:1] + zlib.decompress(buffer[1:])
+        flags &= ~_FLAG_ZLIB
+    pos = 1
+    (frame_count,) = _U32.unpack_from(buffer, pos)
+    pos += 4
+    frames: List[bytes] = []
+    for _ in range(frame_count):
+        (length,) = _U32.unpack_from(buffer, pos)
+        pos += 4
+        frames.append(buffer[pos : pos + length])
+        pos += length
+    id_code = "I" if flags & _FLAG_WIDE_ID else "H"
+    idx_code = "I" if flags & _FLAG_WIDE_IDX else "H"
+    idx_size = 4 if flags & _FLAG_WIDE_IDX else 2
+    (round_group_count,) = _U32.unpack_from(buffer, pos)
+    pos += 4
+    rounds: List[int] = []
+    pair = struct.Struct(">II")
+    for _ in range(round_group_count):
+        round_no, run = pair.unpack_from(buffer, pos)
+        pos += pair.size
+        rounds.extend([round_no] * run)
+    (node_group_count,) = _U32.unpack_from(buffer, pos)
+    pos += 4
+    node_pair = struct.Struct(">" + id_code + "I")
+    nodes: List[int] = []
+    for _ in range(node_group_count):
+        node, run = node_pair.unpack_from(buffer, pos)
+        pos += node_pair.size
+        nodes.extend([node] * run)
+    (count,) = _U32.unpack_from(buffer, pos)
+    pos += 4
+    if len(rounds) != count or len(nodes) != count:
+        raise ValueError("round/node runs do not cover the header count")
+    seqs = struct.unpack_from(f">{count}I", buffer, pos)
+    pos += count * 4
+    kinds = buffer[pos : pos + count]
+    pos += count
+    indices = struct.unpack_from(f">{count}{idx_code}", buffer, pos)
+    pos += count * idx_size
+    if pos != len(buffer):
+        raise ValueError("trailing bytes after event buffer")
+    return [
+        (node, round_no, seq, kind, frames[idx])
+        for node, round_no, seq, kind, idx in zip(
+            nodes, rounds, seqs, kinds, indices
+        )
+    ]
+
+
 def _unpack_columns(
     buffer: bytes, with_kinds: bool
 ) -> Tuple[List[bytes], List[int], Tuple[int, ...], Tuple[int, ...], bytes]:

@@ -51,16 +51,37 @@ while keeping transcripts **byte-identical** to serial execution:
     failures surface as typed, picklable :class:`WorkerCallError` carrying
     the node id, op, and the worker traceback.
 
-5.  *Telemetry hygiene and attribution.*  Worker initializers detach the
-    inherited flight recorder and zero every registered telemetry
-    component, so per-worker cache stats count post-fork work only; each
-    round's snapshot rides back with the results and
-    :func:`ShardedRoundEngine.merged_stats` folds them into the parent's
-    registry snapshot without double counting.  A
+5.  *Telemetry hygiene and attribution.*  Worker initializers zero every
+    registered telemetry component, so per-worker cache stats count
+    post-fork work only; each round's snapshot rides back with the results
+    and :func:`ShardedRoundEngine.merged_stats` folds them into the
+    parent's registry snapshot without double counting.  A
     :class:`~repro.obs.profiler.RoundProfiler` (telemetry component
     ``round_profile``) decomposes every engine round into
     encode/ipc/step/replay/merge wall-clock, and component ``engine_ipc``
     counts frames, interning hits, and bytes shipped.
+
+6.  *Shipping flight recorders.*  When the parent had an active
+    :class:`~repro.obs.recorder.FlightRecorder` at fork, each worker
+    installs its own recorder instead of going blind: worker-resident
+    nodes emit locally, the ring is drained at the end of every
+    ``_worker_round`` into an event frame batch (same columnar + interning
+    + zlib plane as deliveries), and the parent-side
+    :class:`~repro.obs.collector.TraceCollector` absorbs it into the
+    parent ring *before* replay.  Per-node ``seq`` counters are max-merged
+    across the boundary in both directions (parent snapshot ships with
+    each batch; worker snapshot returns with each result), which keeps the
+    ``(round, node, seq)`` numbering byte-identical to the serial engine:
+    within one round only one side emits for a given node at a time, so
+    each side's counter is an exact lower bound.  Known limit: a node
+    whose *durable store* emits persist events in the same round as a
+    chaos impairment on its sends would number differently (durable emits
+    run worker-side before the parent's replay-time impairment emits);
+    the identity cells run durability off, and the divergence affects
+    ``seq`` only, never transcripts.  Recalled nodes drain with the
+    ``release`` barrier and shutdown drains every shard, so no event is
+    lost or shipped twice -- events drained before a failed future stay
+    worker-side and ride the next successful batch.
 
 Shared module-level caches (verify cache, coverage DP, path cache, codec
 memo, frame cache) diverge per worker but are *fidelity-neutral*: they
@@ -89,7 +110,9 @@ from repro.net.frames import (
 from repro.net.message import Frame, encode
 from repro.obs import recorder as _flight
 from repro.obs import registry as _telemetry
+from repro.obs.collector import TraceCollector, pack_events
 from repro.obs.profiler import RoundProfiler
+from repro.obs.recorder import FlightRecorder
 
 WORKERS_ENV = "REBOUND_SCALE_WORKERS"
 
@@ -200,6 +223,10 @@ def summarize_node(node: Any) -> NodeSummary:
 class _SpawnState:
     network: Any
     resident: FrozenSet[int]
+    #: ring capacity for the worker's shipping recorder, or None when the
+    #: parent had no active recorder at fork (workers then run blind, as
+    #: before -- zero recording overhead).
+    recorder_capacity: Optional[int] = None
 
 
 @dataclass
@@ -231,6 +258,15 @@ class _RoundResult:
     intent_raw_bytes: int
     frames_shipped: int
     interned_hits: int
+    #: drained flight-recorder events (None when the worker runs blind).
+    events: Optional[Batch] = None
+    event_count: int = 0
+    event_raw_bytes: int = 0
+    event_interned: int = 0
+    #: the worker recorder's per-node seq counters after this round.
+    seqs: Dict[int, int] = field(default_factory=dict)
+    #: cumulative worker-ring evictions (events lost before shipping).
+    dropped: int = 0
 
 
 # Set in the parent immediately before each pool's priming submit forks the
@@ -245,10 +281,16 @@ def _worker_init() -> None:
     assert state is not None, "worker forked without spawn state"
     _W = _WorkerState(network=state.network, resident=set(state.resident))
     # The fork snapshot carries the parent's flight recorder and telemetry
-    # counts.  Detach the recorder (worker-side events cannot be merged
-    # back in order) and zero every component so the per-worker stats this
-    # engine reports never double-count pre-fork activity.
-    _flight.active = None
+    # counts.  Replace the recorder: when the parent was recording, install
+    # a fresh *shipping* recorder (same capacity, empty ring -- the parent
+    # keeps the pre-fork events) that _worker_round drains every round;
+    # otherwise detach so a blind run stays overhead-free.  Telemetry is
+    # zeroed either way so the per-worker stats this engine reports never
+    # double-count pre-fork activity.
+    if state.recorder_capacity is not None:
+        FlightRecorder(capacity=state.recorder_capacity).install()
+    else:
+        _flight.active = None
     _telemetry.ensure_default_components()
     _telemetry.reset_all()
     # Arm the intent sink permanently: nothing a worker-resident node sends
@@ -274,18 +316,28 @@ def _worker_round(
     crashed: FrozenSet[int],
     batch: Batch,
     calls: List[Call],
+    seq_sync: Optional[Dict[int, int]] = None,
 ) -> _RoundResult:
     """Run one round's three phases for this worker's resident nodes.
 
     ``calls`` are the shard's deferred writes, applied *before* any phase
     -- between rounds worker nodes never step, so this is exactly when the
-    serial engine would have applied them.
+    serial engine would have applied them.  ``seq_sync`` is the parent
+    recorder's per-node seq snapshot for ``round_no``: max-merged in first
+    so deferred-call and phase emits continue the serial numbering after
+    any parent-side emits (fault injections, parent-resident activity)
+    earlier in the round.
     """
     w = _W
     assert w is not None
     net = w.network
     net.round_no = round_no
     net._crashed = set(crashed)
+    rec = _flight.active
+    if rec is not None:
+        rec.begin_round(round_no)
+        if seq_sync:
+            rec.merge_seq(seq_sync)
     if calls:
         _apply_calls(w, calls)
     perf = time.perf_counter
@@ -338,6 +390,19 @@ def _worker_round(
         intent_raw = len(intents[1])
         frames_shipped = len(sink)
         interned_hits = 0
+    events: Optional[Batch] = None
+    event_count = event_raw = event_interned = 0
+    seqs: Dict[int, int] = {}
+    dropped = 0
+    if rec is not None:
+        drained = rec.drain()
+        event_count = len(drained)
+        if drained:
+            events, event_raw, event_interned = pack_events(
+                drained, frame_ipc=(tag == "frames")
+            )
+        seqs = rec.seq_snapshot()
+        dropped = rec.dropped
     t_encode = perf() - t2
     return _RoundResult(
         intents=intents,
@@ -350,6 +415,12 @@ def _worker_round(
         intent_raw_bytes=intent_raw,
         frames_shipped=frames_shipped,
         interned_hits=interned_hits,
+        events=events,
+        event_count=event_count,
+        event_raw_bytes=event_raw,
+        event_interned=event_interned,
+        seqs=seqs,
+        dropped=dropped,
     )
 
 
@@ -375,13 +446,18 @@ def _dispatch_call(w: _WorkerState, node_id: int, op: str, args: Tuple[Any, ...]
         # node when the caller wants to adopt it parent-side.  Buffered
         # durable-log records are flushed first: the recall barrier must
         # leave the on-disk chain current before the parent's copy starts
-        # appending to it.
+        # appending to it.  The shipping recorder drains for the same
+        # reason -- any events the released node emitted since the last
+        # round batch must follow it to the parent.
         w.resident.discard(node_id)
         durable = getattr(node, "durable", None)
         if durable is not None:
             durable.flush()
         node.network = None
-        return node if args and args[0] else None
+        return (node if args and args[0] else None, _drain_worker_events())
+    if op == "drain_events":
+        # Shutdown barrier: ship whatever is still buffered.
+        return _drain_worker_events()
     if op == "flush_durable":
         # Flush every resident node's durable store (shutdown barrier).
         flushed = 0
@@ -392,6 +468,23 @@ def _dispatch_call(w: _WorkerState, node_id: int, op: str, args: Tuple[Any, ...]
                 flushed += 1
         return flushed
     raise ValueError(f"unknown worker op {op!r}")
+
+
+#: A shipped recorder drain: (events batch or None, recorder round,
+#: per-node seq counters, cumulative dropped count).  The round rides
+#: along so the parent only merges counters that belong to *its* current
+#: round (a stale snapshot is dead weight, not an error).
+Drain = Tuple[Optional[Batch], int, Dict[int, int], int]
+
+
+def _drain_worker_events() -> Optional[Drain]:
+    """Drain this worker's shipping recorder, if any."""
+    rec = _flight.active
+    if rec is None:
+        return None
+    drained = rec.drain()
+    batch = pack_events(drained)[0] if drained else None
+    return (batch, rec.current_round, rec.seq_snapshot(), rec.dropped)
 
 
 def _apply_calls(w: _WorkerState, calls: List[Call]) -> None:
@@ -415,14 +508,32 @@ def _worker_call(node_id: int, op: str, *args: Any) -> Any:
         raise _call_error(node_id, op, exc) from None
 
 
-def _worker_flush(calls: List[Call], summarize_ids: List[int]) -> Dict[int, NodeSummary]:
+def _worker_flush(
+    calls: List[Call],
+    summarize_ids: List[int],
+    sync_round: Optional[int] = None,
+    seq_sync: Optional[Dict[int, int]] = None,
+) -> Tuple[Dict[int, NodeSummary], Optional[Drain]]:
     """Apply a shard's deferred writes, then return fresh summaries for the
-    nodes those writes touched (read-your-writes)."""
+    nodes those writes touched (read-your-writes) plus a recorder drain.
+
+    ``sync_round``/``seq_sync`` carry the parent recorder's clock: between
+    rounds the parent has already advanced to the next round, so deferred
+    emits (e.g. ``submit_evidence``) must stamp that round with counters
+    that account for the parent's own emits -- exactly what the serial
+    engine would have produced at the call site.
+    """
     w = _W
     assert w is not None
+    rec = _flight.active
+    if rec is not None and sync_round is not None:
+        rec.begin_round(sync_round)
+        if seq_sync:
+            rec.merge_seq(seq_sync)
     _apply_calls(w, calls)
     protos = w.network._protocols
-    return {nid: summarize_node(protos[nid]) for nid in summarize_ids}
+    summaries = {nid: summarize_node(protos[nid]) for nid in summarize_ids}
+    return summaries, _drain_worker_events()
 
 
 # -- parent-side views ----------------------------------------------------------
@@ -633,7 +744,13 @@ class ShardedRoundEngine:
         self._dirty: Set[int] = set()
         self._started = False
         self.rounds_executed = 0
-        self.profiler = RoundProfiler()
+        self.profiler = RoundProfiler(
+            label=f"sharded x{workers} "
+            + ("frames" if frame_ipc else "pickle")
+        )
+        #: parent-side merge point for worker-shipped trace events; set by
+        #: start() when a flight recorder is active at fork time.
+        self.collector: Optional[TraceCollector] = None
         self._ipc: Dict[str, Any] = {
             "mode": "frames" if frame_ipc else "pickle",
             "rounds": 0,
@@ -643,6 +760,9 @@ class ShardedRoundEngine:
             "intent_bytes": 0,
             "delivery_raw_bytes": 0,
             "intent_raw_bytes": 0,
+            "event_bytes": 0,
+            "event_raw_bytes": 0,
+            "events_shipped": 0,
             "batched_calls": 0,
             "rpc_flushes": 0,
             "blocking_rpcs": 0,
@@ -658,11 +778,16 @@ class ShardedRoundEngine:
             raise RuntimeError("engine already started")
         for nid in self._shard_of:
             self._summaries[nid] = summarize_node(nodes[nid])
+        rec = _flight.active
+        if rec is not None:
+            self.collector = TraceCollector(rec)
         ctx = mp.get_context("fork")
         try:
             for shard_id, shard_nodes in enumerate(self._shards):
                 _SPAWN = _SpawnState(
-                    network=self.network, resident=frozenset(shard_nodes)
+                    network=self.network,
+                    resident=frozenset(shard_nodes),
+                    recorder_capacity=rec.capacity if rec is not None else None,
                 )
                 pool = ProcessPoolExecutor(
                     max_workers=1, mp_context=ctx, initializer=_worker_init
@@ -681,6 +806,10 @@ class ShardedRoundEngine:
         _telemetry.register(
             "round_profile", self.profiler.stats, self.profiler.reset
         )
+        if self.collector is not None:
+            _telemetry.register(
+                "trace_collector", self.collector.stats, self.collector.reset
+            )
         return {nid: ShardNodeView(self, nid) for nid in sorted(self._shard_of)}
 
     def shutdown(self) -> None:
@@ -688,11 +817,18 @@ class ShardedRoundEngine:
             # Deferred writes must land before the workers die; a caller
             # may still read evidence through a rebuilt serial system.
             # Worker-resident durable logs flush for the same reason: the
-            # on-disk chain must be current once the processes are gone.
+            # on-disk chain must be current once the processes are gone --
+            # and shipping recorders drain so no buffered event dies with
+            # its worker.
             for shard_id in range(len(self._pools)):
                 self._flush_pending(shard_id)
             for shard_id, shard in enumerate(self._shards):
                 if shard:
+                    if self.collector is not None:
+                        drain = self._pools[shard_id].submit(
+                            _worker_call, shard[0], "drain_events"
+                        ).result()
+                        self._ingest_drain(shard_id, drain)
                     self._pools[shard_id].submit(
                         _worker_call, shard[0], "flush_durable"
                     ).result()
@@ -703,6 +839,8 @@ class ShardedRoundEngine:
             _telemetry.unregister("scale_engine")
             _telemetry.unregister("engine_ipc")
             _telemetry.unregister("round_profile")
+            if self.collector is not None:
+                _telemetry.unregister("trace_collector")
 
     # -- round execution --------------------------------------------------------
 
@@ -710,6 +848,16 @@ class ShardedRoundEngine:
         round_no = net.round_no
         crashed = frozenset(net._crashed)
         perf = time.perf_counter
+
+        # Recorder seq hand-off (see module docstring, point 6): align the
+        # parent clock with the round being executed and snapshot its
+        # per-node counters, so worker emits continue the serial numbering
+        # after any parent-side emits earlier in this round.
+        rec = _flight.active if self.collector is not None else None
+        seq_sync: Optional[Dict[int, int]] = None
+        if rec is not None:
+            rec.begin_round(round_no)
+            seq_sync = rec.seq_snapshot()
 
         # Partition + pack: each shard's slice of the round's deliveries,
         # in one flat buffer (frames mode interns duplicate payloads).
@@ -756,7 +904,9 @@ class ShardedRoundEngine:
         for i, pool in enumerate(self._pools):
             calls, self._pending[i] = self._pending[i], []
             futures.append(
-                pool.submit(_worker_round, round_no, crashed, batches[i], calls)
+                pool.submit(
+                    _worker_round, round_no, crashed, batches[i], calls, seq_sync
+                )
             )
         self._dirty.clear()
         t_submit = perf() - t1
@@ -814,6 +964,21 @@ class ShardedRoundEngine:
             self._ipc["intent_raw_bytes"] += result.intent_raw_bytes
             self._ipc["frames_shipped"] += result.frames_shipped
             self._ipc["interned_hits"] += result.interned_hits
+            if self.collector is not None:
+                # Before replay: replay-time emits (chaos impairments at
+                # worker-resident senders) need the merged seq counters.
+                self.collector.ingest(
+                    shard_id,
+                    result.events,
+                    result.seqs,
+                    result.dropped,
+                    raw_bytes=result.event_raw_bytes,
+                    interned=result.event_interned,
+                )
+                if result.events is not None:
+                    self._ipc["event_bytes"] += len(result.events[1])
+                    self._ipc["event_raw_bytes"] += result.event_raw_bytes
+                    self._ipc["events_shipped"] += result.event_count
             intent_batches.append(result.intents)
             t_merge += perf() - tb
 
@@ -885,6 +1050,22 @@ class ShardedRoundEngine:
         self._dirty.add(node_id)
         self._ipc["batched_calls"] += 1
 
+    def _ingest_drain(self, shard: int, drain: Optional[Drain]) -> None:
+        """Absorb a shipped recorder drain (flush/release/shutdown paths).
+
+        Seq counters merge only when the drain's round matches the parent
+        recorder's current round -- a snapshot for an already-passed round
+        is dead weight (the parent reset its counters at the round edge,
+        exactly as the serial engine would have)."""
+        if drain is None or self.collector is None:
+            return
+        batch, rec_round, seqs, dropped = drain
+        rec = self.collector.recorder
+        merge = seqs if rec.current_round == rec_round else None
+        self.collector.ingest(shard, batch, merge, dropped)
+        if batch is not None:
+            self._ipc["event_bytes"] += len(batch[1])
+
     def _flush_pending(self, shard: int) -> None:
         calls = self._pending.get(shard)
         if not calls:
@@ -894,10 +1075,19 @@ class ShardedRoundEngine:
             nid for nid in self._dirty if self._shard_of.get(nid) == shard
         )
         self._dirty.difference_update(dirty)
-        summaries = (
-            self._pools[shard].submit(_worker_flush, calls, dirty).result()
+        sync_round: Optional[int] = None
+        seq_sync: Optional[Dict[int, int]] = None
+        if self.collector is not None:
+            rec = self.collector.recorder
+            sync_round = rec.current_round
+            seq_sync = rec.seq_snapshot()
+        summaries, drain = (
+            self._pools[shard]
+            .submit(_worker_flush, calls, dirty, sync_round, seq_sync)
+            .result()
         )
         self._summaries.update(summaries)
+        self._ingest_drain(shard, drain)
         self._ipc["rpc_flushes"] += 1
 
     def flush_deferred(self) -> None:
@@ -923,10 +1113,11 @@ class ShardedRoundEngine:
         shard = self._shard_of[node_id]
         self._flush_pending(shard)
         self._shard_of.pop(node_id)
-        node = (
+        node, drain = (
             self._pools[shard].submit(_worker_call, node_id, "release", want_node)
             .result()
         )
+        self._ingest_drain(shard, drain)
         self._shards[shard].remove(node_id)
         self._summaries.pop(node_id, None)
         self._parent_ids = sorted(set(self._parent_ids) | {node_id})

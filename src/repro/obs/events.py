@@ -26,6 +26,18 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+#: Trace-format schema version stamped into every exported record.  Bump it
+#: when a change would make old consumers misread new traces (renaming a
+#: field, changing a field's meaning); adding new event kinds at the end is
+#: backward-compatible and does NOT bump the version.
+EVENT_SCHEMA_VERSION = 1
+
+#: Versions this build can read.  ``validate_record`` rejects records with a
+#: missing or unknown version: a trace either declares a schema we speak or
+#: it is not trusted (telemetry shipped across process/machine boundaries
+#: must be self-describing).
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1})
+
 # -- event kinds (stable wire integers; never renumber) -------------------------
 
 EV_HEARTBEAT_SEND = 1  #: a node signed and queued its own heartbeat
@@ -135,6 +147,7 @@ class TraceEvent:
 
     def as_dict(self) -> Dict[str, Any]:
         return {
+            "schema": EVENT_SCHEMA_VERSION,
             "kind": self.kind,
             "name": self.name,
             "node": self.node,
@@ -142,6 +155,15 @@ class TraceEvent:
             "seq": self.seq,
             "data": self.data,
         }
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        """The canonical global ordering key: ``(round, node, seq)``.
+
+        ``seq`` totally orders one node's events within one round; the
+        ``(round, node)`` prefix makes the merged multi-process stream
+        deterministic without any cross-process clock.
+        """
+        return (self.round_no, self.node, self.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -157,6 +179,17 @@ def validate_record(record: Dict[str, Any]) -> None:
     """Raise ``ValueError`` if a JSONL record does not match the schema."""
     if not isinstance(record, dict):
         raise ValueError(f"event record must be a dict, got {type(record).__name__}")
+    schema = record.get("schema")
+    if schema is None:
+        raise ValueError(
+            "event record carries no schema version "
+            f"(this build writes schema {EVENT_SCHEMA_VERSION})"
+        )
+    if schema not in SUPPORTED_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"unsupported event schema version {schema!r} "
+            f"(supported: {sorted(SUPPORTED_SCHEMA_VERSIONS)})"
+        )
     for field, typ in (("kind", int), ("node", int), ("round", int), ("seq", int)):
         value = record.get(field)
         if not isinstance(value, int) or isinstance(value, bool):

@@ -51,9 +51,13 @@ class RoundProfiler:
     (for telemetry snapshots, which must stay O(1) per round).
     """
 
-    def __init__(self, history: int = 4096):
+    def __init__(self, history: int = 4096, label: str = "sharded"):
         if history <= 0:
             raise ValueError("profiler history must be positive")
+        #: which engine produced these rounds; carried into the Perfetto
+        #: process row ("round engine [sharded]") and every span's args so
+        #: overlaid traces from different engines stay distinguishable.
+        self.label = label
         self._history: Deque[Tuple[int, Dict[str, float]]] = deque(
             maxlen=history
         )
@@ -110,8 +114,15 @@ class RoundProfiler:
                 "name": "process_name",
                 "pid": ENGINE_TRACE_PID,
                 "tid": 0,
-                "args": {"name": "round engine"},
-            }
+                "args": {"name": f"round engine [{self.label}]"},
+            },
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": ENGINE_TRACE_PID,
+                "tid": 0,
+                "args": {"name": "stages"},
+            },
         ]
         for round_no, record in self._history:
             total = sum(record.values())
@@ -133,6 +144,7 @@ class RoundProfiler:
                         "dur": max(1.0, width),
                         "args": {
                             "round": round_no,
+                            "engine": self.label,
                             "wall_ms": 1000.0 * record[stage],
                         },
                     }

@@ -1,0 +1,298 @@
+"""Per-round metrics time-series with OpenMetrics / JSON / Perfetto export.
+
+The flight recorder answers "what happened" (discrete events); this module
+answers "how much, over time": once per round it samples every numeric
+counter in the telemetry registry (merged across sharded-engine workers
+via ``system.fastpath_stats()``) plus a handful of derived system gauges
+-- suspected nodes, evidence-store high-water marks against their quota
+caps, and the BTR monitor's detection -> evidence -> switch phase -- into
+a bounded columnar store.
+
+Storage is numpy ``float64`` columns when numpy is importable (same
+pattern as the bitset heartbeat stores) and plain lists otherwise; either
+way the store is a ring bounded by ``capacity`` samples.  A series that
+appears mid-run is NaN-backfilled so every column always has one value
+per retained sample.
+
+Exporters:
+
+* :meth:`MetricsTimeSeries.to_openmetrics` -- the text exposition format
+  scraped by Prometheus-family collectors (gauge semantics: the latest
+  retained sample), terminated by ``# EOF``.
+* :meth:`MetricsTimeSeries.to_json` -- full retained history.
+* :meth:`MetricsTimeSeries.counter_tracks` -- Perfetto counter events
+  (``ph: "C"``) rendering each series as a track next to the recorder's
+  span/instant rows.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Optional
+
+try:  # numpy backs the columns when present; lists otherwise.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+#: Perfetto pid for the metrics counter tracks (the round engine uses
+#: 10**9; node pids are small ints).
+METRICS_TRACE_PID = 10**9 + 1
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(series: str) -> str:
+    """An OpenMetrics-legal name: ``rebound_`` + sanitized series name."""
+    name = _NAME_RE.sub("_", series)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return "rebound_" + name
+
+
+class _Column:
+    """One bounded float column (numpy-backed, list fallback)."""
+
+    __slots__ = ("_data", "_n")
+
+    def __init__(self, prefill: int = 0):
+        if _np is not None:
+            self._data = _np.full(max(64, prefill), _np.nan, dtype=_np.float64)
+            self._n = prefill
+        else:
+            self._data = [math.nan] * prefill
+            self._n = prefill
+
+    def append(self, value: float) -> None:
+        if _np is not None:
+            if self._n == len(self._data):
+                grown = _np.full(len(self._data) * 2, _np.nan, dtype=_np.float64)
+                grown[: self._n] = self._data[: self._n]
+                self._data = grown
+            self._data[self._n] = value
+        else:
+            self._data.append(value)
+        self._n += 1
+
+    def drop_front(self, count: int) -> None:
+        if count <= 0:
+            return
+        if _np is not None:
+            kept = self._data[count : self._n].copy()
+            self._n = len(kept)
+            self._data = _np.full(
+                max(64, self._n), _np.nan, dtype=_np.float64
+            )
+            self._data[: self._n] = kept
+        else:
+            del self._data[:count]
+            self._n = len(self._data)
+
+    def values(self) -> List[float]:
+        if _np is not None:
+            return [float(v) for v in self._data[: self._n]]
+        return list(self._data)
+
+    def last(self) -> float:
+        if self._n == 0:
+            return math.nan
+        if _np is not None:
+            return float(self._data[self._n - 1])
+        return self._data[-1]
+
+    def __len__(self) -> int:
+        return self._n
+
+
+def flatten_stats(stats: Dict[str, Dict[str, Any]]) -> Dict[str, float]:
+    """``{component: {key: value}}`` -> ``{"component.key": float}`` for
+    every numeric scalar (bools count as 0/1; lists and strings skipped)."""
+    flat: Dict[str, float] = {}
+    for component, comp_stats in stats.items():
+        if not isinstance(comp_stats, dict):
+            continue
+        for key, value in comp_stats.items():
+            if isinstance(value, bool):
+                flat[f"{component}.{key}"] = float(value)
+            elif isinstance(value, (int, float)):
+                flat[f"{component}.{key}"] = float(value)
+    return flat
+
+
+class MetricsTimeSeries:
+    """A bounded per-round sampling of the telemetry registry + derived
+    system gauges (see module docstring)."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("series capacity must be positive")
+        self.capacity = capacity
+        self._rounds = _Column()
+        self._columns: Dict[str, _Column] = {}
+        self.samples = 0
+
+    # -- sampling ------------------------------------------------------------
+
+    def record(self, round_no: int, values: Dict[str, float]) -> None:
+        """Append one sample: a round number and its gauge values.
+
+        Every known column gets exactly one appended value (NaN when the
+        sample does not carry it); a new series is NaN-backfilled for the
+        samples it missed.
+        """
+        retained = len(self._rounds)
+        for name in values:
+            if name not in self._columns:
+                self._columns[name] = _Column(prefill=retained)
+        self._rounds.append(float(round_no))
+        for name, column in self._columns.items():
+            value = values.get(name, math.nan)
+            column.append(float(value))
+        self.samples += 1
+        overflow = len(self._rounds) - self.capacity
+        if overflow > 0:
+            self._rounds.drop_front(overflow)
+            for column in self._columns.values():
+                column.drop_front(overflow)
+
+    def sample(self, system: Any, monitor: Any = None) -> Dict[str, float]:
+        """Sample a :class:`~repro.core.runtime.ReboundSystem` (and
+        optionally its BTR monitor) for the round just executed; returns
+        the recorded gauge dict."""
+        values = flatten_stats(system.fastpath_stats())
+        values.update(self._system_gauges(system))
+        if monitor is not None and hasattr(monitor, "gauges"):
+            for key, value in monitor.gauges().items():
+                values[f"btr.{key}"] = float(value)
+        self.record(system.round_no, values)
+        return values
+
+    @staticmethod
+    def _system_gauges(system: Any) -> Dict[str, float]:
+        correct = system.correct_controllers()
+        suspected: set = set()
+        evidence_max = 0
+        store_max = 0
+        for node_id in correct:
+            node = system.nodes[node_id]
+            pattern = node.fault_pattern
+            suspected |= set(pattern.nodes)
+            for link in pattern.links:
+                suspected |= set(link)
+            summary_len = len(node.forwarding.evidence)
+            if summary_len > evidence_max:
+                evidence_max = summary_len
+            store_len = len(node.forwarding.store)
+            if store_len > store_max:
+                store_max = store_len
+        values = {
+            "system.correct_controllers": float(len(correct)),
+            "system.true_faulty_nodes": float(len(system.true_faulty_nodes)),
+            "system.suspected_nodes": float(len(suspected)),
+            "system.evidence_items_max": float(evidence_max),
+            "system.heartbeat_store_max": float(store_max),
+            "system.budget_exceeded": float(system.budget_exceeded),
+        }
+        config = system.config
+        if getattr(config, "quotas_enabled", False) and config.d_max:
+            from repro.core.quotas import (
+                evidence_item_cap,
+                heartbeat_record_cap,
+            )
+
+            n = len(system.topology.controllers)
+            values["system.evidence_item_cap"] = float(
+                evidence_item_cap(n, config.d_max)
+            )
+            values["system.heartbeat_record_cap"] = float(
+                heartbeat_record_cap(n, config.d_max)
+            )
+        return values
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    def rounds(self) -> List[int]:
+        return [int(r) for r in self._rounds.values()]
+
+    def series_names(self) -> List[str]:
+        return sorted(self._columns)
+
+    def series(self, name: str) -> List[float]:
+        return self._columns[name].values()
+
+    def latest(self) -> Dict[str, float]:
+        """The most recent retained value of every series (NaN-free)."""
+        out: Dict[str, float] = {}
+        for name, column in sorted(self._columns.items()):
+            value = column.last()
+            if not math.isnan(value):
+                out[name] = value
+        return out
+
+    # -- exporters -----------------------------------------------------------
+
+    def to_openmetrics(self) -> str:
+        """The OpenMetrics text exposition of the latest sample."""
+        lines: List[str] = []
+        for name, value in self.latest().items():
+            metric = _metric_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            if value == int(value) and abs(value) < 1e15:
+                rendered = str(int(value))
+            else:
+                rendered = repr(value)
+            lines.append(f"{metric} {rendered}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> Dict[str, Any]:
+        """Full retained history, JSON-safe (NaN -> None)."""
+        return {
+            "capacity": self.capacity,
+            "samples": self.samples,
+            "retained": len(self._rounds),
+            "rounds": self.rounds(),
+            "series": {
+                name: [
+                    None if math.isnan(v) else v
+                    for v in column.values()
+                ]
+                for name, column in sorted(self._columns.items())
+            },
+        }
+
+    def counter_tracks(
+        self, round_us: int = 1000, pid: int = METRICS_TRACE_PID
+    ) -> List[Dict[str, Any]]:
+        """Perfetto counter events: one ``ph: "C"`` sample per retained
+        round per series, under a named "metrics" process row."""
+        events: List[Dict[str, Any]] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "metrics"},
+            }
+        ]
+        rounds = self.rounds()
+        for name, column in sorted(self._columns.items()):
+            for round_no, value in zip(rounds, column.values()):
+                if math.isnan(value):
+                    continue
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": name,
+                        "cat": "metrics",
+                        "pid": pid,
+                        "tid": 0,
+                        "ts": round_no * round_us,
+                        "args": {"value": value},
+                    }
+                )
+        return events

@@ -88,5 +88,77 @@ class TestChaosCommand:
         parser = build_parser()
         args = parser.parse_args(["chaos", "--preset", "storm"])
         assert args.preset == "storm"
+        assert args.live is False
+        assert parser.parse_args(["chaos", "--live"]).live is True
         with pytest.raises(SystemExit):
             parser.parse_args(["chaos", "--preset", "nope"])
+
+
+class TestTraceValidate:
+    def test_validate_good_and_bad_files(self, tmp_path, capsys):
+        good = tmp_path / "good.jsonl"
+        good.write_text(
+            '{"schema": 1, "kind": 1, "node": 0, "round": 1, "seq": 0, '
+            '"data": {"delta": 0}}\n'
+        )
+        assert main(["trace", "--validate", str(good)]) == 0
+        assert "1 schema-valid" in capsys.readouterr().out
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": 1}\n')
+        assert main(["trace", "--validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+        assert main(["trace", "--validate", str(tmp_path / "missing")]) == 1
+
+
+class TestTopCommand:
+    def test_top_once_renders_headless(self, capsys):
+        assert main(["top", "--rounds", "8", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "rebound top [smoke]" in out
+        assert "round 8/8" in out
+        assert "nodes:" in out
+        assert "\x1b[" not in out  # headless frame carries no ANSI codes
+
+    def test_top_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["top", "--preset", "nope"])
+
+
+class TestBenchDiffCommand:
+    def _write(self, path, run_s, cpu=1):
+        import json
+
+        path.write_text(json.dumps({
+            "benchmark": "scale",
+            "env": {"cpu_count": cpu, "platform": "linux",
+                    "implementation": "CPython"},
+            "sweeps": [{"n": 200, "sharded_run_s": run_s}],
+        }))
+
+    def test_regression_warns_by_default_gates_with_strict(
+        self, tmp_path, capsys
+    ):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        self._write(base, 1.0)
+        self._write(cur, 2.0)
+        assert main(["bench-diff", "--baseline", str(base),
+                     "--current", str(cur)]) == 0
+        out = capsys.readouterr().out
+        assert "SLOWER" in out and "1 regression" in out
+        assert main(["bench-diff", "--baseline", str(base),
+                     "--current", str(cur), "--strict"]) == 1
+
+    def test_skips_on_cpu_count_mismatch(self, tmp_path, capsys):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        self._write(base, 1.0, cpu=8)
+        self._write(cur, 50.0, cpu=1)
+        assert main(["bench-diff", "--baseline", str(base),
+                     "--current", str(cur), "--strict"]) == 0
+        assert "SKIPPED" in capsys.readouterr().out
+
+    def test_within_threshold_passes_strict(self, tmp_path):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        self._write(base, 1.0)
+        self._write(cur, 1.3)
+        assert main(["bench-diff", "--baseline", str(base),
+                     "--current", str(cur), "--strict"]) == 0

@@ -159,11 +159,22 @@ class TestExports:
         assert count == len(events)
         phases = {e["ph"] for e in events}
         assert {"M", "i", "X"} <= phases
-        # One process-name metadata entry per node seen in the trace.
-        names = [e for e in events if e["ph"] == "M"]
-        assert {e["args"]["name"] for e in names} == {
-            f"node {n}" for n in sorted({ev.node for ev in recorder.events()})
+        # One process-name metadata entry per node seen in the trace, plus
+        # named thread rows (protocol/mode/recovery) for each node.
+        trace_nodes = sorted({ev.node for ev in recorder.events()})
+        process_names = [
+            e for e in events if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert {e["args"]["name"] for e in process_names} == {
+            f"node {n}" for n in trace_nodes
         }
+        thread_names = [
+            e for e in events if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert {e["args"]["name"] for e in thread_names} == {
+            "protocol", "mode", "recovery"
+        }
+        assert {e["pid"] for e in thread_names} == set(trace_nodes)
         # Instants are named from the schema and ordered timestamps exist.
         instants = [e for e in events if e["ph"] == "i"]
         assert all(e["name"] in EVENT_NAMES.values() for e in instants)
@@ -178,6 +189,45 @@ class TestExports:
         assert len(tail) == 5
         json.dumps(tail)  # must not raise
         assert recorder.tail(0) == []
+
+
+class TestSchemaVersioning:
+    def _record(self, **overrides):
+        record = {
+            "schema": 1, "kind": EV_HEARTBEAT_SEND, "name": "heartbeat-send",
+            "node": 0, "round": 1, "seq": 0, "data": {"delta": 0},
+        }
+        record.update(overrides)
+        return record
+
+    def test_valid_record_passes(self):
+        validate_record(self._record())
+
+    def test_missing_schema_rejected(self):
+        record = self._record()
+        del record["schema"]
+        with pytest.raises(ValueError, match="no schema version"):
+            validate_record(record)
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="unsupported event schema"):
+            validate_record(self._record(schema=99))
+
+    def test_validate_jsonl_rejects_unversioned_file(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        record = self._record()
+        del record["schema"]
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ValueError, match="no schema version"):
+            validate_jsonl(str(path))
+
+    def test_exported_records_carry_current_schema(self, tmp_path):
+        _, recorder = _run_system(record=True)
+        path = tmp_path / "trace.jsonl"
+        recorder.export_jsonl(str(path))
+        with open(path) as fh:
+            first = json.loads(fh.readline())
+        assert first["schema"] == 1
 
 
 class TestMonitorIntegration:
