@@ -26,6 +26,14 @@ from repro.chaos.impairments import (
     LinkFlap,
     Partition,
 )
+from repro.chaos.corruption import (
+    CORRUPTIONS,
+    EpochDesync,
+    EvidenceBitFlip,
+    ModePointerScramble,
+    QuotaLedgerCorrupt,
+    TransientCorruption,
+)
 from repro.chaos.monitor import (
     AccuracyViolation,
     BTRMonitor,
@@ -33,6 +41,7 @@ from repro.chaos.monitor import (
     InvariantViolation,
     MemoryBoundViolation,
     RecoveryTimeoutViolation,
+    StabilizationViolation,
     StructuralViolation,
 )
 from repro.chaos.restart import CrashRestartBehavior, LogTamperBehavior
@@ -57,12 +66,19 @@ __all__ = [
     "ImpairmentStats",
     "LinkFlap",
     "Partition",
+    "CORRUPTIONS",
+    "EpochDesync",
+    "EvidenceBitFlip",
+    "ModePointerScramble",
+    "QuotaLedgerCorrupt",
+    "TransientCorruption",
     "AccuracyViolation",
     "BTRMonitor",
     "DetectionTimeoutViolation",
     "InvariantViolation",
     "MemoryBoundViolation",
     "RecoveryTimeoutViolation",
+    "StabilizationViolation",
     "StructuralViolation",
     "CrashRestartBehavior",
     "LogTamperBehavior",

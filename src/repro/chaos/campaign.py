@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.chaos.corruption import CORRUPTIONS
 from repro.chaos.impairments import (
     IN_BUDGET,
     ChaosRoundNetwork,
@@ -111,6 +112,89 @@ class BehaviorSpec:
     #: the behavior corrupts the durable log; passing requires the restore
     #: path to report at least one tamper detection.
     expect_tamper: bool = False
+    #: scripted churn arc: ``seed -> [(round_no, fn(system, victim)), ...]``.
+    #: Arc cells run with stabilization + online tree refresh enabled on the
+    #: serial engine (the arcs poke node internals mid-run).
+    arc: Optional[Callable[[int], List[Tuple[int, Callable[..., Any]]]]] = None
+    #: every transient corruption the arc injects must be detected by the
+    #: auditor and resolved within the Req-S convergence bound.
+    expect_converge: bool = False
+    #: the arc drifts past fmax; passing requires at least one online
+    #: subtree refresh and every correct node still holding a schedule.
+    expect_refresh: bool = False
+
+
+# -- churn arcs (PROTOCOL.md §16.5) --------------------------------------------
+#
+# Scripted multi-event timelines for the ``churn`` preset: transient
+# corruption storms, compromise/bless/re-compromise cycles, and >fmax
+# drift.  Each factory takes the cell seed and returns a sorted list of
+# ``(round_no, action)``; ``run_cell`` fires each action once the system
+# reaches that round.
+
+
+def _crash_filler(system, victim):
+    """Crash one non-victim controller so the evidence store is non-empty
+    when a corruption lands (flipping a bit in an empty store is a no-op)."""
+    target = max(
+        c for c in system.topology.controllers
+        if c != victim and c not in system.true_faulty_nodes
+    )
+    system.inject_now(target, adv.CrashBehavior())
+
+
+def _arc_corrupt(kind: str):
+    """One in-budget crash for evidence, then one transient corruption of
+    the (still correct) victim four rounds later."""
+    def build(seed: int):
+        def corrupt(system, victim):
+            system.corrupt_now(victim, CORRUPTIONS[kind](seed=seed))
+        return [(IMPAIR_START, _crash_filler), (IMPAIR_START + 4, corrupt)]
+    return build
+
+
+def _arc_corruption_storm(seed: int):
+    """Every corruption kind in sequence, across rotating correct victims."""
+    actions: List[Tuple[int, Callable[..., Any]]] = [
+        (IMPAIR_START, _crash_filler)
+    ]
+    for i, kind in enumerate(sorted(CORRUPTIONS)):
+        def corrupt(system, victim, _kind=kind, _i=i):
+            correct = sorted(system.correct_controllers())
+            target = correct[(seed + _i) % len(correct)]
+            system.corrupt_now(target, CORRUPTIONS[_kind](seed=seed + _i))
+        actions.append((IMPAIR_START + 4 + 2 * i, corrupt))
+    return actions
+
+
+def _arc_cycle(seed: int):
+    """Compromise -> operator repair+bless -> re-compromise -> repair."""
+    def compromise(system, victim):
+        system.inject_now(victim, adv.EquivocateBehavior())
+
+    def bless(system, victim):
+        system.repair_and_bless(victim)
+
+    return [
+        (IMPAIR_START, compromise),
+        (IMPAIR_START + 8, bless),
+        (IMPAIR_START + 16, compromise),
+        (IMPAIR_START + 24, bless),
+    ]
+
+
+def _arc_drift(seed: int):
+    """Crash fmax+1 distinct controllers: the observed pattern overflows
+    the precomputed tree, forcing an online subtree refresh (no halt)."""
+    actions: List[Tuple[int, Callable[..., Any]]] = []
+    for i in range(FMAX + 1):
+        def crash(system, victim, _i=i):
+            correct = sorted(system.correct_controllers())
+            system.inject_now(
+                correct[(seed + _i) % len(correct)], adv.CrashBehavior()
+            )
+        actions.append((IMPAIR_START + 2 * i, crash))
+    return actions
 
 
 BEHAVIORS: Dict[str, BehaviorSpec] = {
@@ -158,6 +242,35 @@ BEHAVIORS: Dict[str, BehaviorSpec] = {
             "tamper-splice",
             lambda: LogTamperBehavior(mode="splice", down_rounds=3),
             1, True, durability=True, expect_tamper=True,
+        ),
+        # Churn arcs (the ``churn`` preset): stabilization + online tree
+        # refresh enabled, serial engine.  The corruption arcs spend one
+        # budget unit on a crash that seeds the evidence store; the drift
+        # arc deliberately overspends the budget.
+        BehaviorSpec(
+            "corrupt-evidence", None, 1, True,
+            arc=_arc_corrupt("evidence-bitflip"), expect_converge=True,
+        ),
+        BehaviorSpec(
+            "corrupt-epoch", None, 1, True,
+            arc=_arc_corrupt("epoch-desync"), expect_converge=True,
+        ),
+        BehaviorSpec(
+            "corrupt-mode", None, 1, True,
+            arc=_arc_corrupt("mode-scramble"), expect_converge=True,
+        ),
+        BehaviorSpec(
+            "corrupt-quota", None, 1, True,
+            arc=_arc_corrupt("quota-corrupt"), expect_converge=True,
+        ),
+        BehaviorSpec(
+            "corruption-storm", None, 1, True,
+            arc=_arc_corruption_storm, expect_converge=True,
+        ),
+        BehaviorSpec("bless-cycle", None, 1, True, arc=_arc_cycle),
+        BehaviorSpec(
+            "drift-overflow", None, FMAX + 1, True,
+            arc=_arc_drift, expect_refresh=True,
         ),
     ]
 }
@@ -407,11 +520,40 @@ def restart_cells() -> List[CampaignCell]:
     return cells
 
 
+def churn_cells() -> List[CampaignCell]:
+    """The self-stabilization matrix (PROTOCOL.md §16.5): every transient
+    corruption kind (plus a rotating-victim storm of all of them), the
+    compromise -> bless -> re-compromise lifecycle, and >fmax drift cells
+    whose observed pattern falls outside the precomputed tree -- those
+    must refresh the affected subtree online, never halt.  Corruption
+    cells are judged against the Req-S convergence bound; drift cells
+    additionally report ``time_to_new_tree_s``."""
+    rounds = 44
+    cells: List[CampaignCell] = []
+    for behavior in (
+        "corrupt-evidence", "corrupt-epoch", "corrupt-mode", "corrupt-quota"
+    ):
+        for seed in (0, 1):
+            cells.append(CampaignCell("er6", behavior, "none", seed, rounds=rounds))
+    cells.append(
+        CampaignCell("er6", "corruption-storm", "none", 0, rounds=rounds + 8)
+    )
+    cells.append(CampaignCell("er6", "bless-cycle", "none", 0, rounds=rounds + 8))
+    cells.append(CampaignCell("er6", "corrupt-evidence", "dup", 0, rounds=rounds))
+    cells.append(CampaignCell("grid4x5", "corrupt-epoch", "none", 0, rounds=rounds))
+    for seed in (0, 1):
+        cells.append(
+            CampaignCell("er6", "drift-overflow", "none", seed, rounds=rounds)
+        )
+    return cells
+
+
 PRESETS: Dict[str, Callable[[], List[CampaignCell]]] = {
     "smoke": smoke_cells,
     "full": full_cells,
     "storm": storm_cells,
     "restart": restart_cells,
+    "churn": churn_cells,
 }
 
 
@@ -438,9 +580,11 @@ def run_cell(cell: CampaignCell, workers: Optional[int] = None) -> Dict[str, Any
     topology, workload = TOPOLOGIES[cell.topology](cell.seed)
     victim = (
         topology.controllers[cell.seed % len(topology.controllers)]
-        if spec.factory is not None
+        if spec.factory is not None or spec.arc is not None
         else None
     )
+    if spec.arc is not None:
+        workers = 0  # arcs poke node internals mid-run; keep them resident
     plan = cell.plan_override
     if plan is None:
         plan = PLANS[cell.plan](topology, cell.seed, victim)
@@ -485,6 +629,12 @@ def run_cell(cell: CampaignCell, workers: Optional[int] = None) -> Dict[str, Any
     durability_dir = None
     try:
         config_kwargs: Dict[str, Any] = {}
+        if spec.arc is not None:
+            config_kwargs.update(
+                stabilize_enabled=True,
+                audit_interval=4,
+                tree_refresh_enabled=True,
+            )
         if spec.durability:
             durability_dir = tempfile.mkdtemp(prefix="rebound-durable-")
             config_kwargs = {
@@ -508,7 +658,12 @@ def run_cell(cell: CampaignCell, workers: Optional[int] = None) -> Dict[str, Any
         result["workers"] = system.scale_workers
         system.run(WARMUP_ROUNDS)
         system.attach_monitor(monitor)
-        if spec.factory is not None:
+        if spec.arc is not None:
+            for rnd, action in sorted(spec.arc(cell.seed), key=lambda a: a[0]):
+                while system.round_no < min(rnd, cell.rounds):
+                    system.run_round()
+                action(system, victim)
+        elif spec.factory is not None:
             system.run(IMPAIR_START - WARMUP_ROUNDS - 1)
             system.inject_now(victim, spec.factory())
         remaining = cell.rounds - (system.round_no - 0)
@@ -570,6 +725,61 @@ def run_cell(cell: CampaignCell, workers: Optional[int] = None) -> Dict[str, Any
         if result.get("tamper_detections", 0) < 1:
             result["outcome"] = "fail"
             result["fail_reason"] = "log tamper not detected on restore"
+    if spec.arc is not None:
+        from repro.stabilize.auditor import convergence_bound
+
+        bound = convergence_bound(
+            system.config.audit_interval, system.config.d_max
+        )
+        divergences = [
+            dict(record)
+            for aud in system.auditors.values()
+            for record in aud.divergences
+        ]
+        result["convergence_bound"] = bound
+        result["corruptions"] = list(system.transient_corruptions)
+        result["divergences"] = divergences
+        result["tree_refreshes"] = list(system.tree_refreshes)
+    if spec.expect_converge and result["outcome"] == "pass":
+        # Req-S: within the convergence bound of each corruption landing,
+        # the victim's auditor must report a *clean* tick -- either the
+        # resync repaired the damage or fresh protocol traffic overwrote
+        # it naturally before the tick (equally valid convergence).
+        laggards = []
+        for corruption in system.transient_corruptions:
+            audits = system.auditors[corruption["node"]].audits
+            converged = any(
+                corruption["round"] < tick <= corruption["round"] + bound
+                and not outstanding
+                for tick, outstanding in audits
+            )
+            if not converged:
+                laggards.append(corruption)
+        if laggards:
+            result["outcome"] = "fail"
+            result["fail_reason"] = (
+                f"{len(laggards)} corruption(s) not converged within "
+                f"{bound} rounds"
+            )
+            result["laggards"] = laggards
+    if spec.expect_refresh and result["outcome"] == "pass":
+        refreshes = result.get("tree_refreshes", [])
+        holes = [
+            n for n in system.correct_controllers()
+            if system.nodes[n].current_schedule is None
+        ]
+        if not refreshes:
+            result["outcome"] = "fail"
+            result["fail_reason"] = "no online tree refresh for >fmax drift"
+        elif holes:
+            result["outcome"] = "fail"
+            result["fail_reason"] = (
+                f"correct node(s) {holes} left without a schedule"
+            )
+        else:
+            result["time_to_new_tree_s"] = max(
+                r["elapsed_s"] for r in refreshes
+            )
     return result
 
 

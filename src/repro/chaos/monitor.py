@@ -79,6 +79,13 @@ class StructuralViolation(InvariantViolation):
     kind = "structural"
 
 
+class StabilizationViolation(InvariantViolation):
+    """Req-S: a divergence the state auditor detected stayed unresolved
+    past the documented convergence bound (PROTOCOL.md §16.3)."""
+
+    kind = "stabilization"
+
+
 class MemoryBoundViolation(InvariantViolation):
     """A correct node's adversary-growable state exceeded its admission
     cap (evidence store, heartbeat store, Rule B suspicions, or pending
@@ -132,8 +139,14 @@ class BTRMonitor:
         self.recovery_round: Optional[int] = None
         self._event_count = 0
         self._cycle_converged: Optional[int] = None
-        #: node -> latest durable-restart round (grace window for Req. 3).
-        self._restarts: Dict[int, int] = {}
+        #: node -> latest grace-opening round (durable restart or auditor
+        #: resync); Req. 3 inference checks excuse condemnations of these
+        #: nodes for ``d_max + 2`` rounds (see :meth:`note_grace`).
+        self._graces: Dict[int, int] = {}
+        #: node -> first round its mode/lookup went inconsistent (armed
+        #: only while stabilization is on; see _check_structural_lookup).
+        self._lookup_bad_since: Dict[int, int] = {}
+        self._open_divergences = 0
 
     # -- plumbing ------------------------------------------------------------
 
@@ -193,7 +206,50 @@ class BTRMonitor:
         element = ("restart", (node_id, round_no))
         self._activations[element] = round_no
         self._reported.add(("detected", element))
-        self._restarts[node_id] = round_no
+        self.note_grace(node_id, round_no)
+
+    def note_repair(self, node_id: int, round_no: int) -> None:
+        """Operator repair+bless accounting (``repair_and_bless``).
+
+        The repair is a fresh, pre-detected fault event: re-admission of
+        the repaired node must converge within ``r_max`` like any other
+        recovery.  Forgetting the node in ``_known_faulty`` lets a later
+        *re*-compromise of the same node register as its own activation
+        (the compromise/bless/re-compromise churn cycle), and the shared
+        grace window excuses peers that still hold unabsolved accusations
+        while the blessing floods."""
+        element = ("repair", (node_id, round_no))
+        self._activations[element] = round_no
+        self._reported.add(("detected", element))
+        self._known_faulty.discard(node_id)
+        self.note_grace(node_id, round_no)
+
+    def note_grace(self, node_id: int, round_no: int) -> None:
+        """Open the shared accusation-grace window for ``node_id``.
+
+        Used by both rejoin paths: a durable crash-restart-rejoin
+        (:meth:`note_restart`) and a state-auditor resync
+        (:meth:`note_resync`).  In both, the node's pre-event evidence
+        legitimately keeps condemning it until its fresh state floods (at
+        most ``d_max`` rounds, plus the Rule-A suspension), so Req. 3
+        inference checks excuse it for ``d_max + 2`` rounds."""
+        self._graces[node_id] = round_no
+
+    def note_resync(self, node_id: int, round_no: int) -> None:
+        """A state auditor resynced ``node_id`` (PROTOCOL.md §16.4).
+
+        Unlike a restart this is *not* a new fault activation -- the node
+        never left the network and no Req. 2 window reopens; it only
+        borrows the shared grace window so Rule B coverage checks do not
+        condemn a node mid-resync."""
+        self.note_grace(node_id, round_no)
+
+    def _in_grace(self, system, d_max: int) -> Set[int]:
+        return {
+            node
+            for node, opened in self._graces.items()
+            if system.round_no <= opened + d_max + 2
+        }
 
     def _env_faulted_nodes(self, system) -> Set[int]:
         stats = getattr(system.network, "chaos_stats", None)
@@ -223,6 +279,7 @@ class BTRMonitor:
         self._check_hard_accuracy(system, correct)
         self._check_structural_lookup(system, correct)
         self._check_memory_bounds(system, correct)
+        self._check_stabilization(system, correct)
         if not self.in_budget:
             return
         self._check_inference_accuracy(system, correct)
@@ -231,11 +288,16 @@ class BTRMonitor:
             self._check_detection(system, correct, d_max)
         self._check_recovery(system, correct, r_max)
 
-    # Req. 3, hard layer: PoMs never accuse a correct node.
+    # Req. 3, hard layer: PoMs never accuse a correct node.  A node the
+    # operator just repaired gets the shared grace window: until its
+    # blessing floods (at most d_max rounds), peers legitimately still
+    # hold unabsolved PoMs from the compromise that was just repaired.
     def _check_hard_accuracy(self, system, correct: Set[int]) -> None:
+        d_max, _ = self._resolve_bounds(system)
+        in_grace = self._in_grace(system, d_max)
         for node_id in correct:
             accused = system.nodes[node_id].forwarding.evidence.accused_nodes()
-            bad = accused & correct
+            bad = accused & correct - in_grace
             if bad:
                 self._emit(
                     AccuracyViolation(
@@ -253,11 +315,7 @@ class BTRMonitor:
     # legitimately still condemn it from pre-restart evidence.
     def _check_inference_accuracy(self, system, correct: Set[int]) -> None:
         d_max, _ = self._resolve_bounds(system)
-        in_grace = {
-            node
-            for node, restarted in self._restarts.items()
-            if system.round_no <= restarted + d_max + 2
-        }
+        in_grace = self._in_grace(system, d_max)
         for node_id in correct:
             pattern = system.nodes[node_id].fault_pattern
             bad = pattern.nodes & correct - in_grace
@@ -327,9 +385,27 @@ class BTRMonitor:
             return
         r = system.round_no
         last_event = max(self._activations.values())
-        if self._event_count != len(self._activations):
+        deadline = last_event + r_max
+        # A transient corruption is a fault event for recovery-cycle
+        # purposes: the victim's mode pointer may legitimately diverge
+        # until the audit tick repairs it, so its cycle runs on the Req-S
+        # convergence bound rather than r_max.
+        corruptions = getattr(system, "transient_corruptions", ())
+        if corruptions:
+            from repro.stabilize.auditor import convergence_bound
+
+            last_corrupt = max(c["round"] for c in corruptions)
+            last_event = max(last_event, last_corrupt)
+            deadline = max(
+                deadline,
+                last_corrupt
+                + convergence_bound(
+                    system.config.audit_interval, system.config.d_max
+                ),
+            )
+        if self._event_count != len(self._activations) + len(corruptions):
             # A new fault event opens a fresh convergence cycle.
-            self._event_count = len(self._activations)
+            self._event_count = len(self._activations) + len(corruptions)
             self._cycle_converged = None
         agreed = system.schedules_agree()
         detected_all = (not self.require_detection) or all(
@@ -351,7 +427,7 @@ class BTRMonitor:
                 self.recovery_round = r
             if self._cycle_converged is None:
                 self._cycle_converged = r
-        if r <= last_event + r_max or recovered:
+        if r <= deadline or recovered:
             return
         if self._cycle_converged is not None:
             self._emit(
@@ -435,19 +511,76 @@ class BTRMonitor:
                     )
 
     # Structural: each node's mode is exactly its evidence's mode-tree answer.
+    # With stabilization on, a transiently corrupted mode pointer is exactly
+    # what the auditor exists to fix, so the violation only fires if the
+    # inconsistency outlives the Req-S convergence bound; with stabilization
+    # off the bound is zero and the check keeps its original semantics.
     def _check_structural_lookup(self, system, correct: Set[int]) -> None:
+        grace = 0
+        if getattr(system.config, "stabilize_enabled", False):
+            from repro.stabilize.auditor import convergence_bound
+
+            grace = convergence_bound(
+                system.config.audit_interval, system.config.d_max
+            )
+        r = system.round_no
         for node_id in correct:
             node = system.nodes[node_id]
             expected = system.mode_tree.schedule_for(node.fault_pattern)
-            if node.current_schedule != expected:
+            if node.current_schedule == expected:
+                self._lookup_bad_since.pop(node_id, None)
+                continue
+            first_bad = self._lookup_bad_since.setdefault(node_id, r)
+            if r - first_bad < grace:
+                continue
+            self._emit(
+                StructuralViolation(
+                    f"node {node_id} runs a mode inconsistent with its "
+                    f"own evidence (pattern {node.fault_pattern})",
+                    self._repro(system, observer=node_id),
+                ),
+                ("lookup", node_id),
+            )
+
+    # Req-S: every divergence the state auditor detects resolves within the
+    # documented convergence bound.  Armed whenever auditors run (in- and
+    # out-of-budget alike: self-stabilization, like hard accuracy, must
+    # survive any environment).
+    def _check_stabilization(self, system, correct: Set[int]) -> None:
+        auditors = getattr(system, "auditors", None)
+        if not auditors:
+            self._open_divergences = 0
+            return
+        from repro.stabilize.auditor import convergence_bound
+
+        bound = convergence_bound(
+            system.config.audit_interval, system.config.d_max
+        )
+        r = system.round_no
+        open_count = 0
+        for node_id, auditor in sorted(auditors.items()):
+            for record in auditor.divergences:
+                if record["resolved_round"] is not None:
+                    continue
+                open_count += 1
+                if node_id not in correct:
+                    continue  # a since-compromised node is the budget's problem
+                if r - record["detected_round"] <= bound:
+                    continue
                 self._emit(
-                    StructuralViolation(
-                        f"node {node_id} runs a mode inconsistent with its "
-                        f"own evidence (pattern {node.fault_pattern})",
-                        self._repro(system, observer=node_id),
+                    StabilizationViolation(
+                        f"node {node_id} diverged at round "
+                        f"{record['detected_round']} "
+                        f"({', '.join(record['issues'])}) and is still not "
+                        f"quorum-consistent at round {r} (bound {bound})",
+                        self._repro(system, observer=node_id,
+                                    detected=record["detected_round"],
+                                    issues=list(record["issues"]),
+                                    bound=bound),
                     ),
-                    ("lookup", node_id),
+                    ("stabilization", (node_id, record["detected_round"])),
                 )
+        self._open_divergences = open_count
 
     # -- reporting -------------------------------------------------------------
 
@@ -486,6 +619,7 @@ class BTRMonitor:
             "violations": float(len(self.violations)),
             "detection_round": float(-1 if detection is None else detection),
             "recovery_round": float(-1 if recovery is None else recovery),
+            "open_divergences": float(self._open_divergences),
         }
 
     def census(self) -> Dict[str, int]:

@@ -14,7 +14,7 @@ Usage::
     python -m repro bench-fastpath [--rounds 30] [--out BENCH_fastpath.json]
     python -m repro bench-modegen [--workers 2] [--quick] [--out BENCH_modegen.json]
     python -m repro bench-scale [--smoke] [--workers 4] [--out BENCH_scale.json]
-    python -m repro chaos [--preset smoke|full|storm|restart] [--seeds 0,1] [--workers 2] [--out BENCH_chaos.json]
+    python -m repro chaos [--preset smoke|full|storm|restart|churn] [--seeds 0,1] [--workers 2] [--out BENCH_chaos.json]
     python -m repro bench-durability [--rounds 24] [--out BENCH_durability.json]
     python -m repro trace [--preset smoke|equivocation-gap] [--rounds 30]
     python -m repro trace --validate TRACE_smoke.jsonl
@@ -144,7 +144,13 @@ def cmd_bench_modegen(args) -> int:
     result = bench_modegen.main(
         output_path=args.out, workers=args.workers, quick=args.quick
     )
-    ok = result["all_parallel_identical"] and result["all_flow_sets_match_seed"]
+    refresh = result["time_to_new_tree"]
+    ok = (
+        result["all_parallel_identical"]
+        and result["all_flow_sets_match_seed"]
+        and refresh["all_identical_to_scratch"]
+        and refresh["all_parallel_identical"]
+    )
     if not args.quick:
         # Tiny smoke cells are dominated by pool startup; the speedup gate
         # only applies to the full sweep.
@@ -385,7 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
         "under the BTR invariant monitor (writes BENCH_chaos.json)",
     )
     chaos.add_argument(
-        "--preset", choices=["smoke", "full", "storm", "restart"],
+        "--preset", choices=["smoke", "full", "storm", "restart", "churn"],
         default="smoke",
         help="cell matrix (smoke is CI-sized, <60s; storm stresses the "
         "evidence layer: equivocation + floods with memory-bound checks; "

@@ -81,6 +81,26 @@ class ReboundConfig:
         snapshot_interval: rounds between consistent snapshots of the
             evidence store, heartbeat/coverage stores, quota ledger, and
             mode pointer.
+        stabilize_enabled: run a periodic :class:`~repro.stabilize.StateAuditor`
+            on every node -- each ``audit_interval`` rounds the auditor
+            digests local state (evidence root, epoch digest cache, mode
+            pointer, quota ledger) into an audit beacon, cross-checks it
+            against quorum evidence, and on divergence resyncs the node
+            from a quorum reference plus the durable verified prefix
+            (when durability is on).  Off by default; with no corruption
+            the audit pass is observation-only, so transcripts are
+            byte-identical either way.
+        audit_interval: rounds between state audits.  Together with
+            ``d_max`` it fixes the self-stabilization convergence bound
+            ``2 * audit_interval + d_max + 2`` asserted by the monitor's
+            Req-S check (docs/PROTOCOL.md section 16).
+        tree_refresh_enabled: when the observed failure pattern drifts
+            beyond the precomputed mode tree (> fmax), regenerate the
+            affected subtree online via the parallel modegen engine
+            instead of sitting in the covering-ancestor holding mode
+            forever.  Off by default (holding mode is still safe -- this
+            flag only adds the refresh); byte-identical transcripts when
+            the pattern never leaves the tree.
     """
 
     fmax: int = 1
@@ -106,6 +126,9 @@ class ReboundConfig:
     durability_enabled: bool = False
     durability_dir: Optional[str] = None
     snapshot_interval: int = 8
+    stabilize_enabled: bool = False
+    audit_interval: int = 4
+    tree_refresh_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.fmax < 0 or self.fconc < 0:
@@ -122,6 +145,8 @@ class ReboundConfig:
             raise ValueError("snapshot interval must be positive")
         if self.durability_enabled and not self.durability_dir:
             raise ValueError("durability_enabled requires durability_dir")
+        if self.audit_interval <= 0:
+            raise ValueError("audit interval must be positive")
 
     @property
     def round_length_ms(self) -> float:

@@ -492,6 +492,24 @@ class EvidenceSet:
         self._digest_cache = None
         return True
 
+    def dominated(self, item: EvidenceItem) -> bool:
+        """Would :meth:`add` refuse this item as bucket-dominated?
+
+        A bounded store keeps only the rank extremes per bucket, so two
+        same-policy stores fed different item orders can legitimately
+        disagree on mid-rank members; the state auditor treats a dominated
+        item as covered rather than as divergence."""
+        if not self._bounded:
+            return False
+        bucket = self._bucket_of(item)
+        if bucket is None:
+            return False
+        members = self._buckets.get(bucket, [])
+        if len(members) < _BUCKET_KEEP:
+            return False
+        rank = ((_accusation_round_of(item) or 0), evidence_digest(item))
+        return min(members)[0] <= rank <= max(members)[0]
+
     def merge(self, other: "EvidenceSet") -> List[EvidenceItem]:
         """Union in ``other``; returns the newly added items."""
         if self._bounded:
@@ -516,6 +534,46 @@ class EvidenceSet:
         if self._digest_cache is None:
             self._digest_cache = hash_bytes(*sorted(self._items))
         return self._digest_cache
+
+    # -- self-stabilization hooks (docs/PROTOCOL.md section 16) ------------------
+    #
+    # The store indexes items by content digest, which makes arbitrary
+    # in-RAM corruption *detectable by construction*: a flipped key no
+    # longer matches its item's canonical digest, and a flipped digest memo
+    # no longer matches the keys.  The StateAuditor leans on these checks.
+
+    def corrupted_keys(self) -> List[bytes]:
+        """Stored digests that do not match their item's canonical digest."""
+        return [
+            stored
+            for stored, item in self._items.items()
+            if evidence_digest(item) != stored
+        ]
+
+    def digest_cache_coherent(self) -> bool:
+        """True iff the memoized set digest (if any) matches the stored keys."""
+        return self._digest_cache is None or self._digest_cache == hash_bytes(
+            *sorted(self._items)
+        )
+
+    def repair(self) -> int:
+        """Re-key items stored under a corrupted digest and invalidate the
+        digest memo; returns the number of repaired entries.  A key flip
+        leaves the item object intact, so repair is lossless."""
+        bad = self.corrupted_keys()
+        for stored in bad:
+            item = self._items.pop(stored)
+            self._items.setdefault(evidence_digest(item), item)
+        if bad and self._bounded:
+            self._buckets = {}
+            for digest, item in self._items.items():
+                bucket = self._bucket_of(item)
+                if bucket is not None:
+                    rank = ((_accusation_round_of(item) or 0), digest)
+                    self._buckets.setdefault(bucket, []).append((rank, digest))
+        if bad or not self.digest_cache_coherent():
+            self._digest_cache = None
+        return len(bad)
 
     def serialized_size(self) -> int:
         return len(encode(self.items()))

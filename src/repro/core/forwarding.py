@@ -502,6 +502,14 @@ class ForwardingLayer:
                         for link, rnd in self._lfds_issued.items()
                         if item.node_id not in link
                     }
+                    # A blessing absolves accusations up to as_of_round.  A
+                    # coverage suspicion raised in that window would mature
+                    # into a *post*-blessing LFD the blessing cannot absolve,
+                    # permanently re-condemning the repaired node -- drop it
+                    # the same way an explaining pattern entry would.
+                    pending = self._pending_rule_b.get(item.node_id)
+                    if pending is not None and pending[0] <= item.as_of_round:
+                        del self._pending_rule_b[item.node_id]
         if added:
             self.last_evidence_change = self._round
             self._new_evidence_outbox.extend(added)

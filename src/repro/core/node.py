@@ -169,6 +169,14 @@ class ReboundNode(NodeProtocol):
                 round_no=round_no,
             )
 
+    def readopt_mode(self, round_no: int) -> None:
+        """Force a fresh mode lookup and adoption for the current fault
+        pattern, bypassing the no-change fast path.  Used after a state
+        resync or an online tree refresh, where the cached pointer itself
+        is what is being repaired."""
+        self.current_schedule = None
+        self._adopt_mode(self.forwarding.fault_pattern, round_no)
+
     # -- layer callbacks -----------------------------------------------------------
 
     def _verify_multisig_record(

@@ -149,6 +149,47 @@ class AdmissionQuotas:
         _quota_stats["dropped"] += 1
         return False, first
 
+    # -- self-stabilization hooks (docs/PROTOCOL.md section 16) ------------------
+
+    def ledger_issues(self, controllers) -> list:
+        """Internal-consistency violations of this ledger, as short tags.
+
+        Every field is recomputable from (n, d_max, topology) or bounded by
+        construction, so a transiently corrupted ledger is detectable
+        without any cross-node traffic."""
+        issues = []
+        expected = {
+            "records": record_quota(self.n, self.d_max),
+            "aggregates": aggregate_quota(self.d_max),
+            "evidence": evidence_item_cap(self.n, self.d_max),
+        }
+        if self.caps != expected:
+            issues.append("caps")
+        if self.total_charged < 0 or self.total_dropped < 0:
+            issues.append("counters")
+        if not self.suspects <= set(controllers):
+            issues.append("suspects")
+        if any(used < 0 for used in self._used.values()):
+            issues.append("used")
+        return issues
+
+    def reset_ledger(self, controllers) -> None:
+        """Rebuild every derivable field in place, keeping only the
+        plausible part of the suspect set (suspicion is local state that
+        cannot be recovered from quorum; dropping it only restores budget
+        to senders, which is safe)."""
+        self.caps = {
+            "records": record_quota(self.n, self.d_max),
+            "aggregates": aggregate_quota(self.d_max),
+            "evidence": evidence_item_cap(self.n, self.d_max),
+        }
+        self.suspects &= set(controllers)
+        self.total_charged = max(0, self.total_charged)
+        self.total_dropped = max(0, self.total_dropped)
+        self._used = {}
+        self._dropped = set()
+        self._refresh_favored()
+
 
 _quota_stats: Dict[str, int] = {"charged": 0, "dropped": 0}
 

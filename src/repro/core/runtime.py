@@ -10,6 +10,7 @@ actuator traces.
 
 from __future__ import annotations
 
+import time
 from collections import Counter as CollectionsCounter
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
@@ -25,7 +26,11 @@ from repro.net.network import RoundNetwork
 from repro.net.shard import ShardedRoundEngine, resolve_workers
 from repro.net.topology import Topology
 from repro.obs import recorder as _flight
-from repro.obs.events import EV_FAULT_INJECTED, EV_PERSIST_RESTORE
+from repro.obs.events import (
+    EV_FAULT_INJECTED,
+    EV_PERSIST_RESTORE,
+    EV_TREE_REFRESH,
+)
 from repro.sched.modegen import FailureScenario, ModeTree, ModeTreeGenerator
 from repro.sched.task import Workload
 
@@ -90,6 +95,7 @@ class ReboundSystem:
         for node in topology.nodes:
             self.directory.register(node)
 
+        self._modegen: Optional[ModeTreeGenerator] = None
         if mode_tree is None:
             generator = ModeTreeGenerator(
                 topology,
@@ -101,6 +107,7 @@ class ReboundSystem:
                 pinned_primaries=pin_primaries,
             )
             mode_tree = generator.generate()
+            self._modegen = generator
         self.mode_tree = mode_tree
         self.path_cache = PathCache(PathComputer(topology, workload, config.fconc))
 
@@ -181,6 +188,19 @@ class ReboundSystem:
         self.scale_workers = resolve_workers(scale_workers)
         self._parent_pinned: Set[int] = set(parent_resident or ())
         self._engine: Optional[ShardedRoundEngine] = None
+        #: Ground truth of applied transient corruptions (corrupt_now).
+        self.transient_corruptions: List[Dict] = []
+        #: One dict per online subtree regeneration (_maybe_refresh_tree).
+        self.tree_refreshes: List[Dict] = []
+        self._refreshed_targets: Set[FailureScenario] = set()
+        self.auditors: Dict[int, "object"] = {}
+        if config.stabilize_enabled:
+            from repro.stabilize import StateAuditor
+
+            self.auditors = {
+                node_id: StateAuditor(self, node_id, config.audit_interval)
+                for node_id in topology.controllers
+            }
 
     # -- sharded engine ----------------------------------------------------------
 
@@ -284,6 +304,137 @@ class ReboundSystem:
         self.true_faulty_nodes.add(node_id)
         self.fault_rounds.append(self.round_no)
 
+    def corrupt_now(self, node_id: int, corruption) -> None:
+        """Apply a transient in-RAM corruption to a *correct* controller.
+
+        Unlike :meth:`inject_now` this does NOT mark the node faulty or
+        install a tamper hook: the victim keeps following the protocol
+        faithfully from damaged state (the self-stabilization fault class,
+        docs/PROTOCOL.md §16.2).  The Req-S question is whether the
+        :class:`~repro.stabilize.StateAuditor` converges it back within
+        the audit bound without any correct node being condemned.
+        """
+        if node_id not in self.topology.controllers:
+            raise ValueError(f"{node_id} is not a controller")
+        if self._engine is not None and self._engine.is_sharded(node_id):
+            recalled = self._engine.recall(node_id)
+            self.nodes[node_id] = recalled
+            self.network.attach(node_id, recalled)
+        description = corruption.apply(self, node_id)
+        self.transient_corruptions.append(
+            {
+                "node": node_id,
+                "round": self.round_no,
+                "kind": getattr(corruption, "name", type(corruption).__name__),
+                **(description or {}),
+            }
+        )
+        rec = _flight.active
+        if rec is not None:
+            rec.emit(
+                EV_FAULT_INJECTED,
+                node_id,
+                {
+                    "target": node_id,
+                    "behavior": f"corruption:{getattr(corruption, 'name', '?')}",
+                },
+                round_no=self.round_no + 1,
+            )
+
+    # -- online mode-tree refresh (PROTOCOL.md §16.5) ------------------------------
+
+    def _maybe_refresh_tree(self) -> None:
+        """Regenerate the needed subtree when an observed failure pattern
+        falls outside the precomputed tree (> fmax faults).
+
+        Until the refresh lands, nodes degrade gracefully to a holding
+        mode (the best covering ancestor / on-demand jump the lookup path
+        already provides) -- the system never halts.  Afterwards every
+        correct node re-adopts from the extended tree, which is
+        byte-identical to from-scratch generation for the added subtree.
+        """
+        fmax = self.config.fmax
+        targets: List[FailureScenario] = []
+        for node_id in self.correct_controllers():
+            if self._engine is not None and self._engine.is_sharded(node_id):
+                continue  # parent copy is stale; refreshed on recall
+            pattern = self.nodes[node_id].fault_pattern
+            if (
+                pattern.fault_count > fmax
+                and pattern not in self._refreshed_targets
+                and pattern not in targets
+            ):
+                targets.append(pattern)
+        for target in targets:
+            self._refresh_tree(target)
+
+    def _refresh_tree(self, target: FailureScenario) -> None:
+        self._refreshed_targets.add(target)
+        generator = self._modegen
+        if generator is None:
+            generator = ModeTreeGenerator(
+                self.topology,
+                self.workload,
+                fmax=self.config.fmax,
+                fconc=self.config.fconc,
+                method=self.config.scheduler_method,
+                utilization_cap=self.config.utilization_cap,
+                ilp_warm_start=self.config.scheduler_method == "ilp",
+            )
+            if self.mode_tree.builder is not None:
+                # Reuse the tree's builder: its placement memo warm-starts
+                # the subtree solves.
+                generator.builder = self.mode_tree.builder
+            self._modegen = generator
+        tree = self.mode_tree
+        holding_depth = max(
+            (
+                s.fault_count
+                for s in tree.schedules
+                if target.covers(s) and s not in tree.ondemand
+            ),
+            default=0,
+        )
+        start = time.perf_counter()
+        stats = generator.extend_for(tree, target)
+        elapsed = time.perf_counter() - start
+        record = {
+            "round": self.round_no,
+            "scenario_nodes": sorted(target.nodes),
+            "scenario_links": [tuple(sorted(l)) for l in sorted(target.links)],
+            "added_modes": stats["added_modes"],
+            "replaced_ondemand": stats["replaced_ondemand"],
+            "holding_depth": holding_depth,
+            "target_layer": stats["target_layer"],
+            "elapsed_s": elapsed,
+        }
+        self.tree_refreshes.append(record)
+        rec = _flight.active
+        if rec is not None:
+            rec.emit(
+                EV_TREE_REFRESH,
+                -1,  # system-wide, not attributable to one node
+                {
+                    "scenario_nodes": sorted(target.nodes),
+                    "scenario_links": [
+                        list(sorted(l)) for l in sorted(target.links)
+                    ],
+                    "added_modes": stats["added_modes"],
+                    "holding_depth": holding_depth,
+                    "elapsed_ms": elapsed * 1000.0,
+                },
+                round_no=self.round_no,
+            )
+        # Re-adopt only where the extended tree changes the answer, so a
+        # refresh that adds nothing (all layers infeasible) perturbs no
+        # transcript.
+        for node_id in self.correct_controllers():
+            if self._engine is not None and self._engine.is_sharded(node_id):
+                continue
+            node = self.nodes[node_id]
+            if tree.schedule_for(node.fault_pattern) != node.current_schedule:
+                node.readopt_mode(self.round_no)
+
     # -- repair / rejoin machinery (shared by blessing and durable restart) -------
 
     def _evict_adversary(self, node_id: int) -> None:
@@ -370,6 +521,24 @@ class ReboundSystem:
         if reference is not None:
             for item in self.nodes[reference].evidence.items():
                 fresh.forwarding.submit_evidence(item)
+        self._flood_blessing(node_id, blessing)
+        if self.monitor is not None and hasattr(self.monitor, "note_repair"):
+            # Until the blessing floods, peers legitimately still hold
+            # unabsolved accusations from the repaired compromise.
+            self.monitor.note_repair(node_id, self.round_no)
+
+    def bless_resync(self, node_id: int) -> None:
+        """Operator absolution after an in-place stabilization resync
+        (docs/PROTOCOL.md S16.4): the same trust step as
+        :meth:`repair_and_bless`, minus the reprovisioning -- the auditor
+        already repaired the state in place.  The blessing absolves every
+        accusation a corrupted window produced on the victim's links (a
+        blessing covers an LFD with the victim as *either* endpoint), and
+        its admission bumps each node's evidence epoch, which raises the
+        Rule B stable floor past that window so latched coverage
+        shortfalls from skipped aggregates never mature into LFDs.
+        """
+        blessing = self._mint_blessing(node_id)
         self._flood_blessing(node_id, blessing)
 
     def restart_from_durable(self, node_id: int):
@@ -509,6 +678,15 @@ class ReboundSystem:
         for behavior in self._active_behaviors:
             behavior.on_round(next_round)
         self.network.run_round()
+        if self.auditors:
+            for node_id in sorted(self.auditors):
+                if node_id in self.true_faulty_nodes:
+                    continue
+                if self._engine is not None and self._engine.is_sharded(node_id):
+                    continue  # worker-resident state is audited on recall
+                self.auditors[node_id].maybe_audit(self.round_no)
+        if self.config.tree_refresh_enabled:
+            self._maybe_refresh_tree()
         self._update_budget_signal()
         if self.monitor is not None:
             self.monitor.observe(self)

@@ -28,7 +28,10 @@ import math
 from typing import Any, Dict, List, Optional, Tuple
 
 #: a numeric leaf is timing iff its key ends with one of these.
-_TIMING_SUFFIXES = ("_run_s", "elapsed_s")
+#: ``time_to_new_tree_s`` is the online mode-tree refresh headline
+#: (BENCH_modegen's refresh sweep and the chaos churn preset's drift
+#: cells).
+_TIMING_SUFFIXES = ("_run_s", "elapsed_s", "time_to_new_tree_s")
 
 #: env keys that must match for wall-clock numbers to be comparable.
 _ENV_COMPARABLE_KEYS = ("cpu_count", "platform", "implementation")

@@ -28,7 +28,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.net.topology import erdos_renyi_topology
-from repro.sched.modegen import ModeTree, ModeTreeGenerator
+from repro.sched.modegen import FailureScenario, ModeTree, ModeTreeGenerator
 from repro.sched.workload import WorkloadGenerator
 
 DEFAULT_WORKERS = 2
@@ -45,6 +45,21 @@ CELLS: List[Dict[str, Any]] = [
 QUICK_CELLS: List[Dict[str, Any]] = [
     {"name": "greedy_n8_f2", "n": 8, "fmax": 2, "method": "greedy", "util": 1.5},
     {"name": "ilp_n5_f1", "n": 5, "fmax": 1, "method": "ilp", "util": 1.0},
+]
+
+#: Online-refresh sweep: base tree at ``fmax``, one observed pattern with
+#: ``fmax + extra`` node faults, extended via ``extend_for`` (serial and
+#: parallel) vs a from-scratch generation at ``fmax + extra``.  The key
+#: ``nodes`` (not ``n``) keeps bench-diff's by-``n`` list matcher off this
+#: sweep -- two cells share a node count.
+REFRESH_CELLS: List[Dict[str, Any]] = [
+    {"name": "refresh_n8_f2_x1", "nodes": 8, "fmax": 2, "extra": 1, "util": 1.5},
+    {"name": "refresh_n8_f2_x2", "nodes": 8, "fmax": 2, "extra": 2, "util": 1.5},
+    {"name": "refresh_n12_f2_x1", "nodes": 12, "fmax": 2, "extra": 1, "util": 2.0},
+]
+
+QUICK_REFRESH_CELLS: List[Dict[str, Any]] = [
+    {"name": "refresh_n6_f2_x1", "nodes": 6, "fmax": 2, "extra": 1, "util": 1.2},
 ]
 
 
@@ -71,6 +86,97 @@ def _same_flow_sets(a: ModeTree, b: ModeTree) -> bool:
         if sched_a.dropped_flows != sched_b.dropped_flows:
             return False
     return True
+
+
+def _subtree_identical(
+    extended: ModeTree, scratch: ModeTree, target: FailureScenario
+) -> bool:
+    """The extended tree's sub-lattice under ``target`` is byte-identical
+    to from-scratch generation: same schedules, same canonical parents,
+    same child order (restricted to the sub-lattice on both sides --
+    the trees legitimately differ outside it)."""
+    for scenario in scratch.schedules:
+        if not target.covers(scenario):
+            continue
+        if scenario not in extended.schedules:
+            return False
+        if extended.schedules[scenario] != scratch.schedules[scenario]:
+            return False
+        if extended.parents.get(scenario) != scratch.parents.get(scenario):
+            return False
+        ext_kids = [
+            c for c in extended.children.get(scenario, [])
+            if target.covers(c)
+        ]
+        scr_kids = [
+            c for c in scratch.children.get(scenario, [])
+            if target.covers(c)
+        ]
+        if ext_kids != scr_kids:
+            return False
+    return True
+
+
+def _refresh_setup(cell: Dict[str, Any], fmax: int, seed: int):
+    topology = erdos_renyi_topology(cell["nodes"], seed=seed)
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=cell["util"]
+    )
+    generator = ModeTreeGenerator(
+        topology,
+        workload,
+        fmax=fmax,
+        fconc=1,
+        method="greedy",
+        place_memo=True,
+        intern_schedules=True,
+    )
+    return topology, generator
+
+
+def _run_refresh_cell(
+    cell: Dict[str, Any], workers: int, seed: int
+) -> Dict[str, Any]:
+    fmax, extra = cell["fmax"], cell["extra"]
+    topology, _ = _refresh_setup(cell, fmax, seed)
+    target = FailureScenario(
+        nodes=frozenset(topology.controllers[: fmax + extra]),
+        links=frozenset(),
+    )
+
+    def extend(n_workers: int):
+        _, generator = _refresh_setup(cell, fmax, seed)
+        tree = generator.generate(workers=1)
+        t0 = time.perf_counter()
+        stats = generator.extend_for(tree, target, workers=n_workers)
+        return tree, stats, time.perf_counter() - t0
+
+    tree_serial, stats, extend_serial_s = extend(1)
+    tree_parallel, _, extend_parallel_s = extend(workers)
+    _, scratch_gen = _refresh_setup(cell, fmax + extra, seed)
+    t0 = time.perf_counter()
+    scratch = scratch_gen.generate(workers=1)
+    scratch_s = time.perf_counter() - t0
+    return {
+        **{k: cell[k] for k in ("name", "nodes", "fmax", "extra", "util")},
+        "target_faults": fmax + extra,
+        "added_modes": stats["added_modes"],
+        "extend_serial_run_s": extend_serial_s,
+        "extend_parallel_run_s": extend_parallel_s,
+        "scratch_run_s": scratch_s,
+        "speedup_vs_scratch": (
+            scratch_s / extend_serial_s if extend_serial_s else float("inf")
+        ),
+        "identical_to_scratch": (
+            _subtree_identical(tree_serial, scratch, target)
+            and _subtree_identical(tree_parallel, scratch, target)
+        ),
+        "parallel_identical_to_serial": (
+            tree_serial.schedules == tree_parallel.schedules
+            and tree_serial.parents == tree_parallel.parents
+            and tree_serial.children == tree_parallel.children
+        ),
+    }
 
 
 def _generate(cell: Dict[str, Any], optimized: bool, workers: int, seed: int):
@@ -148,6 +254,11 @@ def run_modegen_bench(
     """
     cells = QUICK_CELLS if quick else CELLS
     rows = [_run_cell(cell, workers=workers, seed=seed) for cell in cells]
+    refresh_cells = QUICK_REFRESH_CELLS if quick else REFRESH_CELLS
+    refresh_rows = [
+        _run_refresh_cell(cell, workers=workers, seed=seed)
+        for cell in refresh_cells
+    ]
     total_seed = sum(r["seed_s"] for r in rows)
     total_serial = sum(r["opt_serial_s"] for r in rows)
     total_parallel = sum(r["opt_parallel_s"] for r in rows)
@@ -175,6 +286,27 @@ def run_modegen_bench(
         "all_flow_sets_match_seed": all(
             r["same_flow_sets_as_seed"] for r in rows
         ),
+        # Online tree refresh (PROTOCOL.md §16.5): time to extend a live
+        # tree with the sub-lattice of one >fmax pattern, vs regenerating
+        # the whole tree at the larger budget from scratch.
+        "time_to_new_tree": {
+            "cells": refresh_rows,
+            "total_extend_serial_run_s": sum(
+                r["extend_serial_run_s"] for r in refresh_rows
+            ),
+            "total_extend_parallel_run_s": sum(
+                r["extend_parallel_run_s"] for r in refresh_rows
+            ),
+            "total_scratch_run_s": sum(
+                r["scratch_run_s"] for r in refresh_rows
+            ),
+            "all_identical_to_scratch": all(
+                r["identical_to_scratch"] for r in refresh_rows
+            ),
+            "all_parallel_identical": all(
+                r["parallel_identical_to_serial"] for r in refresh_rows
+            ),
+        },
     }
     if output_path is not None:
         with open(output_path, "w") as fh:
@@ -191,15 +323,21 @@ def main(
     result = run_modegen_bench(
         workers=workers, quick=quick, output_path=output_path
     )
+    refresh = result["time_to_new_tree"]
     print("BENCH " + json.dumps(
         {
-            k: result[k]
-            for k in (
-                "benchmark", "quick", "workers",
-                "total_seed_s", "total_opt_serial_s", "total_opt_parallel_s",
-                "speedup_serial", "speedup_end_to_end",
-                "all_parallel_identical", "all_flow_sets_match_seed",
-            )
+            **{
+                k: result[k]
+                for k in (
+                    "benchmark", "quick", "workers",
+                    "total_seed_s", "total_opt_serial_s",
+                    "total_opt_parallel_s",
+                    "speedup_serial", "speedup_end_to_end",
+                    "all_parallel_identical", "all_flow_sets_match_seed",
+                )
+            },
+            "time_to_new_tree_s": refresh["total_extend_serial_run_s"],
+            "refresh_identical_to_scratch": refresh["all_identical_to_scratch"],
         },
         sort_keys=True,
     ))

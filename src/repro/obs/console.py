@@ -105,6 +105,22 @@ def render_top(
             parts.append(f"hb store max {int(hb_max)}")
         parts.append(f"{len(latest)} gauges")
         lines.append("gauges: " + " | ".join(parts))
+        beacons = latest.get("stabilize.audit_beacons")
+        if beacons is not None:
+            divergences = latest.get("stabilize.divergences", 0.0)
+            open_div = latest.get("stabilize.open_divergences", 0.0)
+            stab = (
+                f"stabilize: beacons {int(beacons)}"
+                f" | divergences {int(divergences)}"
+                f" ({int(open_div)} open)"
+            )
+            refreshes = latest.get("stabilize.tree_refreshes")
+            if refreshes is not None:
+                stab += f" | tree refreshes {int(refreshes)}"
+                last_ms = latest.get("stabilize.last_refresh_ms")
+                if last_ms is not None:
+                    stab += f" (last {last_ms:.1f}ms)"
+            lines.append(stab)
     rec = _flight.active
     if rec is not None:
         shipped = ""

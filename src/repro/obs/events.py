@@ -56,6 +56,10 @@ EV_QUOTA_DROP = 13  #: admission control dropped over-quota traffic unverified
 EV_PERSIST_EVIDENCE = 14  #: one evidence item appended to a node's chained durable log
 EV_PERSIST_SNAPSHOT = 15  #: a consistent snapshot of a node's state was sealed
 EV_PERSIST_RESTORE = 16  #: a node restored from its durable store (crash-restart-rejoin)
+EV_AUDIT_BEACON = 17  #: the periodic state auditor digested a node's local state
+EV_AUDIT_DIVERGENCE = 18  #: an audit beacon failed a local/quorum consistency check
+EV_AUDIT_RESYNC = 19  #: a diverged node resynced from quorum + durable verified prefix
+EV_TREE_REFRESH = 20  #: the mode tree grew a subtree online for an out-of-tree pattern
 
 EVENT_NAMES: Dict[int, str] = {
     EV_HEARTBEAT_SEND: "heartbeat-send",
@@ -74,6 +78,10 @@ EVENT_NAMES: Dict[int, str] = {
     EV_PERSIST_EVIDENCE: "persist-evidence",
     EV_PERSIST_SNAPSHOT: "persist-snapshot",
     EV_PERSIST_RESTORE: "persist-restore",
+    EV_AUDIT_BEACON: "audit-beacon",
+    EV_AUDIT_DIVERGENCE: "audit-divergence",
+    EV_AUDIT_RESYNC: "audit-resync",
+    EV_TREE_REFRESH: "tree-refresh",
 }
 
 #: data fields each kind may carry (documentation + JSONL validation).
@@ -95,6 +103,16 @@ EVENT_FIELDS: Dict[int, Tuple[str, ...]] = {
     EV_PERSIST_EVIDENCE: ("item", "enc"),
     EV_PERSIST_SNAPSHOT: ("root", "log_count", "snapshot_round"),
     EV_PERSIST_RESTORE: ("snapshot_round", "replayed", "tampered", "reason"),
+    EV_AUDIT_BEACON: ("digest", "items", "ok", "issues"),
+    EV_AUDIT_DIVERGENCE: ("issues", "digest"),
+    EV_AUDIT_RESYNC: ("merged", "replayed", "repaired", "resolved"),
+    EV_TREE_REFRESH: (
+        "scenario_nodes",
+        "scenario_links",
+        "added_modes",
+        "holding_depth",
+        "elapsed_ms",
+    ),
 }
 
 EVENT_REQUIRED_FIELDS: Dict[int, Tuple[str, ...]] = {
@@ -114,6 +132,10 @@ EVENT_REQUIRED_FIELDS: Dict[int, Tuple[str, ...]] = {
     EV_PERSIST_EVIDENCE: ("enc",),
     EV_PERSIST_SNAPSHOT: ("root",),
     EV_PERSIST_RESTORE: ("tampered",),
+    EV_AUDIT_BEACON: ("ok",),
+    EV_AUDIT_DIVERGENCE: ("issues",),
+    EV_AUDIT_RESYNC: (),
+    EV_TREE_REFRESH: ("added_modes",),
 }
 
 

@@ -29,7 +29,14 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
-from repro.obs.events import EVENT_NAMES, EV_MODE_SELECTED, TraceEvent
+from repro.obs.events import (
+    EVENT_NAMES,
+    EV_AUDIT_DIVERGENCE,
+    EV_AUDIT_RESYNC,
+    EV_MODE_SELECTED,
+    EV_TREE_REFRESH,
+    TraceEvent,
+)
 from repro.obs.ioutil import atomic_open
 
 #: The process-wide active recorder, or None (disabled).  Instrumented code
@@ -237,12 +244,18 @@ class FlightRecorder:
                     "name": "process_name",
                     "pid": node,
                     "tid": 0,
-                    "args": {"name": f"node {node}"},
+                    # pid -1 carries system-wide events (online tree
+                    # refreshes) not attributable to a single node.
+                    "args": {"name": "system" if node < 0 else f"node {node}"},
                 }
             )
             # Named rows (Perfetto renders bare tids as "Thread N" otherwise):
-            # tid 0 instants, tid 1 mode spans, tid 2 recovery-phase spans.
-            for tid, row in ((0, "protocol"), (1, "mode"), (2, "recovery")):
+            # tid 0 instants, tid 1 mode spans, tid 2 recovery-phase spans,
+            # tid 3 stabilize spans (audit divergence -> resync).
+            for tid, row in (
+                (0, "protocol"), (1, "mode"), (2, "recovery"),
+                (3, "stabilize"),
+            ):
                 trace_events.append(
                     {
                         "ph": "M",
@@ -253,6 +266,7 @@ class FlightRecorder:
                     }
                 )
         open_modes: Dict[int, Dict[str, Any]] = {}
+        open_resyncs: Dict[int, Dict[str, Any]] = {}
         for event in self._events:
             ts = event.round_no * round_us + event.seq
             trace_events.append(
@@ -267,6 +281,44 @@ class FlightRecorder:
                     "args": event.data,
                 }
             )
+            if event.kind == EV_AUDIT_DIVERGENCE:
+                # Divergence opens a stabilize span; the resolving resync
+                # closes it, so the audit -> detect -> resync convergence
+                # window is visible as one bar per incident.
+                open_resyncs.setdefault(
+                    event.node,
+                    {
+                        "ph": "X",
+                        "name": "resync " + ",".join(
+                            event.data.get("issues", [])
+                        ),
+                        "cat": "stabilize",
+                        "pid": event.node,
+                        "tid": 3,
+                        "ts": ts,
+                        "args": event.data,
+                    },
+                )
+            elif event.kind == EV_AUDIT_RESYNC and event.data.get("resolved"):
+                span = open_resyncs.pop(event.node, None)
+                if span is not None:
+                    span["dur"] = max(1, ts - span["ts"])
+                    span["args"] = {**span["args"], **event.data}
+                    trace_events.append(span)
+            elif event.kind == EV_TREE_REFRESH:
+                elapsed_ms = float(event.data.get("elapsed_ms", 0.0))
+                trace_events.append(
+                    {
+                        "ph": "X",
+                        "name": "tree refresh",
+                        "cat": "stabilize",
+                        "pid": event.node,
+                        "tid": 3,
+                        "ts": ts,
+                        "dur": max(1, int(elapsed_ms * 1000)),
+                        "args": event.data,
+                    }
+                )
             if event.kind == EV_MODE_SELECTED:
                 previous = open_modes.pop(event.node, None)
                 if previous is not None:
@@ -288,6 +340,10 @@ class FlightRecorder:
             last = self._events[-1]
             last_ts = (last.round_no + 1) * round_us
         for span in open_modes.values():
+            span["dur"] = max(1, last_ts - span["ts"])
+            trace_events.append(span)
+        for span in open_resyncs.values():
+            # Still-unresolved divergences run to the end of the trace.
             span["dur"] = max(1, last_ts - span["ts"])
             trace_events.append(span)
         for span in phase_spans or []:

@@ -47,6 +47,7 @@ DEFAULT_COMPONENT_MODULES = (
     "repro.sched.assign",        # place_memo
     "repro.sched.edf",           # edf_memo
     "repro.sched.modegen",       # modegen_lookup
+    "repro.stabilize.auditor",   # stabilize
 )
 
 

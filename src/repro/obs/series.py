@@ -208,6 +208,29 @@ class MetricsTimeSeries:
             values["system.heartbeat_record_cap"] = float(
                 heartbeat_record_cap(n, config.d_max)
             )
+        auditors = getattr(system, "auditors", None)
+        if auditors:
+            values["stabilize.audit_beacons"] = float(
+                sum(a.beacons for a in auditors.values())
+            )
+            values["stabilize.divergences"] = float(
+                sum(len(a.divergences) for a in auditors.values())
+            )
+            values["stabilize.open_divergences"] = float(
+                sum(
+                    1 for a in auditors.values()
+                    if a.open_divergence() is not None
+                )
+            )
+        refreshes = getattr(system, "tree_refreshes", None)
+        if refreshes is not None and getattr(
+            config, "tree_refresh_enabled", False
+        ):
+            values["stabilize.tree_refreshes"] = float(len(refreshes))
+            if refreshes:
+                values["stabilize.last_refresh_ms"] = (
+                    refreshes[-1]["elapsed_s"] * 1000.0
+                )
         return values
 
     # -- access --------------------------------------------------------------

@@ -174,6 +174,13 @@ class ModeTree:
     _depth_memo: "OrderedDict[FailureScenario, int]" = field(
         default_factory=OrderedDict, compare=False, repr=False
     )
+    #: Scenarios inserted by the on-demand single-jump path
+    #: (:meth:`_schedule_for_uncached`) rather than layered generation.
+    #: :meth:`ModeTreeGenerator.extend_for` replaces these with canonical
+    #: layered entries when it regenerates a subtree online.
+    ondemand: Set[FailureScenario] = field(
+        default_factory=set, compare=False, repr=False
+    )
 
     @property
     def num_modes(self) -> int:
@@ -269,8 +276,15 @@ class ModeTree:
             self.parents[normalized] = best
             self.children.setdefault(best, []).append(normalized)
             self.children.setdefault(normalized, [])
+            self.ondemand.add(normalized)
             return schedule
         return self.schedules[best]
+
+    def invalidate_lookups(self) -> None:
+        """Drop the schedule_for/depth_of memos (after an online extension
+        changed what a lookup should return)."""
+        self._lookup_memo.clear()
+        self._depth_memo.clear()
 
     def serialized_size(self, dedup: bool = True) -> int:
         """Bytes needed to store the tree on a node (Fig. 7a metric).
@@ -640,6 +654,167 @@ class ModeTreeGenerator:
         tree.stats = stats
         self.last_stats = stats
         return tree
+
+    # -- online subtree extension (PROTOCOL.md §16.5) -----------------------------
+
+    def extend_for(
+        self,
+        tree: ModeTree,
+        target: FailureScenario,
+        workers: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Extend ``tree`` in place with the sub-lattice under ``target``.
+
+        When a live system observes a failure pattern with more than
+        ``fmax`` faults, the precomputed tree has no exact mode for it and
+        nodes degrade to a *holding mode* (the best covering ancestor, or a
+        single-jump on-demand build against that ancestor).  This method
+        regenerates online exactly the scenarios the overflow needs --
+        ``{S : S ⊆ target, |S| > fmax}`` -- layer by layer with the same
+        deterministic plan/solve/merge machinery as :meth:`generate`, so
+        the added entries are **byte-identical** to what a from-scratch
+        generation at ``fmax' = target.fault_count`` would have produced
+        for those scenarios (the benchmark and the satellite tests assert
+        this).  The identity holds because every parent of a scenario
+        ``⊆ target`` is itself ``⊆ target``: restricting the frontier to
+        the sub-lattice preserves both the serial visit order and the
+        first-parent-canonical claims of the full expansion.
+
+        Any scenarios in the open sub-lattice previously inserted by the
+        on-demand single-jump path are replaced by their canonical layered
+        entries (the jump parent differs, so its schedule may too).
+
+        Returns a stats dict: ``added_modes``, ``replaced_ondemand``,
+        ``layers`` (per-layer scenario/feasible counts), ``base_layer``,
+        ``target_layer``, ``wall_s``, ``solve_s``, ``workers``.
+        """
+        workers = self._resolve_workers(workers)
+        target = FailureScenario(
+            nodes=frozenset(target.nodes), links=frozenset(target.links)
+        )
+        start = time.perf_counter()
+        stats: Dict[str, Any] = {
+            "added_modes": 0,
+            "replaced_ondemand": 0,
+            "layers": [],
+            "base_layer": tree.fmax,
+            "target_layer": target.fault_count,
+            "wall_s": 0.0,
+            "solve_s": 0.0,
+            "workers": workers,
+        }
+        if target.fault_count <= tree.fmax:
+            stats["wall_s"] = time.perf_counter() - start
+            return stats
+
+        # Evict on-demand single-jump entries inside the open sub-lattice:
+        # their parent was a coarse covering ancestor, not the canonical
+        # layered parent, so keeping them would break the identity.
+        for scenario in [
+            s
+            for s in tree.ondemand
+            if s.fault_count > tree.fmax and target.covers(s)
+        ]:
+            parent = tree.parents.pop(scenario, None)
+            tree.schedules.pop(scenario, None)
+            tree.children.pop(scenario, None)
+            if parent is not None and scenario in tree.children.get(parent, ()):
+                tree.children[parent].remove(scenario)
+            tree.ondemand.discard(scenario)
+            stats["replaced_ondemand"] += 1
+
+        # Replay the full expansion's frontier order restricted to the
+        # sub-lattice (plan only -- no solving).  Children outside the
+        # target never produce descendants inside it, so filtering is
+        # order-preserving; filtering to feasible (present in the tree)
+        # mirrors generation, where infeasible children never joined the
+        # frontier.
+        frontier = [EMPTY_SCENARIO]
+        seen: Set[FailureScenario] = {EMPTY_SCENARIO}
+        for _layer in range(1, tree.fmax + 1):
+            order: List[FailureScenario] = []
+            for scenario in frontier:
+                for child in self._children_of(scenario):
+                    if not target.covers(child) or child in seen:
+                        continue
+                    seen.add(child)
+                    order.append(child)
+            frontier = [c for c in order if c in tree.schedules]
+
+        pool = self._make_pool(workers) if workers > 1 else None
+        try:
+            for layer_no in range(tree.fmax + 1, target.fault_count + 1):
+                layer_t0 = time.perf_counter()
+                plan: List[Tuple[FailureScenario, FailureScenario]] = []
+                claimed: Set[FailureScenario] = set()
+                jobs = []
+                job_children: List[FailureScenario] = []
+                for scenario in frontier:
+                    for child in self._children_of(scenario):
+                        if not target.covers(child):
+                            continue
+                        plan.append((scenario, child))
+                        if child in tree.schedules or child in claimed:
+                            continue
+                        claimed.add(child)
+                        job_children.append(child)
+                        jobs.append(
+                            (child.nodes, child.links, tree.schedules[scenario])
+                        )
+                results = self._solve_batch(jobs, pool)
+                solved: Dict[FailureScenario, ModeSchedule] = {}
+                solve_s = 0.0
+                for child, (schedule, elapsed, _delta) in zip(
+                    job_children, results
+                ):
+                    solve_s += elapsed
+                    if schedule is not None:
+                        solved[child] = (
+                            tree.intern(schedule)
+                            if self.intern_schedules
+                            else schedule
+                        )
+                next_frontier: List[FailureScenario] = []
+                for scenario, child in plan:
+                    if child in tree.schedules:
+                        if child not in tree.children[scenario]:
+                            tree.children[scenario].append(child)
+                        # Extension layers re-visit scenarios added by a
+                        # previous extend_for call; those still belong to
+                        # the frontier so deeper layers expand under them.
+                        if child.fault_count == layer_no and child not in next_frontier:
+                            next_frontier.append(child)
+                        continue
+                    schedule = solved.get(child)
+                    if schedule is None:
+                        continue
+                    tree.schedules[child] = schedule
+                    tree.parents[child] = scenario
+                    tree.children[scenario].append(child)
+                    tree.children[child] = []
+                    next_frontier.append(child)
+                    stats["added_modes"] += 1
+                frontier = next_frontier
+                stats["layers"].append(
+                    {
+                        "layer": layer_no,
+                        "scenarios": len(jobs),
+                        "feasible": len(solved),
+                        "wall_s": time.perf_counter() - layer_t0,
+                        "solve_s": solve_s,
+                    }
+                )
+                stats["solve_s"] += solve_s
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+        # Lookups memoized before the extension may now be stale (an
+        # overflow pattern that resolved to a holding ancestor now has an
+        # exact entry).
+        tree.invalidate_lookups()
+        stats["wall_s"] = time.perf_counter() - start
+        return stats
 
     def _children_of(self, scenario: FailureScenario) -> Iterable[FailureScenario]:
         controllers = self.topology.controllers

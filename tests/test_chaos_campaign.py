@@ -22,21 +22,26 @@ class TestMatrix:
         smoke = campaign.smoke_cells()
         storm = campaign.storm_cells()
         restart = campaign.restart_cells()
+        churn = campaign.churn_cells()
         covered = (
             {c.behavior for c in smoke}
             | {c.behavior for c in storm}
             | {c.behavior for c in restart}
+            | {c.behavior for c in churn}
         )
         assert covered == set(BEHAVIORS)
-        # Durability behaviors live in the restart preset only; the
-        # non-durable behaviors are all reachable without it.
+        # Durability behaviors live in the restart preset only, churn arcs
+        # in the churn preset only; the rest are all reachable without
+        # either.
         durable = {name for name, spec in BEHAVIORS.items() if spec.durability}
+        arcs = {name for name, spec in BEHAVIORS.items() if spec.arc is not None}
         assert durable <= {c.behavior for c in restart}
+        assert arcs == {c.behavior for c in churn}
         assert {c.behavior for c in smoke} | {c.behavior for c in storm} == (
-            set(BEHAVIORS) - durable
+            set(BEHAVIORS) - durable - arcs
         )
         assert {c.plan for c in smoke} == set(PLANS)
-        for cells in (smoke, storm, restart):
+        for cells in (smoke, storm, restart, churn):
             ids = [c.cell_id for c in cells]
             assert len(ids) == len(set(ids))
 

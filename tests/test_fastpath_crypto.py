@@ -289,6 +289,7 @@ def test_fastpath_stats_shape():
         "edf_memo",
         "modegen_lookup",
         "quotas",
+        "stabilize",
     }
     assert "hit_rate" in stats["verify_cache"]
     assert {"charged", "dropped"} <= set(stats["quotas"])

@@ -172,7 +172,7 @@ class TestExports:
             e for e in events if e["ph"] == "M" and e["name"] == "thread_name"
         ]
         assert {e["args"]["name"] for e in thread_names} == {
-            "protocol", "mode", "recovery"
+            "protocol", "mode", "recovery", "stabilize"
         }
         assert {e["pid"] for e in thread_names} == set(trace_nodes)
         # Instants are named from the schema and ordered timestamps exist.

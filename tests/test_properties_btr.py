@@ -328,3 +328,69 @@ def test_active_flows_maximal_by_criticality(n, seed, victim_idx):
                 assert flow.criticality <= min_active or len(
                     schedule.active_flows
                 ) == len(system.workload.flows) - 1
+
+
+@settings(
+    derandomize=True,
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    n=st.integers(min_value=5, max_value=8),
+    seed=st.integers(min_value=0, max_value=30),
+    victim_idx=st.integers(min_value=0, max_value=100),
+    kind_idx=st.integers(min_value=0, max_value=100),
+)
+# Seed corpus: the epoch-desync draw that once triggered the Rule B
+# coverage cascade (digest-mismatched aggregates skipped both ways ->
+# latched shortfalls -> bidirectional LFDs), closed by the resync's
+# operator-absolution escalation.
+@example(n=6, seed=11, victim_idx=0, kind_idx=1)
+def test_transient_corruption_converges_within_audit_bound(
+    n, seed, victim_idx, kind_idx
+):
+    """Req-S (PROTOCOL.md S16): a single-field transient corruption of a
+    *correct* node's in-RAM state converges back to quorum consistency
+    within ``convergence_bound(audit_interval, d_max)`` rounds -- via the
+    auditor's resync or by natural overwrite, either way ending in a clean
+    audit tick -- and no correct node (the victim included) is ever
+    condemned by any correct node's fault pattern."""
+    from repro.chaos.corruption import CORRUPTIONS
+    from repro.stabilize import convergence_bound
+
+    topology = erdos_renyi_topology(n, seed=seed)
+    workload = WorkloadGenerator(seed=seed, chain_length_range=(1, 2)).workload(
+        target_utilization=1.5
+    )
+    config = ReboundConfig(
+        fmax=2,
+        fconc=1,
+        rsa_bits=256,
+        stabilize_enabled=True,
+        audit_interval=4,
+    )
+    system = ReboundSystem(topology, workload, config, seed=seed)
+    system.run(10)
+    controllers = system.topology.controllers
+    victim = controllers[victim_idx % len(controllers)]
+    kinds = sorted(CORRUPTIONS)
+    kind = kinds[kind_idx % len(kinds)]
+    system.corrupt_now(victim, CORRUPTIONS[kind](seed=seed))
+    corrupt_round = system.round_no
+    bound = convergence_bound(config.audit_interval, config.d_max)
+    correct = set(system.correct_controllers())
+    for _ in range(bound + 6):
+        system.run_round()
+        for node_id in correct:
+            condemned = system.nodes[node_id].fault_pattern.nodes & correct
+            assert not condemned, (
+                f"{kind} on node {victim} (n={n}, seed={seed}, "
+                f"r{system.round_no}): correct node(s) {sorted(condemned)} "
+                f"condemned at node {node_id}"
+            )
+    audits = system.auditors[victim].audits
+    assert any(
+        corrupt_round < tick <= corrupt_round + bound and not outstanding
+        for tick, outstanding in audits
+    ), f"{kind} on node {victim}: no clean audit tick within {bound} rounds"
